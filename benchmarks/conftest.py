@@ -1,0 +1,62 @@
+"""Shared fixtures for the reproduction benches.
+
+Each bench module regenerates one of the paper's tables or figures at full
+scale (72 benchmarks, 2,000+ labelled loops).  The expensive measurement
+tables are built once and cached on disk by the pipeline, so only the first
+ever run pays the simulation cost.
+
+Every bench both *prints* its table (visible with ``pytest -s``) and writes
+it under ``benchmarks/results/`` so the artefacts survive output capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.heuristics import ORCHeuristic
+from repro.ml import selected_feature_union
+from repro.pipeline import build_artifacts
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Full-scale configuration shared by every bench.
+SCALE = 1.0
+SEED = 20050320
+
+
+@pytest.fixture(scope="session")
+def artifacts_noswp():
+    """Suite + measurements + dataset with software pipelining disabled."""
+    return build_artifacts(suite_seed=SEED, loops_scale=SCALE, swp=False)
+
+
+@pytest.fixture(scope="session")
+def artifacts_swp():
+    """Suite + measurements + dataset with software pipelining enabled."""
+    return build_artifacts(suite_seed=SEED, loops_scale=SCALE, swp=True)
+
+
+@pytest.fixture(scope="session")
+def feature_indices(artifacts_noswp):
+    """The Section 6 feature subset (MIS union greedy), fitted once."""
+    dataset = artifacts_noswp.dataset
+    return selected_feature_union(dataset.X, dataset.labels, subsample=500)
+
+
+@pytest.fixture(scope="session")
+def orc_predictions_noswp(artifacts_noswp):
+    """ORC's picks for every labelled loop (SWP off)."""
+    dataset = artifacts_noswp.dataset
+    loops = {l.name: l for b in artifacts_noswp.suite.benchmarks for l in b.loops}
+    orc = ORCHeuristic(swp=False)
+    return np.array([orc.predict_loop(loops[str(n)]) for n in dataset.loop_names])
+
+
+def emit(name: str, text: str) -> None:
+    """Print a bench's table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}")

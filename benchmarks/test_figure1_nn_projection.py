@@ -1,0 +1,88 @@
+"""Figure 1 — near-neighbor classification on LDA-projected loop data.
+
+The paper visualises its dataset by projecting feature vectors onto a
+2-D discriminant plane (Fisher LDA), keeping four classes (unroll factors
+1, 2, 4, 8) and only loops whose best factor beats the alternatives by at
+least 30%.  The figure then illustrates the NN radius vote around a query.
+
+This bench regenerates the figure's *data*: the projection, the per-class
+2-D clouds, a sample radius query, and a quantitative check that the
+projected plane actually separates classes (same-class points are closer
+than cross-class points on average).
+"""
+
+import numpy as np
+
+from repro.ml import NearNeighborClassifier, fit_lda
+
+from conftest import emit
+
+FIGURE_CLASSES = (1, 2, 4, 8)
+MARGIN = 1.30  # the paper's ">= 30% better than the other three"
+
+
+def _figure_subset(dataset):
+    """Rows labelled 1/2/4/8 whose best factor wins by >= 30%."""
+    keep = []
+    for row in range(len(dataset)):
+        label = int(dataset.labels[row])
+        if label not in FIGURE_CLASSES:
+            continue
+        cycles = dataset.cycles[row]
+        best = cycles[label - 1]
+        others = [cycles[c - 1] for c in FIGURE_CLASSES if c != label]
+        if min(others) / best >= MARGIN:
+            keep.append(row)
+    return np.array(keep, dtype=int)
+
+
+def test_figure1_projection(benchmark, artifacts_noswp, feature_indices):
+    dataset = artifacts_noswp.dataset
+    rows = _figure_subset(dataset)
+    X = dataset.X[rows][:, feature_indices]
+    y = dataset.labels[rows]
+
+    projection = benchmark.pedantic(fit_lda, args=(X, y, 2), iterations=1, rounds=1)
+    points = projection.transform(X)
+
+    lines = [
+        f"Figure 1: LDA projection of {len(rows)} high-margin loops "
+        f"(classes {FIGURE_CLASSES}, margin >= 30%)",
+        "",
+        f"{'class':>5s} {'n':>5s} {'mean_x':>8s} {'mean_y':>8s} {'std_x':>7s} {'std_y':>7s}",
+    ]
+    centroids = {}
+    for cls in FIGURE_CLASSES:
+        cloud = points[y == cls]
+        if len(cloud) == 0:
+            continue
+        centroids[cls] = cloud.mean(axis=0)
+        lines.append(
+            f"{cls:5d} {len(cloud):5d} {cloud[:, 0].mean():8.2f} "
+            f"{cloud[:, 1].mean():8.2f} {cloud[:, 0].std():7.2f} {cloud[:, 1].std():7.2f}"
+        )
+
+    # The illustrated radius query: classify one projected point by voting.
+    nn = NearNeighborClassifier().fit(X, y)
+    query = nn.predict_one(X[0])
+    lines.append("")
+    lines.append(
+        f"sample radius query: label u{y[0]}, predicted u{query.label}, "
+        f"{query.n_neighbors} neighbors in radius {nn.radius}"
+    )
+    emit("figure1_nn_projection", "\n".join(lines))
+
+    # Shape assertions: enough qualifying loops, classes present, and the
+    # plane separates: average same-class distance < cross-class distance.
+    assert len(rows) >= 50
+    assert len(centroids) >= 3
+    d_same, d_cross = [], []
+    rng = np.random.default_rng(0)
+    sample = rng.choice(len(points), size=min(400, len(points)), replace=False)
+    for i in sample:
+        for j in sample[:50]:
+            if i == j:
+                continue
+            d = float(np.linalg.norm(points[i] - points[j]))
+            (d_same if y[i] == y[j] else d_cross).append(d)
+    assert np.mean(d_same) < np.mean(d_cross)

@@ -1,0 +1,41 @@
+"""Figure 3 — histogram of optimal unroll factors (SWP disabled).
+
+The paper's histogram over 2,500+ labelled loops shows: no factor dominates
+outright, powers of two (1, 2, 4, 8) carry almost all the mass, the mode is
+4 at roughly 30%, and non-power-of-two factors are "rarely optimal".  The
+paper also notes the contrast with binary unroll-or-not classification:
+simply always unrolling would be "right" ~77% of the time as a yes/no
+answer while being badly suboptimal as a factor choice.
+"""
+
+import numpy as np
+
+from conftest import emit
+
+
+def test_figure3_optimal_factor_histogram(benchmark, artifacts_noswp):
+    dataset = artifacts_noswp.dataset
+    histogram = benchmark(dataset.label_histogram)
+
+    lines = [
+        f"Figure 3: optimal unroll factor histogram ({len(dataset)} loops, SWP off)",
+        "",
+    ]
+    for factor, fraction in enumerate(histogram, start=1):
+        bar = "#" * int(round(fraction * 100))
+        lines.append(f"  u={factor}  {fraction:6.1%}  {bar}")
+    unroll_share = float(histogram[1:].sum())
+    pow2_share = float(histogram[0] + histogram[1] + histogram[3] + histogram[7])
+    lines.append("")
+    lines.append(f"loops preferring to unroll at all: {unroll_share:.0%} (paper: ~77%)")
+    lines.append(f"mass on powers of two:             {pow2_share:.0%}")
+    lines.append("Paper shape: mode at 4 (~30%), 8 ~23%, 2 ~22%, 1 ~17%, others rare")
+    emit("figure3_histogram", "\n".join(lines))
+
+    # Shape assertions.
+    assert abs(histogram.sum() - 1.0) < 1e-9
+    assert np.argmax(histogram) + 1 == 4  # the mode is 4
+    assert pow2_share >= 0.85  # non-powers of two are rarely optimal
+    assert 0.60 <= unroll_share <= 0.99  # unrolling usually wins, not always
+    assert histogram[7] >= 0.10  # 8 keeps a large share
+    assert histogram[1] >= 0.10  # so does 2

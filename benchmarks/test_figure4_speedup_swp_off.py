@@ -1,0 +1,58 @@
+"""Figure 4 — realized SPEC 2000 speedups with software pipelining disabled.
+
+The paper compiles the 24 SPEC CPU2000 benchmarks with each learned
+heuristic (trained leave-one-benchmark-out) and reports whole-program
+improvement over ORC's hand heuristic, next to an oracle that picks each
+loop's best measured factor.  Headline shape: the SVM wins on ~19 of 24
+benchmarks, ~5% average speedup overall and ~9% on SPECfp; the oracle
+averages ~7.2%; floating-point codes gain far more than integer codes.
+"""
+
+from repro.pipeline import EvaluationConfig, evaluate_speedups
+
+from conftest import emit
+
+
+def test_figure4_speedups(benchmark, artifacts_noswp, feature_indices):
+    artifacts = artifacts_noswp
+    config = EvaluationConfig(swp=False, feature_indices=feature_indices)
+    report = benchmark.pedantic(
+        evaluate_speedups,
+        args=(artifacts.suite, artifacts.table, artifacts.dataset, config),
+        iterations=1,
+        rounds=1,
+    )
+
+    lines = [
+        "Figure 4: SPEC 2000 improvement over ORC's heuristic (SWP disabled)",
+        "",
+        f"{'benchmark':16s} {'NN':>8s} {'SVM':>8s} {'Oracle':>8s}",
+    ]
+    for result in report.results:
+        tag = "  (fp)" if result.is_fp else ""
+        lines.append(
+            f"{result.benchmark:16s}"
+            f" {result.improvements['nn']:8.2%}"
+            f" {result.improvements['svm']:8.2%}"
+            f" {result.improvements['oracle']:8.2%}{tag}"
+        )
+    lines.append("")
+    for name in ("nn", "svm", "oracle"):
+        lines.append(
+            f"{name:7s} mean {report.mean_improvement(name):+6.2%} overall, "
+            f"{report.mean_improvement(name, fp_only=True):+6.2%} SPECfp, "
+            f"beats ORC on {report.wins(name)}/{len(report.results)}"
+        )
+    lines.append("Paper: SVM +5% overall / +9% SPECfp, wins 19/24; oracle +7.2%")
+    emit("figure4_speedup_swp_off", "\n".join(lines))
+
+    # Shape assertions.
+    svm_overall = report.mean_improvement("svm")
+    svm_fp = report.mean_improvement("svm", fp_only=True)
+    oracle_overall = report.mean_improvement("oracle")
+    assert len(report.results) == 24
+    assert svm_overall >= 0.02  # substantial overall win
+    assert svm_fp > svm_overall  # fp gains exceed the overall mean
+    assert oracle_overall >= svm_overall - 1e-9  # oracle bounds the learners
+    assert report.wins("svm") >= 17
+    assert report.wins("nn") >= 15

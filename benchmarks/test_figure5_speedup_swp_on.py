@@ -1,0 +1,71 @@
+"""Figure 5 — realized SPEC 2000 speedups with software pipelining enabled.
+
+With SWP on, "software pipelining exposes many of the benefits of loop
+unrolling", so the headroom collapses: the paper's learned heuristics beat
+ORC's (much-tuned, ~200-line) SWP-era heuristic on 16 of 24 benchmarks for
+a ~1% overall improvement, with a 4.4% oracle.  The qualitative claims to
+reproduce: gains exist but are much smaller than Figure 4's, and the oracle
+ceiling itself is far lower.
+"""
+
+from repro.pipeline import EvaluationConfig, evaluate_speedups
+
+from conftest import emit
+
+
+def test_figure5_speedups(benchmark, artifacts_swp, artifacts_noswp, feature_indices):
+    from repro.ml import selected_feature_union
+
+    artifacts = artifacts_swp
+    # Feature selection is regime-specific: the SWP-era labels reward
+    # different characteristics (ResMII fractionality, rotating pressure),
+    # so the subset is re-derived from the SWP dataset, exactly as the
+    # paper retrains everything per configuration.
+    swp_indices = selected_feature_union(
+        artifacts.dataset.X, artifacts.dataset.labels, subsample=500
+    )
+    config = EvaluationConfig(swp=True, feature_indices=swp_indices)
+    report = benchmark.pedantic(
+        evaluate_speedups,
+        args=(artifacts.suite, artifacts.table, artifacts.dataset, config),
+        iterations=1,
+        rounds=1,
+    )
+
+    lines = [
+        "Figure 5: SPEC 2000 improvement over ORC's heuristic (SWP enabled)",
+        "",
+        f"{'benchmark':16s} {'NN':>8s} {'SVM':>8s} {'Oracle':>8s}",
+    ]
+    for result in report.results:
+        tag = "  (fp)" if result.is_fp else ""
+        lines.append(
+            f"{result.benchmark:16s}"
+            f" {result.improvements['nn']:8.2%}"
+            f" {result.improvements['svm']:8.2%}"
+            f" {result.improvements['oracle']:8.2%}{tag}"
+        )
+    lines.append("")
+    for name in ("nn", "svm", "oracle"):
+        lines.append(
+            f"{name:7s} mean {report.mean_improvement(name):+6.2%} overall, "
+            f"beats ORC on {report.wins(name)}/{len(report.results)}"
+        )
+    lines.append("Paper: ~+1% overall, wins 16/24; oracle +4.4%")
+    emit("figure5_speedup_swp_on", "\n".join(lines))
+
+    # Shape assertions: gains shrink dramatically once SWP is on.
+    svm_swp = report.mean_improvement("svm")
+    oracle_swp = report.mean_improvement("oracle")
+    assert len(report.results) == 24
+    assert -0.01 <= svm_swp <= 0.06  # small but non-catastrophic
+    assert oracle_swp >= max(svm_swp - 1e-9, 0.0)
+    assert report.wins("svm") >= 12
+
+    # Cross-regime comparison: the no-SWP oracle headroom must dwarf the
+    # SWP one (the paper's central contrast between Figures 4 and 5).
+    noswp_config = EvaluationConfig(swp=False, feature_indices=feature_indices)
+    noswp_report = evaluate_speedups(
+        artifacts_noswp.suite, artifacts_noswp.table, artifacts_noswp.dataset, noswp_config
+    )
+    assert noswp_report.mean_improvement("oracle") > oracle_swp

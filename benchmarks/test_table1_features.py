@@ -1,0 +1,31 @@
+"""Table 1 — the loop feature catalog.
+
+The paper's Table 1 lists a subset of the 38 features extracted per loop.
+This bench regenerates that table (name + description per feature, flagged
+when it appears in the paper's subset) alongside a concrete extraction for
+one library kernel, and times the extractor — which matters, because it is
+the part a deployed compiler would run per loop at compile time.
+"""
+
+from repro.features import FEATURES, extract_features, table1_subset
+from repro.workloads.kernels import daxpy
+
+from conftest import emit
+
+
+def test_table1_feature_catalog(benchmark):
+    loop = daxpy(trip=512, entries=8)
+    vector = benchmark(extract_features, loop)
+
+    lines = ["Table 1: loop features (* = shown in the paper's Table 1)", ""]
+    lines.append(f"{'feature':28s} {'daxpy':>10s}  description")
+    for spec in FEATURES:
+        star = "*" if spec.table1 else " "
+        lines.append(
+            f"{star}{spec.name:27s} {vector[spec.index]:10.2f}  {spec.description}"
+        )
+    emit("table1_features", "\n".join(lines))
+
+    assert len(FEATURES) == 38
+    assert len(table1_subset()) >= 20
+    assert vector[1] == loop.size  # num_ops agrees with the body

@@ -1,0 +1,91 @@
+"""Table 2 — prediction accuracy of NN, SVM, and ORC's heuristic.
+
+Regenerates the paper's central table: for each predictor, the fraction of
+loops on which it picked the optimal factor, the second-best factor, ...,
+the worst, plus the average runtime cost of landing on each rank.  Uses
+leave-one-out cross-validation over the full labelled dataset (SWP off),
+exactly as Section 4.2 prescribes.
+
+Paper shape to reproduce: SVM ~0.65 optimal and ~0.79 optimal-or-second,
+NN slightly behind, ORC's hand heuristic far behind both; a gentle cost
+ladder (second-best only ~7% slower than optimal in the paper).
+"""
+
+import numpy as np
+
+from repro.ml import (
+    accuracy,
+    loocv_nn,
+    loocv_tuned_svm,
+    near_optimal_accuracy,
+    rank_distribution,
+)
+
+from conftest import emit
+
+ROW_NAMES = [
+    "Optimal unroll factor",
+    "Second-best unroll factor",
+    "Third-best unroll factor",
+    "Fourth-best unroll factor",
+    "Fifth-best unroll factor",
+    "Sixth-best unroll factor",
+    "Seventh-best unroll factor",
+    "Worst unroll factor",
+]
+
+
+def test_table2_rank_distribution(
+    benchmark, artifacts_noswp, feature_indices, orc_predictions_noswp
+):
+    dataset = artifacts_noswp.dataset
+
+    nn_predictions = loocv_nn(dataset, feature_indices)
+    svm_predictions = benchmark(loocv_tuned_svm, dataset, feature_indices)
+
+    distributions = {
+        "NN": rank_distribution(dataset, nn_predictions),
+        "SVM": rank_distribution(dataset, svm_predictions),
+        "ORC": rank_distribution(dataset, orc_predictions_noswp),
+    }
+
+    lines = [
+        f"Table 2: prediction ranks over {len(dataset)} loops (LOOCV, SWP off)",
+        "",
+        f"{'Prediction Correctness':28s} {'NN':>6s} {'SVM':>6s} {'ORC':>6s} {'Cost':>7s}",
+    ]
+    for rank, row_name in enumerate(ROW_NAMES, start=1):
+        nn_f, cost = distributions["NN"].row(rank)
+        svm_f, _ = distributions["SVM"].row(rank)
+        orc_f, _ = distributions["ORC"].row(rank)
+        lines.append(
+            f"{row_name:28s} {nn_f:6.2f} {svm_f:6.2f} {orc_f:6.2f} {cost:6.2f}x"
+        )
+    lines.append("")
+    lines.append(
+        "Optimal-or-second-best: "
+        f"NN {distributions['NN'].near_optimal:.2f}, "
+        f"SVM {distributions['SVM'].near_optimal:.2f}, "
+        f"ORC {distributions['ORC'].near_optimal:.2f}"
+    )
+    lines.append(
+        "Paper: SVM 0.65 optimal / 0.79 near-optimal; NN 0.62; ORC 0.16; "
+        "cost ladder 1.00-1.77x"
+    )
+    emit("table2_accuracy", "\n".join(lines))
+
+    # Shape assertions: learned classifiers far ahead of the hand heuristic,
+    # SVM at least on par with NN, most predictions near-optimal, gentle
+    # cost ladder.
+    svm_acc = accuracy(dataset, svm_predictions)
+    nn_acc = accuracy(dataset, nn_predictions)
+    orc_acc = accuracy(dataset, orc_predictions_noswp)
+    assert svm_acc >= 0.5
+    assert nn_acc >= 0.5
+    assert orc_acc <= 0.4
+    assert svm_acc > orc_acc + 0.15
+    assert near_optimal_accuracy(dataset, svm_predictions) >= 0.7
+    costs = distributions["SVM"].costs
+    assert costs[0] == 1.0
+    assert costs[1] <= 1.25
+    assert np.all(np.diff(costs) >= -1e-9)

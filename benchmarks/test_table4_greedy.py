@@ -1,0 +1,70 @@
+"""Table 4 — greedy forward feature selection per classifier.
+
+The paper greedily grows a feature set that minimises each classifier's
+training error, five features deep, and observes that (a) the chosen lists
+*differ by classifier*, and (b) training error falls steeply as features
+are added (their NN column drops from 0.48 after one feature to 0.02 after
+five).  The NN scorer is the modified single-nearest-neighbor variant and
+the reported numbers are training errors — both reproduced here.
+"""
+
+from repro.ml import greedy_forward_selection
+
+from conftest import emit
+
+
+def test_table4_greedy_selection(benchmark, artifacts_noswp):
+    dataset = artifacts_noswp.dataset
+
+    # include_self reproduces the paper's Table 4 convention: the "error"
+    # is the raw training error, so it collapses as the chosen features
+    # make training examples unique.
+    nn_chosen = benchmark.pedantic(
+        greedy_forward_selection,
+        args=(dataset.X, dataset.labels, "nn"),
+        kwargs={"n_features": 5, "subsample": 600, "include_self": True},
+        iterations=1,
+        rounds=1,
+    )
+    svm_chosen = greedy_forward_selection(
+        dataset.X, dataset.labels, "svm", n_features=5, subsample=400
+    )
+
+    lines = [
+        "Table 4: greedy forward selection (training error after each pick)",
+        "",
+        f"{'rank':>4s}  {'NN':30s} {'err':>5s}   {'SVM':30s} {'err':>5s}",
+    ]
+    for position in range(5):
+        nn_s, svm_s = nn_chosen[position], svm_chosen[position]
+        lines.append(
+            f"{position + 1:4d}  {nn_s.name:30s} {nn_s.score:5.2f}   "
+            f"{svm_s.name:30s} {svm_s.score:5.2f}"
+        )
+    lines.append("")
+    lines.append(
+        "Paper NN:  # operands, live range size, critical path length, "
+        "# operations, known tripcount (errors 0.48 -> 0.02)"
+    )
+    lines.append(
+        "Paper SVM: # fp ops, loop nest level, # operands, # branches, "
+        "# memory ops (errors 0.59 -> 0.13)"
+    )
+    emit("table4_greedy", "\n".join(lines))
+
+    # Shape assertions.
+    nn_errors = [s.score for s in nn_chosen]
+    svm_errors = [s.score for s in svm_chosen]
+    # Errors are non-increasing as features are added.
+    assert all(b <= a + 1e-9 for a, b in zip(nn_errors, nn_errors[1:]))
+    assert all(b <= a + 1e-9 for a, b in zip(svm_errors, svm_errors[1:]))
+    # Adding features helps a lot (the paper's steep drop).
+    assert nn_errors[-1] < nn_errors[0]
+    # Training errors end low — the paper's point about reporting training
+    # rather than generalisation error.
+    assert nn_errors[-1] <= 0.25
+    # The two classifiers pick at least partly different features.
+    assert {s.name for s in nn_chosen} != {s.name for s in svm_chosen}
+    # No feature picked twice within a list.
+    assert len({s.index for s in nn_chosen}) == 5
+    assert len({s.index for s in svm_chosen}) == 5

@@ -1,0 +1,68 @@
+"""Compile a whole benchmark with a learned unrolling heuristic.
+
+This is the paper's deployment scenario (Section 6.1): pick a benchmark,
+train the classifiers on every *other* benchmark's loops, compile each of
+its loops with the predicted factor, and compare whole-program runtimes
+against ORC's hand heuristic and the measured oracle.
+
+Run:  python examples/compiler_integration.py [--benchmark 179.art] [--scale 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.heuristics import ORCHeuristic, OracleHeuristic, train_nn_heuristic, train_svm_heuristic
+from repro.ml import selected_feature_union
+from repro.pipeline import build_artifacts
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmark", default="179.art")
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--swp", action="store_true")
+    args = parser.parse_args()
+
+    artifacts = build_artifacts(loops_scale=args.scale, swp=args.swp)
+    suite, table, dataset = artifacts.suite, artifacts.table, artifacts.dataset
+    benchmark = suite.benchmark_by_name(args.benchmark)
+    rows = table.rows_for_benchmark(args.benchmark)
+    print(f"{benchmark.name}: {benchmark.n_loops} innermost loops "
+          f"({benchmark.suite}, {benchmark.language.name})")
+
+    # Leave-one-benchmark-out training, exactly like the paper.
+    train = dataset.exclude_benchmark(args.benchmark)
+    indices = selected_feature_union(train.X, train.labels, subsample=400)
+    heuristics = {
+        "orc": ORCHeuristic(swp=args.swp),
+        "nn": train_nn_heuristic(train, feature_indices=indices),
+        "svm": train_svm_heuristic(train, feature_indices=indices),
+        "oracle": OracleHeuristic.from_dataset(dataset),
+    }
+
+    print(f"\n{'loop':28s} {'orc':>4s} {'nn':>4s} {'svm':>4s} {'oracle':>6s} {'best':>5s}")
+    totals = dict.fromkeys(heuristics, 0.0)
+    for row in rows:
+        loop = benchmark.loop_by_name(str(table.loop_names[row]))
+        picks = {name: h.predict_loop(loop) for name, h in heuristics.items()}
+        best = int(np.argmin(table.true_cycles[row])) + 1
+        for name, factor in picks.items():
+            totals[name] += table.true_cycles[row, factor - 1]
+        short = loop.name.split("/")[-1]
+        print(f"{short:28s} {picks['orc']:4d} {picks['nn']:4d} {picks['svm']:4d}"
+              f" {picks['oracle']:6d} {best:5d}")
+
+    serial = totals["orc"] * (1 - benchmark.loop_fraction) / benchmark.loop_fraction
+    print("\nWhole-program runtime (cycles) and improvement over ORC:")
+    orc_total = totals["orc"] + serial
+    for name in ("orc", "nn", "svm", "oracle"):
+        runtime = totals[name] + serial
+        gain = orc_total / runtime - 1.0
+        print(f"  {name:7s} {runtime:14,.0f}   {gain:+7.2%}")
+
+
+if __name__ == "__main__":
+    main()

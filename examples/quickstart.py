@@ -1,0 +1,80 @@
+"""Quickstart: predict an unroll factor for a loop you wrote yourself.
+
+Builds a small FP loop with the IR DSL, trains the paper's SVM classifier on
+the (cached) labelled dataset, asks it for an unroll factor, and checks the
+advice against the cycle simulator's full sweep.
+
+Run:  python examples/quickstart.py [--scale 0.25] [--swp]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.heuristics import ORCHeuristic, train_svm_heuristic
+from repro.ir import LoopBuilder, Opcode, TripInfo
+from repro.ml import selected_feature_union
+from repro.pipeline import build_artifacts
+from repro.simulate import CostModel
+
+
+def build_my_loop():
+    """A 5-point weighted stencil over a long unknown-trip stream."""
+    b = LoopBuilder("example/my_stencil", trip=TripInfo(runtime=2000), entry_count=40)
+    acc = None
+    for k, weight in enumerate((0.1, 0.2, 0.4, 0.2, 0.1)):
+        value = b.load("signal", offset=k)
+        acc = (
+            b.fp(Opcode.FMUL, value, b.fconst(weight))
+            if acc is None
+            else b.fp(Opcode.FMA, value, b.fconst(weight), acc)
+        )
+    b.store(acc, "smoothed")
+    return b.build()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--swp", action="store_true")
+    args = parser.parse_args()
+
+    loop = build_my_loop()
+    print("The loop under consideration:\n")
+    print(loop)
+
+    print("\nBuilding / loading the labelled dataset "
+          f"(scale={args.scale}, swp={args.swp}) ...")
+    artifacts = build_artifacts(loops_scale=args.scale, swp=args.swp)
+    dataset = artifacts.dataset
+    print(f"  {len(dataset)} labelled loops")
+
+    indices = selected_feature_union(dataset.X, dataset.labels, subsample=400)
+    svm = train_svm_heuristic(dataset, feature_indices=indices)
+    predicted = svm.predict_loop(loop)
+    orc = ORCHeuristic(swp=args.swp).predict_loop(loop)
+
+    print(f"\nSVM-predicted unroll factor : {predicted}")
+    print(f"ORC hand heuristic says     : {orc}")
+
+    print("\nGround truth from the cycle simulator:")
+    sweep = CostModel(swp=args.swp).sweep(loop)
+    best = min(sweep, key=lambda u: sweep[u].total_cycles)
+    for factor in range(1, 9):
+        cost = sweep[factor]
+        marks = "".join(
+            tag
+            for tag, cond in (
+                (" <- optimal", factor == best),
+                (" <- SVM", factor == predicted),
+                (" <- ORC", factor == orc),
+            )
+            if cond
+        )
+        print(f"  u={factor}:  {cost.total_cycles:12,.0f} cycles{marks}")
+    ratio = sweep[predicted].total_cycles / sweep[best].total_cycles
+    print(f"\nThe SVM's pick is within {ratio - 1:.1%} of optimal.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,296 @@
+"""Command-line interface: ``repro-unroll`` / ``python -m repro``.
+
+Subcommands map one-to-one onto the paper's artefacts:
+
+* ``build-data`` — run the measurement + labelling pipeline (cached).
+* ``histogram`` — Figure 3 (optimal-unroll-factor histogram).
+* ``table2`` — prediction-rank table for NN, SVM, and ORC.
+* ``speedups`` — Figures 4/5 (per-benchmark improvement over ORC).
+* ``features`` — Tables 3/4 (mutual information + greedy selection).
+* ``predict`` — train on the cached dataset and predict a factor for a
+  named library kernel (the compile-time deployment path).
+* ``export`` — dump the raw loop data in the release format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=20050320, help="suite root seed")
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="fraction of the full per-benchmark loop counts to generate",
+    )
+    parser.add_argument("--swp", action="store_true", help="enable software pipelining")
+
+
+def _artifacts(args):
+    from repro.pipeline import build_artifacts
+
+    return build_artifacts(suite_seed=args.seed, loops_scale=args.scale, swp=args.swp)
+
+
+def cmd_build_data(args) -> int:
+    """Measure + label the suite (cache-aware) and report the filters."""
+    from repro.pipeline import stats_from_table
+
+    artifacts = _artifacts(args)
+    stats = stats_from_table(artifacts.table, artifacts.config)
+    print(stats.summary())
+    print(f"dataset rows: {len(artifacts.dataset)} (swp={artifacts.dataset.swp})")
+    return 0
+
+
+def cmd_histogram(args) -> int:
+    """Print the Figure 3 optimal-unroll-factor histogram."""
+    artifacts = _artifacts(args)
+    histogram = artifacts.dataset.label_histogram()
+    print("Optimal unroll factor histogram"
+          f" ({'SWP' if args.swp else 'no SWP'}, {len(artifacts.dataset)} loops):")
+    for factor, fraction in enumerate(histogram, start=1):
+        bar = "#" * int(round(fraction * 60))
+        print(f"  u={factor}  {fraction:6.1%}  {bar}")
+    return 0
+
+
+def cmd_table2(args) -> int:
+    """Print the Table 2 prediction-rank table for NN, SVM, and ORC."""
+    from repro.heuristics import ORCHeuristic
+    from repro.ml import loocv_nn, loocv_svm, rank_distribution, selected_feature_union
+
+    artifacts = _artifacts(args)
+    dataset = artifacts.dataset
+    loops = {l.name: l for b in artifacts.suite.benchmarks for l in b.loops}
+    orc = ORCHeuristic(swp=args.swp)
+    indices = selected_feature_union(dataset.X, dataset.labels, subsample=500)
+
+    predictions = {
+        "NN": loocv_nn(dataset, indices),
+        "SVM": loocv_svm(dataset, indices),
+        "ORC": np.array([orc.predict_loop(loops[n]) for n in dataset.loop_names]),
+    }
+    distributions = {
+        name: rank_distribution(dataset, preds) for name, preds in predictions.items()
+    }
+    print(f"{'Prediction Correctness':28s} {'NN':>6s} {'SVM':>6s} {'ORC':>6s} {'Cost':>7s}")
+    row_names = [
+        "Optimal unroll factor", "Second-best unroll factor",
+        "Third-best unroll factor", "Fourth-best unroll factor",
+        "Fifth-best unroll factor", "Sixth-best unroll factor",
+        "Seventh-best unroll factor", "Worst unroll factor",
+    ]
+    for rank, row_name in enumerate(row_names, start=1):
+        nn_f, cost = distributions["NN"].row(rank)
+        svm_f, _ = distributions["SVM"].row(rank)
+        orc_f, _ = distributions["ORC"].row(rank)
+        print(f"{row_name:28s} {nn_f:6.2f} {svm_f:6.2f} {orc_f:6.2f} {cost:6.2f}x")
+    return 0
+
+
+def cmd_speedups(args) -> int:
+    """Print the Figure 4/5 per-benchmark improvements over ORC."""
+    from repro.ml import selected_feature_union
+    from repro.pipeline import EvaluationConfig, evaluate_speedups
+
+    artifacts = _artifacts(args)
+    dataset = artifacts.dataset
+    indices = selected_feature_union(dataset.X, dataset.labels, subsample=500)
+    config = EvaluationConfig(swp=args.swp, feature_indices=indices)
+    report = evaluate_speedups(artifacts.suite, artifacts.table, dataset, config)
+    print(f"{'Benchmark':16s} {'NN':>8s} {'SVM':>8s} {'Oracle':>8s}")
+    for result in report.results:
+        print(
+            f"{result.benchmark:16s}"
+            f" {result.improvements['nn']:8.2%}"
+            f" {result.improvements['svm']:8.2%}"
+            f" {result.improvements['oracle']:8.2%}"
+        )
+    for name in ("nn", "svm", "oracle"):
+        print(
+            f"mean {name:7s}: {report.mean_improvement(name):6.2%} overall,"
+            f" {report.mean_improvement(name, fp_only=True):6.2%} SPECfp,"
+            f" beats ORC on {report.wins(name)}/{len(report.results)}"
+        )
+    return 0
+
+
+def cmd_features(args) -> int:
+    """Print the Table 3 (MIS) and Table 4 (greedy) feature rankings."""
+    from repro.ml import greedy_forward_selection, rank_by_mutual_information
+
+    artifacts = _artifacts(args)
+    dataset = artifacts.dataset
+    print("Top features by mutual information score (Table 3):")
+    for rank, scored in enumerate(rank_by_mutual_information(dataset.X, dataset.labels)[:5], 1):
+        print(f"  {rank}. {scored.name:28s} MIS={scored.score:.3f}")
+    for classifier in ("nn", "svm"):
+        print(f"Greedy forward selection for {classifier.upper()} (Table 4):")
+        chosen = greedy_forward_selection(
+            dataset.X, dataset.labels, classifier, n_features=5, subsample=500
+        )
+        for rank, scored in enumerate(chosen, 1):
+            print(f"  {rank}. {scored.name:28s} error={scored.score:.2f}")
+    return 0
+
+
+def cmd_predict(args) -> int:
+    """Train on the cached dataset and advise a factor for a library kernel."""
+    from repro.heuristics import train_nn_heuristic, train_svm_heuristic
+    from repro.ml import selected_feature_union
+    from repro.simulate import CostModel
+    from repro.workloads.kernels import KERNELS
+
+    if args.kernel not in KERNELS:
+        print(f"unknown kernel {args.kernel!r}; choose from: {', '.join(sorted(KERNELS))}")
+        return 2
+    loop = KERNELS[args.kernel]()
+    artifacts = _artifacts(args)
+    dataset = artifacts.dataset
+    indices = selected_feature_union(dataset.X, dataset.labels, subsample=500)
+    trainer = train_svm_heuristic if args.classifier == "svm" else train_nn_heuristic
+    heuristic = trainer(dataset, feature_indices=indices)
+    factor = heuristic.predict_loop(loop)
+    print(f"{args.classifier.upper()} predicts unroll factor {factor} for kernel {args.kernel!r}")
+    sweep = CostModel(swp=args.swp).sweep(loop)
+    best = min(sweep, key=lambda u: sweep[u].total_cycles)
+    print(f"simulator-optimal factor: {best}")
+    for factor_i in range(1, 9):
+        marker = " <- predicted" if factor_i == factor else ""
+        print(f"  u={factor_i}: {sweep[factor_i].total_cycles:12.0f} cycles{marker}")
+    return 0
+
+
+def cmd_predict_file(args) -> int:
+    """Parse loops from a loop-language file and advise factors for them."""
+    from repro.frontend import ParseError, parse_program
+    from repro.heuristics import train_nn_heuristic, train_svm_heuristic
+    from repro.ml import selected_feature_union
+    from repro.simulate import CostModel
+
+    try:
+        with open(args.file) as handle:
+            parsed = parse_program(handle.read())
+    except (OSError, ParseError) as error:
+        print(f"cannot read {args.file}: {error}")
+        return 2
+
+    artifacts = _artifacts(args)
+    dataset = artifacts.dataset
+    indices = selected_feature_union(dataset.X, dataset.labels, subsample=500)
+    trainer = train_svm_heuristic if args.classifier == "svm" else train_nn_heuristic
+    heuristic = trainer(dataset, feature_indices=indices)
+    model = CostModel(swp=args.swp)
+    for entry in parsed:
+        loop = entry.loop
+        factor = heuristic.predict_loop(loop)
+        sweep = model.sweep(loop)
+        best = min(sweep, key=lambda u: sweep[u].total_cycles)
+        penalty = sweep[factor].total_cycles / sweep[best].total_cycles - 1.0
+        print(
+            f"{loop.name}: predicted u={factor}, simulator-optimal u={best} "
+            f"(prediction within {penalty:.1%})"
+        )
+    return 0
+
+
+def cmd_suite_stats(args) -> int:
+    """Describe the workload population: suites, languages, loop shapes."""
+    import numpy as np
+
+    from repro.features import feature_index
+    from repro.workloads.generator import generate_suite
+
+    suite = generate_suite(seed=args.seed, loops_scale=args.scale)
+    print(f"{suite.name}: {len(suite.benchmarks)} benchmarks, {suite.n_loops} loops")
+
+    by_suite: dict[str, int] = {}
+    by_lang: dict[str, int] = {}
+    for bench in suite.benchmarks:
+        by_suite[bench.suite] = by_suite.get(bench.suite, 0) + bench.n_loops
+        by_lang[bench.language.name] = by_lang.get(bench.language.name, 0) + bench.n_loops
+    print("loops per suite:    " + ", ".join(f"{k}={v}" for k, v in sorted(by_suite.items())))
+    print("loops per language: " + ", ".join(f"{k}={v}" for k, v in sorted(by_lang.items())))
+
+    loops = suite.all_loops()
+    sizes = np.array([l.size for l in loops])
+    trips = np.array([l.trip.runtime for l in loops])
+    print(f"body size:  median {np.median(sizes):.0f} ops, p90 {np.percentile(sizes, 90):.0f}, max {sizes.max()}")
+    print(f"trip count: median {np.median(trips):.0f}, p90 {np.percentile(trips, 90):.0f}, max {trips.max()}")
+    print(f"known trip counts:  {sum(l.trip.known for l in loops) / len(loops):.0%}")
+    print(f"while-style loops:  {sum(not l.trip.counted for l in loops) / len(loops):.0%}")
+    print(f"early exits:        {sum(l.has_early_exit for l in loops) / len(loops):.0%}")
+    indirect = sum(
+        any(i.mem is not None and i.mem.indirect for i in l.body) for l in loops
+    )
+    print(f"indirect references: {indirect / len(loops):.0%}")
+    recurrences = sum(bool(l.carried_regs()) for l in loops)
+    print(f"scalar recurrences:  {recurrences / len(loops):.0%}")
+    return 0
+
+
+def cmd_export(args) -> int:
+    """Dump the labelled dataset in the raw-loop-data release format."""
+    from repro.instrument import LoopRecord, write_records
+
+    artifacts = _artifacts(args)
+    dataset = artifacts.dataset
+    records = (
+        LoopRecord(
+            loop_name=str(dataset.loop_names[i]),
+            benchmark=str(dataset.benchmarks[i]),
+            suite=str(dataset.suites[i]),
+            language=str(dataset.languages[i]),
+            features=tuple(float(v) for v in dataset.X[i]),
+            median_cycles=tuple(float(v) for v in dataset.cycles[i]),
+        )
+        for i in range(len(dataset))
+    )
+    count = write_records(records, args.output)
+    print(f"wrote {count} loop records to {args.output}")
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-unroll",
+        description="Reproduction of 'Predicting Unroll Factors Using Supervised Classification'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, handler, extra in (
+        ("build-data", cmd_build_data, None),
+        ("histogram", cmd_histogram, None),
+        ("table2", cmd_table2, None),
+        ("speedups", cmd_speedups, None),
+        ("features", cmd_features, None),
+        ("predict", cmd_predict, "predict"),
+        ("predict-file", cmd_predict_file, "predict-file"),
+        ("suite-stats", cmd_suite_stats, None),
+        ("export", cmd_export, "export"),
+    ):
+        p = sub.add_parser(name)
+        _add_common(p)
+        p.set_defaults(handler=handler)
+        if extra == "predict":
+            p.add_argument("kernel", help="library kernel name (e.g. daxpy)")
+            p.add_argument("--classifier", choices=("nn", "svm"), default="svm")
+        elif extra == "predict-file":
+            p.add_argument("file", help="loop-language source file")
+            p.add_argument("--classifier", choices=("nn", "svm"), default="svm")
+        elif extra == "export":
+            p.add_argument("output", help="output path for the raw loop data")
+
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

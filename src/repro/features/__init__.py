@@ -1,0 +1,36 @@
+"""Static loop features: the catalog, the extractor, and normalisation."""
+
+from repro.features.catalog import (
+    FEATURE_NAMES,
+    FEATURES,
+    FeatureKind,
+    FeatureSpec,
+    N_FEATURES,
+    by_name,
+    feature_index,
+    table1_subset,
+)
+from repro.features.extract import extract_features, extract_matrix
+from repro.features.normalize import (
+    Normalizer,
+    fit_minmax,
+    fit_normalizer,
+    fit_zscore,
+)
+
+__all__ = [
+    "FEATURE_NAMES",
+    "FEATURES",
+    "FeatureKind",
+    "FeatureSpec",
+    "N_FEATURES",
+    "Normalizer",
+    "by_name",
+    "extract_features",
+    "extract_matrix",
+    "feature_index",
+    "fit_minmax",
+    "fit_normalizer",
+    "fit_zscore",
+    "table1_subset",
+]

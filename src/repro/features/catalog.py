@@ -1,0 +1,106 @@
+"""The feature catalog: all 38 static loop characteristics.
+
+The paper extracts 38 features per unrollable loop and shows a subset in its
+Table 1; this catalog defines our full set.  Indices are stable — the
+feature-selection experiments (mutual information, greedy forward selection)
+refer to features by position, and datasets persist feature matrices keyed
+to this ordering.
+
+Features marked ``table1=True`` correspond to rows the paper's Table 1
+lists; the rest round the set out to 38 with characteristics the paper's
+text and tables mention elsewhere (live range size and DAG fan-in appear in
+its Table 3, known-tripcount in its Table 4, ResMII/RecMII are what its
+"estimated cycle length" and software-pipelining discussion are about).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class FeatureKind(Enum):
+    """Value domain of a feature — drives binning for mutual information."""
+
+    COUNT = "count"  # non-negative integer
+    CONTINUOUS = "continuous"
+    BINARY = "binary"
+    CATEGORICAL = "categorical"
+
+
+@dataclass(frozen=True)
+class FeatureSpec:
+    """Metadata for one feature."""
+
+    index: int
+    name: str
+    description: str
+    kind: FeatureKind
+    table1: bool = False
+
+
+FEATURES: tuple[FeatureSpec, ...] = (
+    FeatureSpec(0, "nest_level", "The loop nest level.", FeatureKind.COUNT, True),
+    FeatureSpec(1, "num_ops", "The number of ops. in loop body.", FeatureKind.COUNT, True),
+    FeatureSpec(2, "num_fp_ops", "The number of floating point ops. in loop body.", FeatureKind.COUNT, True),
+    FeatureSpec(3, "num_branches", "The number of branches in loop body.", FeatureKind.COUNT, True),
+    FeatureSpec(4, "num_mem_ops", "The number of memory ops. in loop body.", FeatureKind.COUNT, True),
+    FeatureSpec(5, "num_operands", "The number of operands in loop body.", FeatureKind.COUNT, True),
+    FeatureSpec(6, "num_implicit", "The number of implicit instructions in loop body.", FeatureKind.COUNT, True),
+    FeatureSpec(7, "num_unique_predicates", "The number of unique predicates in loop body.", FeatureKind.COUNT, True),
+    FeatureSpec(8, "critical_path", "The estimated latency of the critical path of loop.", FeatureKind.COUNT, True),
+    FeatureSpec(9, "est_body_cycles", "The estimated cycle length of loop body.", FeatureKind.COUNT, True),
+    FeatureSpec(10, "language", "The language (C or Fortran).", FeatureKind.CATEGORICAL, True),
+    FeatureSpec(11, "num_parallel_computations", "The number of parallel computations in loop.", FeatureKind.COUNT, True),
+    FeatureSpec(12, "max_dependence_height", "The max. dependence height of computations.", FeatureKind.COUNT, True),
+    FeatureSpec(13, "max_memory_dep_height", "The max. height of memory dependencies of computations.", FeatureKind.COUNT, True),
+    FeatureSpec(14, "max_control_dep_height", "The max. height of control dependencies of computations.", FeatureKind.COUNT, True),
+    FeatureSpec(15, "avg_dependence_height", "The average dependence height of computations.", FeatureKind.CONTINUOUS, True),
+    FeatureSpec(16, "num_indirect_refs", "The number of indirect references in loop body.", FeatureKind.COUNT, True),
+    FeatureSpec(17, "min_mem_carried_dep", "The min. memory-to-memory loop-carried dependence (-1 if none).", FeatureKind.COUNT, True),
+    FeatureSpec(18, "num_mem_mem_deps", "The number of memory-to-memory dependencies.", FeatureKind.COUNT, True),
+    FeatureSpec(19, "tripcount", "The tripcount of the loop (-1 if unknown).", FeatureKind.COUNT, True),
+    FeatureSpec(20, "num_uses", "The number of uses in the loop.", FeatureKind.COUNT, True),
+    FeatureSpec(21, "num_defs", "The number of defs. in the loop.", FeatureKind.COUNT, True),
+    FeatureSpec(22, "num_int_ops", "The number of integer arithmetic ops. in loop body.", FeatureKind.COUNT),
+    FeatureSpec(23, "num_muldiv_ops", "The number of multiply/divide ops. in loop body.", FeatureKind.COUNT),
+    FeatureSpec(24, "num_loads", "The number of loads in loop body.", FeatureKind.COUNT),
+    FeatureSpec(25, "num_stores", "The number of stores in loop body.", FeatureKind.COUNT),
+    FeatureSpec(26, "stride_one_frac", "Fraction of memory refs. with unit stride.", FeatureKind.CONTINUOUS),
+    FeatureSpec(27, "num_distinct_arrays", "The number of distinct arrays referenced.", FeatureKind.COUNT),
+    FeatureSpec(28, "num_carried_reg_deps", "The number of loop-carried scalar recurrences.", FeatureKind.COUNT),
+    FeatureSpec(29, "live_range_size", "Peak simultaneous live values of the scheduled body.", FeatureKind.COUNT),
+    FeatureSpec(30, "instruction_fan_in", "Instruction fan-in in DAG (mean in-degree).", FeatureKind.CONTINUOUS),
+    FeatureSpec(31, "known_tripcount", "Whether the tripcount is a compile-time constant.", FeatureKind.BINARY),
+    FeatureSpec(32, "body_bytes", "Code size of the loop body in bytes.", FeatureKind.COUNT),
+    FeatureSpec(33, "mem_ratio", "Memory ops. as a fraction of all ops.", FeatureKind.CONTINUOUS),
+    FeatureSpec(34, "fp_ratio", "Floating point ops. as a fraction of all ops.", FeatureKind.CONTINUOUS),
+    FeatureSpec(35, "res_mii", "Resource-constrained minimum initiation interval (fractional).", FeatureKind.CONTINUOUS),
+    FeatureSpec(36, "rec_mii", "Recurrence-constrained minimum initiation interval.", FeatureKind.COUNT),
+    FeatureSpec(37, "has_early_exit", "Whether the loop has a data-dependent early exit.", FeatureKind.BINARY),
+)
+
+#: Feature names in index order.
+FEATURE_NAMES: tuple[str, ...] = tuple(spec.name for spec in FEATURES)
+
+#: Total feature count — the paper collects the same number.
+N_FEATURES = len(FEATURES)
+assert N_FEATURES == 38, "the catalog must define exactly 38 features"
+
+
+def feature_index(name: str) -> int:
+    """Index of a feature by name."""
+    try:
+        return FEATURE_NAMES.index(name)
+    except ValueError:
+        raise KeyError(f"unknown feature {name!r}") from None
+
+
+def by_name(name: str) -> FeatureSpec:
+    """Spec of a feature by name."""
+    return FEATURES[feature_index(name)]
+
+
+def table1_subset() -> tuple[FeatureSpec, ...]:
+    """The features shown in the paper's Table 1."""
+    return tuple(spec for spec in FEATURES if spec.table1)

@@ -1,0 +1,62 @@
+"""Feature normalisation.
+
+The paper normalises feature vectors "to weigh all features equally;
+otherwise, features with large values such as loop tripcount would grossly
+outweigh small-valued features in the distance calculation" (Section 5.1).
+We provide the two standard choices — min-max scaling to ``[0, 1]`` (the
+default, which makes the paper's radius of 0.3 meaningful) and
+z-score standardisation — as fitted transformers so that train-time
+statistics are applied unchanged to novel loops at compile time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Normalizer:
+    """A fitted affine feature transform ``(x - shift) / scale``."""
+
+    shift: np.ndarray
+    scale: np.ndarray
+    method: str
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Apply the fitted transform to a matrix or a single vector."""
+        X = np.asarray(X, dtype=np.float64)
+        return (X - self.shift) / self.scale
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        """Undo the transform (used by visualisation helpers)."""
+        return np.asarray(X, dtype=np.float64) * self.scale + self.shift
+
+
+def fit_minmax(X: np.ndarray) -> Normalizer:
+    """Min-max scaling to ``[0, 1]``; constant features map to 0."""
+    X = np.asarray(X, dtype=np.float64)
+    lo = X.min(axis=0)
+    hi = X.max(axis=0)
+    span = hi - lo
+    span[span == 0.0] = 1.0
+    return Normalizer(shift=lo, scale=span, method="minmax")
+
+
+def fit_zscore(X: np.ndarray) -> Normalizer:
+    """Zero-mean unit-variance standardisation; constant features map to 0."""
+    X = np.asarray(X, dtype=np.float64)
+    mean = X.mean(axis=0)
+    std = X.std(axis=0)
+    std[std == 0.0] = 1.0
+    return Normalizer(shift=mean, scale=std, method="zscore")
+
+
+def fit_normalizer(X: np.ndarray, method: str = "minmax") -> Normalizer:
+    """Fit a normaliser by name (``"minmax"`` or ``"zscore"``)."""
+    if method == "minmax":
+        return fit_minmax(X)
+    if method == "zscore":
+        return fit_zscore(X)
+    raise ValueError(f"unknown normalisation method {method!r}")

@@ -1,0 +1,17 @@
+"""Textual frontend: a small loop language parsed into the IR."""
+
+from repro.frontend.lexer import LexError, Token, TokenKind, tokenize
+from repro.frontend.parser import ParsedLoop, ParseError, parse_loop, parse_program
+from repro.frontend.unparse import to_source
+
+__all__ = [
+    "LexError",
+    "ParseError",
+    "ParsedLoop",
+    "Token",
+    "TokenKind",
+    "parse_loop",
+    "parse_program",
+    "to_source",
+    "tokenize",
+]

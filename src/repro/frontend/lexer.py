@@ -1,0 +1,125 @@
+"""Lexer for the textual loop language.
+
+The language is a readable serialisation of the IR — what the printer emits,
+plus a header line.  The lexer produces a flat token stream with line/column
+positions so the parser can report errors precisely.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+
+class TokenKind(enum.Enum):
+    """Token categories of the loop language."""
+
+    IDENT = "ident"  # load, fadd, loop, array names, keywords
+    REG = "reg"  # %name
+    NUMBER = "number"  # 42, -3, 2.5, -0.5
+    STRING = "string"  # "176.gcc/loop_004"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    EQUALS = "="
+    ARROW = "->"
+    STAR = "*"
+    PLUS = "+"
+    MINUS = "-"
+    DOT = "."
+    NEWLINE = "newline"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexed token with its source position."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.value}, {self.text!r}, {self.line}:{self.column})"
+
+
+class LexError(ValueError):
+    """Raised on unrecognised input."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>\#[^\n]*)
+  | (?P<string>"[^"\n]*")
+  | (?P<reg>%[A-Za-z_][A-Za-z0-9_.]*)
+  | (?P<number>-?\d+\.\d+(?:[eE][-+]?\d+)?|-?\d+(?:[eE][-+]?\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.]*)
+  | (?P<arrow>->)
+  | (?P<punct>[\[\](),=*+\-.])
+  | (?P<space>[ \t\r]+)
+  | (?P<newline>\n)
+    """,
+    re.VERBOSE,
+)
+
+_PUNCT = {
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    ",": TokenKind.COMMA,
+    "=": TokenKind.EQUALS,
+    "*": TokenKind.STAR,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    ".": TokenKind.DOT,
+}
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize a whole source string.
+
+    Comments (``# ...``) are skipped; blank lines collapse; an EOF token
+    terminates the stream.
+    """
+    tokens: list[Token] = []
+    line, line_start = 1, 0
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            column = position - line_start + 1
+            snippet = source[position : position + 10]
+            raise LexError(f"line {line}:{column}: unrecognised input {snippet!r}")
+        position = match.end()
+        kind = match.lastgroup
+        text = match.group()
+        column = match.start() - line_start + 1
+        if kind in ("space", "comment"):
+            continue
+        if kind == "newline":
+            if tokens and tokens[-1].kind is not TokenKind.NEWLINE:
+                tokens.append(Token(TokenKind.NEWLINE, "\n", line, column))
+            line += 1
+            line_start = position
+            continue
+        if kind == "string":
+            tokens.append(Token(TokenKind.STRING, text[1:-1], line, column))
+        elif kind == "reg":
+            tokens.append(Token(TokenKind.REG, text[1:], line, column))
+        elif kind == "number":
+            tokens.append(Token(TokenKind.NUMBER, text, line, column))
+        elif kind == "ident":
+            tokens.append(Token(TokenKind.IDENT, text, line, column))
+        elif kind == "arrow":
+            tokens.append(Token(TokenKind.ARROW, text, line, column))
+        else:
+            tokens.append(Token(_PUNCT[text], text, line, column))
+    if tokens and tokens[-1].kind is not TokenKind.NEWLINE:
+        tokens.append(Token(TokenKind.NEWLINE, "\n", line, 0))
+    tokens.append(Token(TokenKind.EOF, "", line, 0))
+    return tokens

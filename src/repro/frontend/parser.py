@@ -1,0 +1,436 @@
+"""Parser for the textual loop language.
+
+Grammar (one statement per line; ``#`` comments)::
+
+    loop NAME [trip=1024] [known] [while] [entries=16] [nest=2] [lang=f77]
+      init %acc = 0.0                      # preheader value of a carried reg
+      %x = load a[i]                       # affine load
+      %j = load.i idx[i]                   # integer-typed load
+      %g = load data[%j]                   # indirect (gather) load
+      %s = fmul %x, 2.5
+      %t = fma %x, %s, %acc
+      %acc = fadd %acc, %t                 # read-before-write => carried
+      %p = fcmp.gt %t, 10.0
+      exit_if %p                           # early exit
+      (%p) %u = fadd %x, %s                # predicated instruction
+      store %t -> out[2*i+1]
+    end
+
+Affine indices are ``[c*i + o]`` with either part optional; ``[%reg]`` is an
+indirect reference.  Register types are inferred: compares define
+predicates, integer opcodes define I64, everything else F64; ``load.i``
+forces an integer load.  A register read before it is written is a live-in
+— carried if the body later writes it, invariant otherwise.
+
+:func:`parse_loop` returns a validated :class:`repro.ir.loop.Loop`;
+:func:`parse_program` handles multi-loop files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.instruction import Instruction
+from repro.ir.loop import Loop, TripInfo
+from repro.ir.types import MAX_UNROLL, CmpOp, DType, Language, Opcode
+from repro.ir.validate import validate_loop
+from repro.ir.values import AffineIndex, Imm, MemRef, Reg
+from repro.frontend.lexer import Token, TokenKind, tokenize
+
+
+class ParseError(ValueError):
+    """Raised on malformed input, with line/column context."""
+
+
+_INT_OPS = {
+    "add": Opcode.ADD, "sub": Opcode.SUB, "mul": Opcode.MUL, "div": Opcode.DIV,
+    "rem": Opcode.REM, "shl": Opcode.SHL, "shr": Opcode.SHR, "and": Opcode.AND,
+    "or": Opcode.OR, "xor": Opcode.XOR, "sxt": Opcode.SXT,
+}
+_FP_OPS = {
+    "fadd": Opcode.FADD, "fsub": Opcode.FSUB, "fmul": Opcode.FMUL,
+    "fdiv": Opcode.FDIV, "fma": Opcode.FMA, "fneg": Opcode.FNEG,
+    "cvt": Opcode.CVT,
+}
+_LANGS = {
+    "c": Language.C,
+    "f77": Language.FORTRAN, "fortran": Language.FORTRAN,
+    "f90": Language.FORTRAN90, "fortran90": Language.FORTRAN90,
+}
+
+
+@dataclass
+class ParsedLoop:
+    """A parsed loop plus its carried-register preheader values."""
+
+    loop: Loop
+    carried_inits: dict[Reg, float]
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token plumbing -------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.position]
+        if token.kind is not TokenKind.EOF:
+            self.position += 1
+        return token
+
+    def expect(self, kind: TokenKind, what: str) -> Token:
+        token = self.advance()
+        if token.kind is not kind:
+            raise ParseError(
+                f"line {token.line}:{token.column}: expected {what}, got {token.text!r}"
+            )
+        return token
+
+    def error(self, token: Token, message: str) -> ParseError:
+        return ParseError(f"line {token.line}:{token.column}: {message}")
+
+    def skip_newlines(self) -> None:
+        while self.peek().kind is TokenKind.NEWLINE:
+            self.advance()
+
+    # -- program --------------------------------------------------------
+
+    def parse_program(self) -> list[ParsedLoop]:
+        loops = []
+        self.skip_newlines()
+        while self.peek().kind is not TokenKind.EOF:
+            loops.append(self.parse_loop())
+            self.skip_newlines()
+        if not loops:
+            raise ParseError("no loops found")
+        return loops
+
+    # -- loop header ----------------------------------------------------
+
+    def parse_loop(self) -> ParsedLoop:
+        keyword = self.expect(TokenKind.IDENT, "'loop'")
+        if keyword.text != "loop":
+            raise self.error(keyword, "expected 'loop'")
+        name_token = self.advance()
+        if name_token.kind not in (TokenKind.IDENT, TokenKind.STRING):
+            raise self.error(name_token, "expected a loop name")
+        name = name_token.text
+
+        trip, known, counted = 256, False, True
+        entries, nest, language = 1, 1, Language.C
+        while self.peek().kind is TokenKind.IDENT:
+            option = self.advance()
+            if option.text == "known":
+                known = True
+            elif option.text == "while":
+                counted = False
+            elif option.text in ("trip", "entries", "nest", "lang"):
+                self.expect(TokenKind.EQUALS, "'='")
+                value = self.advance()
+                if option.text == "lang":
+                    language = _LANGS.get(value.text.lower())
+                    if language is None:
+                        raise self.error(value, f"unknown language {value.text!r}")
+                else:
+                    if value.kind is not TokenKind.NUMBER:
+                        raise self.error(value, "expected a number")
+                    setting = int(float(value.text))
+                    if option.text == "trip":
+                        trip = setting
+                    elif option.text == "entries":
+                        entries = setting
+                    else:
+                        nest = setting
+            else:
+                raise self.error(option, f"unknown loop option {option.text!r}")
+        self.expect(TokenKind.NEWLINE, "end of header line")
+
+        builder = _BodyBuilder(trip)
+        self.skip_newlines()
+        while True:
+            token = self.peek()
+            if token.kind is TokenKind.IDENT and token.text == "end":
+                self.advance()
+                break
+            if token.kind is TokenKind.EOF:
+                raise self.error(token, "unterminated loop (missing 'end')")
+            self.parse_statement(builder)
+            self.skip_newlines()
+
+        if not builder.body:
+            raise ParseError(f"loop {name!r} has an empty body")
+        loop = Loop(
+            name=name,
+            body=tuple(builder.body),
+            trip=TripInfo(
+                runtime=trip,
+                compile_time=trip if known else None,
+                counted=counted,
+            ),
+            nest_level=nest,
+            language=language,
+            entry_count=entries,
+            arrays=dict(builder.arrays),
+        )
+        validate_loop(loop)
+        return ParsedLoop(loop=loop, carried_inits=dict(builder.carried_inits))
+
+    # -- statements -----------------------------------------------------
+
+    def parse_statement(self, builder: "_BodyBuilder") -> None:
+        token = self.peek()
+        pred = None
+        if token.kind is TokenKind.LPAREN:
+            self.advance()
+            pred_token = self.expect(TokenKind.REG, "a predicate register")
+            self.expect(TokenKind.RPAREN, "')'")
+            pred = builder.use(pred_token.text, DType.PRED, pred_token, self)
+            token = self.peek()
+
+        if token.kind is TokenKind.IDENT and token.text == "init":
+            if pred is not None:
+                raise self.error(token, "'init' cannot be predicated")
+            self.advance()
+            reg_token = self.expect(TokenKind.REG, "a register")
+            self.expect(TokenKind.EQUALS, "'='")
+            value_token = self.expect(TokenKind.NUMBER, "a number")
+            dtype = DType.F64 if ("." in value_token.text or "e" in value_token.text.lower()) else DType.I64
+            reg = builder.declare(reg_token.text, dtype, reg_token, self)
+            builder.carried_inits[reg] = float(value_token.text)
+            self.expect(TokenKind.NEWLINE, "end of line")
+            return
+
+        if token.kind is TokenKind.IDENT and token.text == "exit_if":
+            self.advance()
+            reg_token = self.expect(TokenKind.REG, "a predicate register")
+            reg = builder.use(reg_token.text, DType.PRED, reg_token, self)
+            builder.body.append(Instruction(Opcode.BR_EXIT, pred=reg))
+            self.expect(TokenKind.NEWLINE, "end of line")
+            return
+
+        if token.kind is TokenKind.IDENT and token.text == "store":
+            self.advance()
+            value = self.parse_operand(builder, DType.F64)
+            self.expect(TokenKind.ARROW, "'->'")
+            mem = self.parse_memref(builder)
+            builder.body.append(Instruction(Opcode.STORE, srcs=(value,), mem=mem, pred=pred))
+            self.expect(TokenKind.NEWLINE, "end of line")
+            return
+
+        self.parse_assignment(builder, pred)
+
+    def parse_assignment(self, builder: "_BodyBuilder", pred) -> None:
+        dest_token = self.expect(TokenKind.REG, "a destination register")
+        dest2_token = None
+        if self.peek().kind is TokenKind.COMMA:
+            self.advance()
+            dest2_token = self.expect(TokenKind.REG, "a second destination")
+        self.expect(TokenKind.EQUALS, "'='")
+        op_token = self.expect(TokenKind.IDENT, "an opcode")
+        op_name = op_token.text
+        cmp_kind = None
+        if self.peek().kind is TokenKind.DOT:
+            self.advance()
+            suffix = self.expect(TokenKind.IDENT, "an opcode suffix")
+            op_name = f"{op_name}.{suffix.text}"
+
+        # Loads (affine or indirect, optionally integer-typed or paired).
+        if op_name in ("load", "load.i", "ldpair"):
+            mem = self.parse_memref(builder)
+            dtype = DType.I64 if op_name == "load.i" else DType.F64
+            dest = builder.declare(dest_token.text, dtype, dest_token, self)
+            if op_name == "ldpair":
+                if dest2_token is None:
+                    raise self.error(op_token, "ldpair needs two destinations")
+                from dataclasses import replace as dc_replace
+
+                dest2 = builder.declare(dest2_token.text, dtype, dest2_token, self)
+                mem = dc_replace(mem, width=2)
+                builder.body.append(
+                    Instruction(Opcode.LOAD_PAIR, dest=dest, dest2=dest2, mem=mem, pred=pred)
+                )
+            else:
+                builder.body.append(Instruction(Opcode.LOAD, dest=dest, mem=mem, pred=pred))
+            self.expect(TokenKind.NEWLINE, "end of line")
+            return
+        if dest2_token is not None:
+            raise self.error(dest2_token, "only ldpair takes two destinations")
+
+        # Compares.
+        if op_name.startswith(("cmp.", "fcmp.")):
+            base, _, condition = op_name.partition(".")
+            try:
+                kind = CmpOp(condition)
+            except ValueError:
+                raise self.error(op_token, f"unknown comparison {condition!r}") from None
+            fp = base == "fcmp"
+            operand_type = DType.F64 if fp else DType.I64
+            lhs = self.parse_operand(builder, operand_type)
+            self.expect(TokenKind.COMMA, "','")
+            rhs = self.parse_operand(builder, operand_type)
+            dest = builder.declare(dest_token.text, DType.PRED, dest_token, self)
+            builder.body.append(
+                Instruction(
+                    Opcode.FCMP if fp else Opcode.CMP,
+                    dest=dest, srcs=(lhs, rhs), cmp_op=kind, pred=pred,
+                )
+            )
+            self.expect(TokenKind.NEWLINE, "end of line")
+            return
+
+        # select %p, a, b  (type follows the value operands).
+        if op_name in ("select", "select.i"):
+            dtype = DType.I64 if op_name.endswith(".i") else DType.F64
+            pred_operand = self.parse_operand(builder, DType.PRED)
+            self.expect(TokenKind.COMMA, "','")
+            if_true = self.parse_operand(builder, dtype)
+            self.expect(TokenKind.COMMA, "','")
+            if_false = self.parse_operand(builder, dtype)
+            dest = builder.declare(dest_token.text, dtype, dest_token, self)
+            builder.body.append(
+                Instruction(Opcode.SELECT, dest=dest, srcs=(pred_operand, if_true, if_false), pred=pred)
+            )
+            self.expect(TokenKind.NEWLINE, "end of line")
+            return
+
+        if op_name in ("mov", "mov.i"):
+            dtype = DType.I64 if op_name.endswith(".i") else DType.F64
+            src = self.parse_operand(builder, dtype)
+            dest = builder.declare(dest_token.text, dtype, dest_token, self)
+            builder.body.append(Instruction(Opcode.MOV, dest=dest, srcs=(src,), pred=pred))
+            self.expect(TokenKind.NEWLINE, "end of line")
+            return
+
+        # Plain arithmetic.
+        if op_name in _INT_OPS:
+            opcode, dtype = _INT_OPS[op_name], DType.I64
+        elif op_name in _FP_OPS:
+            opcode, dtype = _FP_OPS[op_name], DType.F64
+        else:
+            raise self.error(op_token, f"unknown opcode {op_name!r}")
+        n_srcs = opcode.info.n_srcs
+        srcs = [self.parse_operand(builder, dtype)]
+        for _ in range(n_srcs - 1):
+            self.expect(TokenKind.COMMA, "','")
+            srcs.append(self.parse_operand(builder, dtype))
+        dest = builder.declare(dest_token.text, dtype, dest_token, self)
+        builder.body.append(Instruction(opcode, dest=dest, srcs=tuple(srcs), pred=pred))
+        self.expect(TokenKind.NEWLINE, "end of line")
+
+    # -- operands and memory references ----------------------------------
+
+    def parse_operand(self, builder: "_BodyBuilder", expected: DType):
+        token = self.advance()
+        if token.kind is TokenKind.REG:
+            return builder.use(token.text, expected, token, self)
+        if token.kind is TokenKind.NUMBER:
+            if expected is DType.F64 or "." in token.text or "e" in token.text.lower():
+                return Imm(float(token.text), DType.F64 if expected is not DType.I64 else DType.I64)
+            return Imm(int(token.text), DType.I64)
+        raise self.error(token, f"expected an operand, got {token.text!r}")
+
+    def parse_memref(self, builder: "_BodyBuilder") -> MemRef:
+        array_token = self.expect(TokenKind.IDENT, "an array name")
+        self.expect(TokenKind.LBRACKET, "'['")
+        token = self.peek()
+        if token.kind is TokenKind.REG:
+            self.advance()
+            index_reg = builder.use(token.text, DType.I64, token, self)
+            self.expect(TokenKind.RBRACKET, "']'")
+            builder.note_array(array_token.text, indirect=True)
+            return MemRef(array_token.text, indirect=True, index_reg=index_reg)
+        index = self.parse_affine(token)
+        self.expect(TokenKind.RBRACKET, "']'")
+        builder.note_array(array_token.text, index=index)
+        return MemRef(array_token.text, index)
+
+    def parse_affine(self, first: Token) -> AffineIndex:
+        """``[c*i + o]`` with optional coefficient, optional offset, or a
+        bare constant index."""
+        coeff, offset = 0, 0
+        token = self.advance()
+        if token.kind is TokenKind.NUMBER:
+            value = int(float(token.text))
+            if self.peek().kind is TokenKind.STAR:
+                self.advance()
+                iv = self.expect(TokenKind.IDENT, "'i'")
+                if iv.text != "i":
+                    raise self.error(iv, "the induction variable is spelled 'i'")
+                coeff = value
+            else:
+                return AffineIndex(0, value)
+        elif token.kind is TokenKind.IDENT and token.text == "i":
+            coeff = 1
+        else:
+            raise self.error(token, "expected an affine index")
+        if self.peek().kind in (TokenKind.PLUS, TokenKind.MINUS):
+            sign = 1 if self.advance().kind is TokenKind.PLUS else -1
+            value = self.expect(TokenKind.NUMBER, "an offset")
+            offset = sign * int(float(value.text))
+        elif self.peek().kind is TokenKind.NUMBER and self.peek().text.startswith("-"):
+            # The lexer folds a leading minus into the number ("i-3").
+            offset = int(float(self.advance().text))
+        return AffineIndex(coeff, offset)
+
+
+class _BodyBuilder:
+    """Register/array bookkeeping during parsing."""
+
+    def __init__(self, trip: int):
+        self.trip = trip
+        self.body: list[Instruction] = []
+        self.arrays: dict[str, int] = {}
+        self.registers: dict[str, Reg] = {}
+        self.carried_inits: dict[Reg, float] = {}
+
+    def declare(self, name: str, dtype: DType, token: Token, parser: _Parser) -> Reg:
+        existing = self.registers.get(name)
+        if existing is not None:
+            if existing.dtype is not dtype:
+                raise parser.error(
+                    token,
+                    f"register %{name} is {existing.dtype.value}, "
+                    f"redefined as {dtype.value}",
+                )
+            return existing
+        reg = Reg(name, dtype)
+        self.registers[name] = reg
+        return reg
+
+    def use(self, name: str, expected: DType, token: Token, parser: _Parser) -> Reg:
+        existing = self.registers.get(name)
+        if existing is not None:
+            return existing
+        # First sight at a use site: a live-in; adopt the expected type.
+        reg = Reg(name, expected)
+        self.registers[name] = reg
+        return reg
+
+    def note_array(self, name: str, index: AffineIndex | None = None, indirect: bool = False) -> None:
+        if indirect:
+            self.arrays.setdefault(name, max(self.trip, 64))
+            return
+        coeff, offset = index.coeff, index.offset
+        if coeff >= 0:
+            needed = coeff * (self.trip - 1 + MAX_UNROLL) + offset + 1
+        else:
+            needed = offset + 1
+        self.arrays[name] = max(self.arrays.get(name, 0), needed, 1)
+
+
+def parse_program(source: str) -> list[ParsedLoop]:
+    """Parse a whole source file (one or more loops)."""
+    return _Parser(tokenize(source)).parse_program()
+
+
+def parse_loop(source: str) -> Loop:
+    """Parse exactly one loop and return it."""
+    loops = parse_program(source)
+    if len(loops) != 1:
+        raise ParseError(f"expected exactly one loop, found {len(loops)}")
+    return loops[0].loop

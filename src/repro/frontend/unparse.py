@@ -1,0 +1,115 @@
+"""Unparser: serialise a Loop back into the textual loop language.
+
+``parse_loop(to_source(loop))`` reconstructs a structurally identical loop,
+which gives the frontend a strong round-trip property test and gives users
+a way to dump generated/transformed loops into editable files.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instruction import Instruction
+from repro.ir.loop import Loop
+from repro.ir.types import DType, Language, Opcode
+from repro.ir.values import Imm, MemRef, Reg
+
+_LANG_NAMES = {
+    Language.C: "c",
+    Language.FORTRAN: "f77",
+    Language.FORTRAN90: "f90",
+}
+
+_OP_NAMES = {
+    Opcode.ADD: "add", Opcode.SUB: "sub", Opcode.MUL: "mul", Opcode.DIV: "div",
+    Opcode.REM: "rem", Opcode.SHL: "shl", Opcode.SHR: "shr", Opcode.AND: "and",
+    Opcode.OR: "or", Opcode.XOR: "xor", Opcode.SXT: "sxt",
+    Opcode.FADD: "fadd", Opcode.FSUB: "fsub", Opcode.FMUL: "fmul",
+    Opcode.FDIV: "fdiv", Opcode.FMA: "fma", Opcode.FNEG: "fneg",
+    Opcode.CVT: "cvt",
+}
+
+
+def _operand(value) -> str:
+    if isinstance(value, Reg):
+        return f"%{value.name}"
+    if isinstance(value, Imm):
+        if value.dtype is DType.F64:
+            text = repr(float(value.value))
+            return text if ("." in text or "e" in text) else text + ".0"
+        return str(int(value.value))
+    raise TypeError(f"unexpected operand {value!r}")
+
+
+def _memref(mem: MemRef) -> str:
+    if mem.indirect:
+        return f"{mem.array}[%{mem.index_reg.name}]"
+    coeff, offset = mem.index.coeff, mem.index.offset
+    if coeff == 0:
+        inner = str(offset)
+    else:
+        inner = "i" if coeff == 1 else f"{coeff}*i"
+        if offset > 0:
+            inner += f"+{offset}"
+        elif offset < 0:
+            inner += f"-{-offset}"
+    return f"{mem.array}[{inner}]"
+
+
+def _statement(inst: Instruction) -> str:
+    prefix = f"(%{inst.pred.name}) " if inst.pred is not None else ""
+    op = inst.op
+    if op is Opcode.BR_EXIT:
+        # exit_if carries its own predicate; the shared prefix would be
+        # redundant syntax.
+        return f"exit_if %{inst.pred.name}"
+    if op is Opcode.STORE:
+        return f"{prefix}store {_operand(inst.srcs[0])} -> {_memref(inst.mem)}"
+    if op is Opcode.LOAD:
+        mnemonic = "load.i" if inst.dest.dtype is DType.I64 else "load"
+        return f"{prefix}%{inst.dest.name} = {mnemonic} {_memref(inst.mem)}"
+    if op is Opcode.LOAD_PAIR:
+        return (
+            f"{prefix}%{inst.dest.name}, %{inst.dest2.name} = ldpair "
+            f"{_memref(inst.mem)}"
+        )
+    if op in (Opcode.CMP, Opcode.FCMP):
+        base = "fcmp" if op is Opcode.FCMP else "cmp"
+        args = ", ".join(_operand(s) for s in inst.srcs)
+        return f"{prefix}%{inst.dest.name} = {base}.{inst.cmp_op.value} {args}"
+    if op is Opcode.SELECT:
+        suffix = ".i" if inst.dest.dtype is DType.I64 else ""
+        args = ", ".join(_operand(s) for s in inst.srcs)
+        return f"{prefix}%{inst.dest.name} = select{suffix} {args}"
+    if op is Opcode.MOV:
+        suffix = ".i" if inst.dest.dtype is DType.I64 else ""
+        return f"{prefix}%{inst.dest.name} = mov{suffix} {_operand(inst.srcs[0])}"
+    if op is Opcode.PREFETCH:
+        raise ValueError("prefetch has no surface syntax")
+    name = _OP_NAMES[op]
+    args = ", ".join(_operand(s) for s in inst.srcs)
+    return f"{prefix}%{inst.dest.name} = {name} {args}"
+
+
+def to_source(loop: Loop, carried_inits: dict[Reg, float] | None = None) -> str:
+    """Serialise ``loop`` into parseable loop-language text."""
+    options = [f"trip={loop.trip.runtime}"]
+    if loop.trip.known:
+        options.append("known")
+    if not loop.trip.counted:
+        options.append("while")
+    if loop.entry_count != 1:
+        options.append(f"entries={loop.entry_count}")
+    if loop.nest_level != 1:
+        options.append(f"nest={loop.nest_level}")
+    options.append(f"lang={_LANG_NAMES[loop.language]}")
+
+    name = loop.name if loop.name.isidentifier() else f'"{loop.name}"'
+    lines = [f"loop {name} {' '.join(options)}"]
+    inits = carried_inits or {}
+    for reg in sorted(loop.carried_regs(), key=lambda r: r.name):
+        value = inits.get(reg, 0.0)
+        rendered = repr(float(value)) if reg.dtype is DType.F64 else str(int(value))
+        lines.append(f"  init %{reg.name} = {rendered}")
+    for inst in loop.body:
+        lines.append(f"  {_statement(inst)}")
+    lines.append("end")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,26 @@
+"""Unroll-factor heuristics: hand-written, learned, and oracle."""
+
+from repro.heuristics.learned import (
+    LearnedHeuristic,
+    train_nn_heuristic,
+    train_output_code_svm_heuristic,
+    train_svm_heuristic,
+)
+from repro.heuristics.oracle import FixedFactorHeuristic, OracleHeuristic
+from repro.heuristics.orc import (
+    ORCHeuristic,
+    orc_unroll_factor_no_swp,
+    orc_unroll_factor_swp,
+)
+
+__all__ = [
+    "FixedFactorHeuristic",
+    "LearnedHeuristic",
+    "ORCHeuristic",
+    "OracleHeuristic",
+    "orc_unroll_factor_no_swp",
+    "orc_unroll_factor_swp",
+    "train_nn_heuristic",
+    "train_output_code_svm_heuristic",
+    "train_svm_heuristic",
+]

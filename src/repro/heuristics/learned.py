@@ -1,0 +1,97 @@
+"""Learned classifiers wrapped as compiler heuristics.
+
+This is the deployment story of the paper's Section 4.1: "While supervised
+learning is trained offline, the learned classifier can easily be
+incorporated into a compiler."  A :class:`LearnedHeuristic` owns a fitted
+classifier (and the feature subset it was trained on) and answers the only
+question the compiler asks: *what factor for this loop?* — by extracting
+the loop's static features and classifying them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.features.extract import extract_features
+from repro.ir.loop import Loop
+from repro.machine.itanium2 import ITANIUM2
+from repro.machine.model import MachineModel
+from repro.ml.dataset import LoopDataset
+from repro.ml.multiclass import OutputCodeClassifier
+from repro.ml.near_neighbor import NearNeighborClassifier
+
+
+class LearnedHeuristic:
+    """A trained classifier speaking the compiler's heuristic interface."""
+
+    def __init__(
+        self,
+        classifier,
+        feature_indices: np.ndarray | None = None,
+        machine: MachineModel = ITANIUM2,
+        name: str = "learned",
+    ):
+        self.classifier = classifier
+        self.feature_indices = (
+            None if feature_indices is None else np.asarray(feature_indices, dtype=np.int64)
+        )
+        self.machine = machine
+        self.name = name
+
+    def predict_loop(self, loop: Loop) -> int:
+        """The unroll factor for one loop, from its static features."""
+        vector = extract_features(loop, self.machine)
+        if self.feature_indices is not None:
+            vector = vector[self.feature_indices]
+        return int(np.asarray(self.classifier.predict(vector[None, :]))[0])
+
+    def predict_features(self, X: np.ndarray) -> np.ndarray:
+        """Batch prediction on pre-extracted feature rows (full catalog
+        order; the subset is applied here)."""
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        if self.feature_indices is not None:
+            X = X[:, self.feature_indices]
+        return np.asarray(self.classifier.predict(X))
+
+
+def train_nn_heuristic(
+    dataset: LoopDataset,
+    feature_indices: np.ndarray | None = None,
+    radius: float | None = None,
+    machine: MachineModel = ITANIUM2,
+) -> LearnedHeuristic:
+    """Fit a near-neighbor heuristic on a labelled dataset."""
+    X = dataset.X if feature_indices is None else dataset.X[:, feature_indices]
+    nn = NearNeighborClassifier() if radius is None else NearNeighborClassifier(radius=radius)
+    nn.fit(X, dataset.labels)
+    return LearnedHeuristic(nn, feature_indices, machine, name="nn")
+
+
+def train_svm_heuristic(
+    dataset: LoopDataset,
+    feature_indices: np.ndarray | None = None,
+    machine: MachineModel = ITANIUM2,
+) -> LearnedHeuristic:
+    """Fit the tuned pairwise multiscale LS-SVM heuristic (the
+    configuration the experiments report as "SVM")."""
+    from repro.ml.pairwise import make_tuned_pairwise_svm
+
+    X = dataset.X if feature_indices is None else dataset.X[:, feature_indices]
+    svm = make_tuned_pairwise_svm()
+    svm.fit(X, dataset.labels)
+    return LearnedHeuristic(svm, feature_indices, machine, name="svm")
+
+
+def train_output_code_svm_heuristic(
+    dataset: LoopDataset,
+    feature_indices: np.ndarray | None = None,
+    C: float = 10.0,
+    sigma: float = 0.65,
+    machine: MachineModel = ITANIUM2,
+) -> LearnedHeuristic:
+    """Fit the paper-literal output-code LS-SVM heuristic (used by the
+    output-code ablation)."""
+    X = dataset.X if feature_indices is None else dataset.X[:, feature_indices]
+    svm = OutputCodeClassifier(C=C, sigma=sigma)
+    svm.fit(X, dataset.labels)
+    return LearnedHeuristic(svm, feature_indices, machine, name="svm-ovr")

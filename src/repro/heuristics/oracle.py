@@ -1,0 +1,58 @@
+"""The oracle predictor.
+
+The paper's Figures 4 and 5 include "the speedup that an 'oracle' would
+attain": for each loop, pick the factor its *measured* data says is best.
+Because the measurements are noisy (and assume per-loop independence), the
+oracle is imperfect — the paper notes it is "slightly outperformed in a
+couple of cases" and that three benchmarks' training sets are visibly
+noisy because of it.  Our oracle has exactly the same character: it reads
+the measured (noisy) medians, not the noise-free truth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir.loop import Loop
+from repro.ml.dataset import LoopDataset
+
+
+class OracleHeuristic:
+    """Per-loop argmin over *measured* cycles; rolled for unmeasured loops.
+
+    Loops that never made it into the measured set (filtered out or simply
+    absent) fall back to ``default_factor`` — the oracle only knows what
+    was measured, like the paper's.
+    """
+
+    name = "oracle"
+
+    def __init__(self, measured_best: dict[str, int], default_factor: int = 1):
+        self.measured_best = dict(measured_best)
+        self.default_factor = default_factor
+
+    @classmethod
+    def from_dataset(cls, dataset: LoopDataset, default_factor: int = 1) -> "OracleHeuristic":
+        best = {
+            str(name): int(label)
+            for name, label in zip(dataset.loop_names, dataset.labels)
+        }
+        return cls(best, default_factor)
+
+    def predict_loop(self, loop: Loop) -> int:
+        return self.measured_best.get(loop.name, self.default_factor)
+
+
+class FixedFactorHeuristic:
+    """Always the same factor — the 'always unroll by N' strawman used by
+    the paper's related-work discussion (unrolling all the time would be
+    'right' 77% of the time as a binary decision, yet badly suboptimal)."""
+
+    def __init__(self, factor: int):
+        if not (1 <= factor <= 8):
+            raise ValueError("factor must be in [1, 8]")
+        self.factor = factor
+        self.name = f"fixed-{factor}"
+
+    def predict_loop(self, loop: Loop) -> int:
+        return self.factor

@@ -1,0 +1,92 @@
+"""Raw loop-data export/import.
+
+The paper released its instrumentation library *and the raw loop data* "so
+other researchers can easily apply their own learning techniques".  This
+module is that release format: a line-oriented JSON container with one record
+per loop carrying the feature vector, the per-factor median cycle counts,
+and provenance (benchmark, suite, language).  Datasets round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.features.catalog import FEATURE_NAMES
+
+#: Format version written into every export.
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class LoopRecord:
+    """One exported loop: provenance, features, and measurements."""
+
+    loop_name: str
+    benchmark: str
+    suite: str
+    language: str
+    features: tuple[float, ...]
+    median_cycles: tuple[float, ...]  # indexed by unroll factor - 1
+
+    @property
+    def best_factor(self) -> int:
+        return int(np.argmin(self.median_cycles)) + 1
+
+
+def write_records(records, path: str | Path) -> int:
+    """Write loop records as JSON lines (with a header line); returns the
+    number of records written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w") as handle:
+        header = {
+            "format_version": FORMAT_VERSION,
+            "feature_names": list(FEATURE_NAMES),
+        }
+        handle.write(json.dumps(header) + "\n")
+        for record in records:
+            payload = {
+                "loop": record.loop_name,
+                "benchmark": record.benchmark,
+                "suite": record.suite,
+                "language": record.language,
+                "features": list(record.features),
+                "median_cycles": list(record.median_cycles),
+            }
+            handle.write(json.dumps(payload) + "\n")
+            count += 1
+    return count
+
+
+def read_records(path: str | Path) -> list[LoopRecord]:
+    """Read loop records written by :func:`write_records`."""
+    path = Path(path)
+    records: list[LoopRecord] = []
+    with path.open() as handle:
+        header = json.loads(handle.readline())
+        if header.get("format_version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported loop-data format {header.get('format_version')!r}"
+            )
+        if tuple(header.get("feature_names", ())) != FEATURE_NAMES:
+            raise ValueError("feature catalog mismatch; re-export the data")
+        for line in handle:
+            if not line.strip():
+                continue
+            payload = json.loads(line)
+            records.append(
+                LoopRecord(
+                    loop_name=payload["loop"],
+                    benchmark=payload["benchmark"],
+                    suite=payload["suite"],
+                    language=payload["language"],
+                    features=tuple(payload["features"]),
+                    median_cycles=tuple(payload["median_cycles"]),
+                )
+            )
+    return records

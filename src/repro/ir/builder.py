@@ -1,0 +1,213 @@
+"""A small construction DSL for loop bodies.
+
+:class:`LoopBuilder` issues fresh typed registers, appends instructions, and
+assembles a validated :class:`~repro.ir.loop.Loop`.  It exists so that
+kernels, tests, and the workload generator can describe loops at the level of
+*computation* rather than hand-managing register names::
+
+    b = LoopBuilder("daxpy", trip=TripInfo(runtime=1000))
+    b.array("x", 1000)
+    b.array("y", 1000)
+    xv = b.load("x", stride=1)
+    prod = b.fp(Opcode.FMUL, xv, b.fconst(3.0))
+    yv = b.load("y", stride=1)
+    acc = b.fp(Opcode.FADD, prod, yv)
+    b.store(acc, "y", stride=1)
+    loop = b.build()
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.ir import instruction as ins
+from repro.ir.instruction import Instruction
+from repro.ir.loop import Loop, TripInfo
+from repro.ir.types import CmpOp, DType, Language, Opcode
+from repro.ir.validate import validate_loop
+from repro.ir.values import AffineIndex, Imm, MemRef, Operand, Reg
+
+
+class LoopBuilder:
+    """Incrementally builds one innermost loop."""
+
+    def __init__(
+        self,
+        name: str,
+        trip: TripInfo,
+        nest_level: int = 1,
+        language: Language = Language.C,
+        entry_count: int = 1,
+        benchmark: str = "",
+    ):
+        self.name = name
+        self.trip = trip
+        self.nest_level = nest_level
+        self.language = language
+        self.entry_count = entry_count
+        self.benchmark = benchmark
+        self._body: list[Instruction] = []
+        self._arrays: dict[str, int] = {}
+        self._counters = {dtype: itertools.count() for dtype in DType}
+        self._carried_inits: dict[Reg, float] = {}
+
+    # ------------------------------------------------------------------
+    # Registers, constants, arrays.
+    # ------------------------------------------------------------------
+
+    def reg(self, dtype: DType = DType.F64) -> Reg:
+        """A fresh virtual register of the given type."""
+        index = next(self._counters[dtype])
+        return Reg(f"{dtype.short}{index}", dtype)
+
+    def carried(self, dtype: DType = DType.F64, init: float = 0.0) -> Reg:
+        """A fresh register intended as a loop-carried recurrence.
+
+        ``init`` is the preheader value the interpreter seeds it with.
+        """
+        reg = self.reg(dtype)
+        self._carried_inits[reg] = init
+        return reg
+
+    @staticmethod
+    def iconst(value: int) -> Imm:
+        return Imm(int(value), DType.I64)
+
+    @staticmethod
+    def fconst(value: float) -> Imm:
+        return Imm(float(value), DType.F64)
+
+    def array(self, name: str, size: int | None = None) -> str:
+        """Declare an array; the default size covers the whole iteration
+        space at unit stride plus unroll-factor padding."""
+        from repro.ir.types import MAX_UNROLL
+
+        if size is None:
+            size = self.trip.runtime + MAX_UNROLL
+        self._arrays[name] = size
+        return name
+
+    def mem(self, array: str, stride: int = 1, offset: int = 0, width: int = 1) -> MemRef:
+        """An affine reference ``array[stride*i + offset]``.
+
+        Auto-declares (and grows) the array so the reference stays in bounds
+        across the whole iteration space *including* the over-run padding an
+        unrolled while-style loop needs (up to ``MAX_UNROLL - 1`` extra
+        iterations of speculative addressing).
+        """
+        from repro.ir.types import MAX_UNROLL
+
+        if stride >= 0:
+            needed = stride * (self.trip.runtime - 1 + MAX_UNROLL) + offset + width
+        else:
+            needed = offset + width  # maximal index is at i == 0
+        needed = max(needed, 1)
+        if self._arrays.get(array, 0) < needed:
+            self._arrays[array] = needed
+        return MemRef(array, AffineIndex(stride, offset), width=width)
+
+    # ------------------------------------------------------------------
+    # Instruction emission.  Each helper appends and returns the dest reg.
+    # ------------------------------------------------------------------
+
+    def emit(self, inst: Instruction) -> Instruction:
+        """Append a pre-built instruction."""
+        self._body.append(inst)
+        return inst
+
+    def load(
+        self,
+        array: str,
+        stride: int = 1,
+        offset: int = 0,
+        dtype: DType = DType.F64,
+        pred: Reg | None = None,
+    ) -> Reg:
+        dest = self.reg(dtype)
+        self.emit(ins.load(dest, self.mem(array, stride, offset), pred=pred))
+        return dest
+
+    def load_indirect(self, array: str, index_reg: Reg, dtype: DType = DType.F64) -> Reg:
+        """A gather: ``dest = array[index_reg]``."""
+        if array not in self._arrays:
+            self.array(array)
+        dest = self.reg(dtype)
+        mem = MemRef(array, indirect=True, index_reg=index_reg)
+        self.emit(ins.load(dest, mem))
+        return dest
+
+    def store(
+        self,
+        value: Operand,
+        array: str,
+        stride: int = 1,
+        offset: int = 0,
+        pred: Reg | None = None,
+    ) -> None:
+        self.emit(ins.store(value, self.mem(array, stride, offset), pred=pred))
+
+    def store_indirect(self, value: Operand, array: str, index_reg: Reg) -> None:
+        if array not in self._arrays:
+            self.array(array)
+        mem = MemRef(array, indirect=True, index_reg=index_reg)
+        self.emit(ins.store(value, mem))
+
+    def fp(self, op: Opcode, *srcs: Operand, dest: Reg | None = None, pred: Reg | None = None) -> Reg:
+        """A floating-point arithmetic instruction."""
+        dest = dest if dest is not None else self.reg(DType.F64)
+        self.emit(Instruction(op, dest=dest, srcs=tuple(srcs), pred=pred))
+        return dest
+
+    def intop(self, op: Opcode, *srcs: Operand, dest: Reg | None = None, pred: Reg | None = None) -> Reg:
+        """An integer arithmetic/logic instruction."""
+        dest = dest if dest is not None else self.reg(DType.I64)
+        self.emit(Instruction(op, dest=dest, srcs=tuple(srcs), pred=pred))
+        return dest
+
+    def cmp(self, kind: CmpOp, lhs: Operand, rhs: Operand, fp: bool = False) -> Reg:
+        dest = self.reg(DType.PRED)
+        self.emit(ins.compare(dest, kind, lhs, rhs, fp=fp))
+        return dest
+
+    def select(self, pred: Reg, if_true: Operand, if_false: Operand, dtype: DType = DType.F64) -> Reg:
+        dest = self.reg(dtype)
+        self.emit(ins.select(dest, pred, if_true, if_false))
+        return dest
+
+    def mov(self, src: Operand, dtype: DType | None = None, dest: Reg | None = None) -> Reg:
+        if dest is None:
+            if dtype is None:
+                dtype = src.dtype if isinstance(src, (Reg, Imm)) else DType.F64
+            dest = self.reg(dtype)
+        self.emit(ins.mov(dest, src))
+        return dest
+
+    def exit_if(self, pred: Reg) -> None:
+        """Emit an early-exit branch on ``pred``."""
+        self.emit(ins.exit_branch(pred))
+
+    # ------------------------------------------------------------------
+    # Assembly.
+    # ------------------------------------------------------------------
+
+    @property
+    def carried_inits(self) -> dict[Reg, float]:
+        """Preheader values for carried registers (consumed by the
+        interpreter's initial state)."""
+        return dict(self._carried_inits)
+
+    def build(self, validate: bool = True) -> Loop:
+        """Assemble the loop (validating by default)."""
+        loop = Loop(
+            name=self.name,
+            body=tuple(self._body),
+            trip=self.trip,
+            nest_level=self.nest_level,
+            language=self.language,
+            entry_count=self.entry_count,
+            arrays=dict(self._arrays),
+            benchmark=self.benchmark,
+        )
+        if validate:
+            validate_loop(loop)
+        return loop

@@ -1,0 +1,231 @@
+"""Three-address instructions.
+
+An :class:`Instruction` is a small immutable record: opcode, optional
+destination register, scalar sources, optional memory reference (loads and
+stores), optional guarding predicate, and bookkeeping flags.  Immutability
+keeps transformation passes honest — the unroller and coalescer always build
+new instructions rather than mutating shared state.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Iterator
+
+from repro.ir.types import CmpOp, DType, Opcode
+from repro.ir.values import Imm, MemRef, Operand, Reg
+
+_uid_counter = itertools.count(1)
+
+
+def _next_uid() -> int:
+    return next(_uid_counter)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A single IR instruction.
+
+    Attributes:
+        op: the opcode.
+        dest: destination register, or ``None`` for stores/branches.
+        srcs: scalar source operands (registers and immediates).
+        mem: memory reference for loads/stores/prefetches.
+        pred: guarding predicate register — the instruction only takes
+            effect when the predicate holds (Itanium-style predication).
+        cmp_op: comparison kind for CMP/FCMP.
+        dest2: second destination for ``LOAD_PAIR`` (the odd element).
+        implicit: marks compiler-inserted helper operations (address
+            arithmetic stand-ins, wide-load extracts).  The paper counts
+            implicit instructions as a feature.
+        uid: unique id, assigned at construction; identifies the instruction
+            in dependence graphs and schedules.
+    """
+
+    op: Opcode
+    dest: Reg | None = None
+    srcs: tuple[Operand, ...] = ()
+    mem: MemRef | None = None
+    pred: Reg | None = None
+    cmp_op: CmpOp | None = None
+    dest2: Reg | None = None
+    implicit: bool = False
+    uid: int = field(default_factory=_next_uid)
+
+    def __post_init__(self) -> None:
+        info = self.op.info
+        if info.has_dest and self.dest is None:
+            raise ValueError(f"{self.op.value} requires a destination register")
+        if not info.has_dest and self.dest is not None:
+            raise ValueError(f"{self.op.value} must not have a destination")
+        if self.op.is_memory and self.mem is None:
+            raise ValueError(f"{self.op.value} requires a memory reference")
+        if self.op.is_compare and self.cmp_op is None:
+            raise ValueError(f"{self.op.value} requires a comparison kind")
+
+    # ------------------------------------------------------------------
+    # Operand inspection.
+    # ------------------------------------------------------------------
+
+    def reg_srcs(self) -> Iterator[Reg]:
+        """All registers this instruction reads (sources, predicate, index)."""
+        for src in self.srcs:
+            if isinstance(src, Reg):
+                yield src
+        if self.pred is not None:
+            yield self.pred
+        if self.mem is not None and self.mem.indirect and self.mem.index_reg is not None:
+            yield self.mem.index_reg
+
+    def reg_dests(self) -> Iterator[Reg]:
+        """All registers this instruction writes."""
+        if self.dest is not None:
+            yield self.dest
+        if self.dest2 is not None:
+            yield self.dest2
+
+    @property
+    def n_operands(self) -> int:
+        """Total operand count (the paper's per-loop operand feature sums this)."""
+        count = len(self.srcs)
+        if self.dest is not None:
+            count += 1
+        if self.dest2 is not None:
+            count += 1
+        if self.pred is not None:
+            count += 1
+        if self.mem is not None:
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Rewriting helpers used by transformation passes.
+    # ------------------------------------------------------------------
+
+    def with_renamed_regs(self, mapping: dict[Reg, Reg]) -> "Instruction":
+        """A copy with every register operand renamed through ``mapping``.
+
+        Registers absent from the mapping are kept; a fresh ``uid`` is
+        assigned so dependence graphs never confuse the copy with the
+        original.
+        """
+        new_srcs = tuple(
+            mapping.get(s, s) if isinstance(s, Reg) else s for s in self.srcs
+        )
+        new_mem = self.mem
+        if new_mem is not None and new_mem.indirect and new_mem.index_reg is not None:
+            new_mem = replace(new_mem, index_reg=mapping.get(new_mem.index_reg, new_mem.index_reg))
+        return replace(
+            self,
+            dest=mapping.get(self.dest, self.dest) if self.dest else None,
+            dest2=mapping.get(self.dest2, self.dest2) if self.dest2 else None,
+            srcs=new_srcs,
+            mem=new_mem,
+            pred=mapping.get(self.pred, self.pred) if self.pred else None,
+            uid=_next_uid(),
+        )
+
+    def rewritten(self, src_map: dict[Reg, Reg], dest_map: dict[Reg, Reg]) -> "Instruction":
+        """A copy with sources and destinations renamed through *separate*
+        maps, always with a fresh ``uid``.
+
+        Unrolling needs the asymmetry: in ``acc = acc + x`` the source
+        ``acc`` must take the previous copy's name while the destination
+        ``acc`` takes the current copy's name.
+        """
+        new_srcs = tuple(
+            src_map.get(s, s) if isinstance(s, Reg) else s for s in self.srcs
+        )
+        new_mem = self.mem
+        if new_mem is not None and new_mem.indirect and new_mem.index_reg is not None:
+            new_mem = replace(new_mem, index_reg=src_map.get(new_mem.index_reg, new_mem.index_reg))
+        return replace(
+            self,
+            dest=dest_map.get(self.dest, self.dest) if self.dest else None,
+            dest2=dest_map.get(self.dest2, self.dest2) if self.dest2 else None,
+            srcs=new_srcs,
+            mem=new_mem,
+            pred=src_map.get(self.pred, self.pred) if self.pred else None,
+            uid=_next_uid(),
+        )
+
+    def with_unrolled_mem(self, u: int, k: int, base: int = 0) -> "Instruction":
+        """A copy whose memory reference is retargeted for unrolling.
+
+        The reference becomes the one made by copy ``k`` of a body unrolled
+        by ``u`` starting at original iteration ``base`` (see
+        :meth:`repro.ir.values.AffineIndex.unrolled`).
+        """
+        if self.mem is None or (u == 1 and k == 0 and base == 0):
+            return self
+        return replace(self, mem=self.mem.unrolled(u, k, base), uid=_next_uid())
+
+    def clone(self) -> "Instruction":
+        """A structural copy with a fresh ``uid``."""
+        return replace(self, uid=_next_uid())
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        from repro.ir.printer import format_instruction
+
+        return format_instruction(self)
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors — keep call sites compact and readable.
+# ----------------------------------------------------------------------
+
+
+def load(dest: Reg, mem: MemRef, pred: Reg | None = None, implicit: bool = False) -> Instruction:
+    """Build a LOAD instruction."""
+    return Instruction(Opcode.LOAD, dest=dest, mem=mem, pred=pred, implicit=implicit)
+
+
+def store(value: Operand, mem: MemRef, pred: Reg | None = None) -> Instruction:
+    """Build a STORE instruction."""
+    return Instruction(Opcode.STORE, srcs=(value,), mem=mem, pred=pred)
+
+
+def binop(op: Opcode, dest: Reg, lhs: Operand, rhs: Operand, pred: Reg | None = None) -> Instruction:
+    """Build a two-source arithmetic instruction."""
+    return Instruction(op, dest=dest, srcs=(lhs, rhs), pred=pred)
+
+
+def fma(dest: Reg, a: Operand, b: Operand, c: Operand, pred: Reg | None = None) -> Instruction:
+    """Build a fused multiply-add: ``dest = a * b + c``."""
+    return Instruction(Opcode.FMA, dest=dest, srcs=(a, b, c), pred=pred)
+
+
+def compare(dest: Reg, kind: CmpOp, lhs: Operand, rhs: Operand, fp: bool = False) -> Instruction:
+    """Build a compare defining a predicate register."""
+    op = Opcode.FCMP if fp else Opcode.CMP
+    return Instruction(op, dest=dest, srcs=(lhs, rhs), cmp_op=kind)
+
+def mov(dest: Reg, src: Operand, pred: Reg | None = None, implicit: bool = False) -> Instruction:
+    """Build a register/immediate move."""
+    return Instruction(Opcode.MOV, dest=dest, srcs=(src,), pred=pred, implicit=implicit)
+
+
+def exit_branch(pred: Reg) -> Instruction:
+    """Build an early-exit branch taken when ``pred`` holds."""
+    return Instruction(Opcode.BR_EXIT, pred=pred)
+
+
+def select(dest: Reg, pred: Reg, if_true: Operand, if_false: Operand) -> Instruction:
+    """Build a predicated select: ``dest = pred ? if_true : if_false``."""
+    return Instruction(Opcode.SELECT, dest=dest, srcs=(pred, if_true, if_false))
+
+
+__all__ = [
+    "Instruction",
+    "load",
+    "store",
+    "binop",
+    "fma",
+    "compare",
+    "mov",
+    "exit_branch",
+    "select",
+    "Imm",
+    "Reg",
+]

@@ -1,0 +1,266 @@
+"""Reference interpreter for the loop IR.
+
+The interpreter gives the IR *executable semantics*, which is what lets this
+repository prove — rather than assume — that the unroller and the post-unroll
+memory optimizations are semantics-preserving: tests run a loop rolled and
+unrolled on identical initial state and require identical observable results
+(final array contents plus final values of loop-carried scalars).
+
+Value model: ``I64`` registers hold Python ints, ``F64`` registers hold
+floats, ``PRED`` registers hold bools, and arrays are float64 numpy vectors.
+Two deliberate totalizations keep randomized (hypothesis) testing free of
+undefined behaviour: integer division by zero yields zero, and indirect
+indices wrap modulo the array length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.ir.instruction import Instruction
+from repro.ir.loop import Loop
+from repro.ir.types import DType, Opcode
+from repro.ir.values import Imm, MemRef, Operand, Reg
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.transforms.unroll import UnrollResult
+
+
+class InterpreterError(RuntimeError):
+    """Raised on semantic violations (e.g. a while-loop that never exits)."""
+
+
+@dataclass
+class MachineState:
+    """Registers and memory during interpretation."""
+
+    regs: dict[Reg, object] = field(default_factory=dict)
+    arrays: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def copy(self) -> "MachineState":
+        """A deep copy — used to run two loop variants on identical inputs."""
+        return MachineState(
+            regs=dict(self.regs),
+            arrays={name: arr.copy() for name, arr in self.arrays.items()},
+        )
+
+    def observable(self, loop: Loop) -> dict[str, object]:
+        """The loop's observable results: arrays plus carried scalars."""
+        result: dict[str, object] = {
+            name: self.arrays[name].copy() for name in sorted(loop.arrays)
+        }
+        for reg in sorted(loop.carried_regs(), key=lambda r: r.name):
+            result[f"%{reg.name}"] = self.regs.get(reg)
+        return result
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one loop execution."""
+
+    iterations: int
+    exited_early: bool
+
+
+def initial_state(
+    loop: Loop,
+    seed: int = 0,
+    carried_inits: dict[Reg, float] | None = None,
+) -> MachineState:
+    """Build a deterministic initial state for ``loop``.
+
+    Arrays are filled with uniform values; live-in registers get defaults by
+    type unless ``carried_inits`` provides explicit preheader values.
+    """
+    rng = np.random.default_rng(seed)
+    state = MachineState()
+    for name in sorted(loop.arrays):
+        size = loop.arrays[name]
+        state.arrays[name] = rng.uniform(-8.0, 8.0, size=size)
+    inits = carried_inits or {}
+    for reg in sorted(loop.live_in_regs(), key=lambda r: r.name):
+        if reg in inits:
+            state.regs[reg] = _coerce(inits[reg], reg.dtype)
+        elif reg.dtype is DType.F64:
+            state.regs[reg] = float(rng.uniform(-2.0, 2.0))
+        elif reg.dtype is DType.I64:
+            state.regs[reg] = int(rng.integers(1, 5))
+        else:
+            state.regs[reg] = False
+    return state
+
+
+def _coerce(value: object, dtype: DType) -> object:
+    if dtype is DType.F64:
+        return float(value)
+    if dtype is DType.I64:
+        return int(value)
+    return bool(value)
+
+
+def run_loop(loop: Loop, state: MachineState, strict_exit: bool = False) -> RunResult:
+    """Execute ``loop`` once (one entry), mutating ``state``.
+
+    A counted loop runs exactly ``trip.runtime`` iterations unless an early
+    exit fires.  A while-style loop must exit through its own branch; with
+    ``strict_exit`` it is an :class:`InterpreterError` for the safety bound
+    to be reached without the exit firing.
+    """
+    body = loop.body
+    trip = loop.trip.runtime
+    for iteration in range(trip):
+        exited = _run_iteration(body, iteration, state, loop)
+        if exited:
+            return RunResult(iteration + 1, True)
+    if strict_exit and not loop.trip.counted:
+        raise InterpreterError(
+            f"while-style loop {loop.name!r} reached its bound of {trip} "
+            "iterations without taking its exit branch"
+        )
+    return RunResult(trip, False)
+
+
+def _run_iteration(
+    body: tuple[Instruction, ...], iteration: int, state: MachineState, loop: Loop
+) -> bool:
+    """Execute one iteration; returns True when an early exit fired."""
+    for inst in body:
+        if inst.pred is not None and not bool(state.regs.get(inst.pred, False)):
+            if inst.op is not Opcode.BR_EXIT:
+                # Nullified instruction: destinations keep their old values.
+                for dest in inst.reg_dests():
+                    state.regs.setdefault(dest, _zero(dest.dtype))
+            continue
+        if inst.op is Opcode.BR_EXIT:
+            return True
+        _execute(inst, iteration, state, loop)
+    return False
+
+
+def _zero(dtype: DType) -> object:
+    return {DType.I64: 0, DType.F64: 0.0, DType.PRED: False}[dtype]
+
+
+def _operand(state: MachineState, operand: Operand) -> object:
+    if isinstance(operand, Imm):
+        return float(operand.value) if operand.dtype is DType.F64 else int(operand.value)
+    try:
+        return state.regs[operand]
+    except KeyError:
+        raise InterpreterError(f"read of undefined register {operand}") from None
+
+
+def _element_index(mem: MemRef, iteration: int, state: MachineState, loop: Loop) -> int:
+    if mem.indirect:
+        value = _operand(state, mem.index_reg)
+        size = loop.arrays[mem.array]
+        return int(value) % max(size - (mem.width - 1), 1)
+    index = mem.index.at(iteration)
+    size = loop.arrays[mem.array]
+    if not (0 <= index <= size - mem.width):
+        raise InterpreterError(
+            f"{mem} out of bounds at iteration {iteration} "
+            f"(index {index}, size {size})"
+        )
+    return index
+
+
+def _execute(inst: Instruction, iteration: int, state: MachineState, loop: Loop) -> None:
+    op = inst.op
+    regs = state.regs
+
+    if op in (Opcode.LOAD, Opcode.PREFETCH):
+        if op is Opcode.PREFETCH:
+            return
+        idx = _element_index(inst.mem, iteration, state, loop)
+        value = float(state.arrays[inst.mem.array][idx])
+        regs[inst.dest] = _coerce(value, inst.dest.dtype)
+        return
+    if op is Opcode.LOAD_PAIR:
+        idx = _element_index(inst.mem, iteration, state, loop)
+        arr = state.arrays[inst.mem.array]
+        regs[inst.dest] = _coerce(float(arr[idx]), inst.dest.dtype)
+        regs[inst.dest2] = _coerce(float(arr[idx + 1]), inst.dest2.dtype)
+        return
+    if op is Opcode.STORE:
+        idx = _element_index(inst.mem, iteration, state, loop)
+        state.arrays[inst.mem.array][idx] = float(_operand(state, inst.srcs[0]))
+        return
+
+    srcs = [_operand(state, s) for s in inst.srcs]
+
+    if op.is_compare:
+        regs[inst.dest] = inst.cmp_op.evaluate(float(srcs[0]), float(srcs[1]))
+        return
+    if op is Opcode.SELECT:
+        regs[inst.dest] = _coerce(srcs[1] if bool(srcs[0]) else srcs[2], inst.dest.dtype)
+        return
+    if op in (Opcode.MOV, Opcode.SXT):
+        regs[inst.dest] = _coerce(srcs[0], inst.dest.dtype)
+        return
+    if op is Opcode.CVT:
+        regs[inst.dest] = _coerce(srcs[0], inst.dest.dtype)
+        return
+
+    regs[inst.dest] = _coerce(_arith(op, srcs), inst.dest.dtype)
+
+
+def _arith(op: Opcode, srcs: list) -> object:
+    a = srcs[0]
+    b = srcs[1] if len(srcs) > 1 else None
+    if op is Opcode.ADD:
+        return int(a) + int(b)
+    if op is Opcode.SUB:
+        return int(a) - int(b)
+    if op is Opcode.MUL:
+        return int(a) * int(b)
+    if op is Opcode.DIV:
+        return 0 if int(b) == 0 else int(int(a) / int(b))
+    if op is Opcode.REM:
+        return 0 if int(b) == 0 else int(a) - int(int(a) / int(b)) * int(b)
+    if op is Opcode.SHL:
+        return int(a) << _clamp_shift(b)
+    if op is Opcode.SHR:
+        return int(a) >> _clamp_shift(b)
+    if op is Opcode.AND:
+        return int(a) & int(b)
+    if op is Opcode.OR:
+        return int(a) | int(b)
+    if op is Opcode.XOR:
+        return int(a) ^ int(b)
+    if op is Opcode.FADD:
+        return float(a) + float(b)
+    if op is Opcode.FSUB:
+        return float(a) - float(b)
+    if op is Opcode.FMUL:
+        return float(a) * float(b)
+    if op is Opcode.FDIV:
+        return 0.0 if float(b) == 0.0 else float(a) / float(b)
+    if op is Opcode.FMA:
+        return float(a) * float(b) + float(srcs[2])
+    if op is Opcode.FNEG:
+        return -float(a)
+    raise InterpreterError(f"unhandled opcode {op}")
+
+
+def _clamp_shift(amount: object) -> int:
+    return max(0, min(63, int(amount)))
+
+
+def run_unrolled(result: "UnrollResult", state: MachineState, strict_exit: bool = False) -> RunResult:
+    """Execute an unroll result: main loop, then (unless an early exit fired)
+    the remainder loop."""
+    iterations = 0
+    exited = False
+    if result.main is not None:
+        main_run = run_loop(result.main, state, strict_exit=strict_exit)
+        iterations += main_run.iterations * result.main.unroll_factor
+        exited = main_run.exited_early
+    if result.remainder is not None and not exited:
+        rem_run = run_loop(result.remainder, state, strict_exit=strict_exit)
+        iterations += rem_run.iterations
+        exited = rem_run.exited_early
+    return RunResult(iterations, exited)

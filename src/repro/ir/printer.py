@@ -1,0 +1,55 @@
+"""Textual rendering of IR objects — the dump format used in examples,
+error messages, and golden tests."""
+
+from __future__ import annotations
+
+from repro.ir.instruction import Instruction
+from repro.ir.loop import Loop
+from repro.ir.types import Opcode
+
+
+def format_instruction(inst: Instruction) -> str:
+    """Render one instruction, e.g. ``(%p1) %f2 = fadd %f0, %f1``."""
+    parts: list[str] = []
+    if inst.pred is not None:
+        parts.append(f"({inst.pred})")
+    dests = [str(r) for r in inst.reg_dests()]
+    if dests:
+        parts.append(", ".join(dests))
+        parts.append("=")
+    op_text = inst.op.value
+    if inst.cmp_op is not None:
+        op_text = f"{op_text}.{inst.cmp_op.value}"
+    parts.append(op_text)
+    operands: list[str] = [str(s) for s in inst.srcs]
+    if inst.mem is not None:
+        if inst.op is Opcode.STORE:
+            operands.append(f"-> {inst.mem}")
+        else:
+            operands.append(str(inst.mem))
+    if operands:
+        parts.append(", ".join(operands))
+    text = " ".join(parts)
+    if inst.implicit:
+        text += "  ; implicit"
+    return text
+
+
+def format_loop(loop: Loop) -> str:
+    """Render a whole loop with its header metadata."""
+    trip = loop.trip
+    if trip.known:
+        bound = str(trip.compile_time)
+    elif trip.counted:
+        bound = "N (runtime)"
+    else:
+        bound = "? (while-style)"
+    header = (
+        f"loop {loop.name} [trip={bound}, nest={loop.nest_level}, "
+        f"lang={loop.language.name}, unroll={loop.unroll_factor}]"
+    )
+    lines = [header, "{"]
+    for inst in loop.body:
+        lines.append(f"  {format_instruction(inst)}")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""IR well-formedness checks.
+
+Passes call :func:`validate_loop` on their outputs in tests; the workload
+generator validates everything it emits.  A well-formed loop satisfies:
+
+* the body is SSA up to loop-carried recurrences (every register has at most
+  one definition per iteration);
+* every register read is either defined earlier in the body, carried around
+  the backedge, or a loop-invariant live-in;
+* predicate registers have predicate type and are defined by compares;
+* memory references name arrays declared in ``loop.arrays`` and stay in
+  bounds for the loop's runtime trip count;
+* early-exit branches carry a predicate.
+"""
+
+from __future__ import annotations
+
+from repro.ir.loop import Loop
+from repro.ir.types import DType, Opcode
+
+
+class ValidationError(ValueError):
+    """Raised when a loop violates an IR invariant."""
+
+
+def validate_loop(loop: Loop) -> None:
+    """Raise :class:`ValidationError` if ``loop`` is malformed."""
+    defined: set = set()
+    for pos, inst in enumerate(loop.body):
+        where = f"{loop.name}[{pos}] ({inst.op.value})"
+        for reg in inst.reg_dests():
+            if reg in defined:
+                raise ValidationError(f"{where}: register {reg} redefined")
+            defined.add(reg)
+        if inst.pred is not None and inst.pred.dtype is not DType.PRED:
+            raise ValidationError(f"{where}: predicate {inst.pred} is not PRED-typed")
+        if inst.op.is_compare and inst.dest is not None and inst.dest.dtype is not DType.PRED:
+            raise ValidationError(f"{where}: compare must define a PRED register")
+        if inst.op is Opcode.BR_EXIT and inst.pred is None:
+            raise ValidationError(f"{where}: exit branch requires a predicate")
+        if inst.mem is not None:
+            _check_mem(loop, inst, where)
+        if inst.op is Opcode.LOAD_PAIR and inst.dest2 is None:
+            raise ValidationError(f"{where}: wide load needs two destinations")
+
+    _check_reads(loop)
+
+
+def _check_mem(loop: Loop, inst, where: str) -> None:
+    mem = inst.mem
+    if mem.array not in loop.arrays:
+        raise ValidationError(f"{where}: undeclared array {mem.array!r}")
+    if mem.indirect:
+        if mem.index_reg is None:
+            raise ValidationError(f"{where}: indirect reference without index register")
+        return
+    size = loop.arrays[mem.array]
+    last_iter = loop.trip.runtime - 1
+    for i in (0, last_iter):
+        idx = mem.index.at(i)
+        if not (0 <= idx <= size - mem.width):
+            raise ValidationError(
+                f"{where}: {mem} out of bounds at i={i} "
+                f"(index {idx}, array size {size}, width {mem.width})"
+            )
+
+
+def _check_reads(loop: Loop) -> None:
+    """Every register read must have a reaching definition."""
+    defined = loop.defined_regs()
+    carried = loop.carried_regs()
+    invariants = loop.invariant_regs()
+    written: set = set()
+    for pos, inst in enumerate(loop.body):
+        for reg in inst.reg_srcs():
+            if reg in written or reg in carried or reg in invariants:
+                continue
+            if reg in defined:
+                raise ValidationError(
+                    f"{loop.name}[{pos}]: register {reg} read before its only "
+                    "definition but not carried (dataflow is broken)"
+                )
+            raise ValidationError(f"{loop.name}[{pos}]: register {reg} is never defined")
+        written.update(inst.reg_dests())
+
+
+def is_valid_loop(loop: Loop) -> bool:
+    """Non-raising convenience wrapper around :func:`validate_loop`."""
+    try:
+        validate_loop(loop)
+    except ValidationError:
+        return False
+    return True

@@ -1,0 +1,175 @@
+"""Operand values: virtual registers, immediates, and affine memory references.
+
+Memory references are first-class and carry an *affine index expression* in
+the innermost induction variable (``coeff * i + offset``).  Keeping the index
+symbolic — instead of lowering it to address arithmetic — is what lets the
+dependence analyzer compute exact loop-carried distances and lets the
+unroller retarget references to ``i + k`` without rebuilding address code.
+The address computation the real compiler would emit is accounted for by the
+``implicit`` instruction count (a paper feature) and by the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Union
+
+from repro.ir.types import DType
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A virtual register.
+
+    Registers are identified by ``name`` (unique within a loop body up to
+    deliberate reuse by recurrences) and typed by ``dtype``.  Frozen so that
+    registers can key dictionaries and sets in the dependence analyzer.
+    """
+
+    name: str
+    dtype: DType
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+    def renamed(self, new_name: str) -> "Reg":
+        """Return a copy of this register with a different name."""
+        return Reg(new_name, self.dtype)
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate operand (integer or floating constant)."""
+
+    value: float
+    dtype: DType = DType.I64
+
+    def __str__(self) -> str:
+        if self.dtype is DType.F64:
+            return f"{float(self.value):g}"
+        return str(int(self.value))
+
+
+#: A scalar source operand: either a register or an immediate.
+Operand = Union[Reg, Imm]
+
+
+@dataclass(frozen=True)
+class AffineIndex:
+    """Affine index expression ``coeff * i + offset``.
+
+    ``i`` is the (zero-based) innermost induction variable.  ``coeff`` is the
+    per-iteration stride in *elements*; ``offset`` a constant element offset.
+    """
+
+    coeff: int = 1
+    offset: int = 0
+
+    def shifted(self, k: int) -> "AffineIndex":
+        """Index expression after substituting ``i -> i + k`` (unrolling)."""
+        return AffineIndex(self.coeff, self.offset + self.coeff * k)
+
+    def unrolled(self, u: int, k: int, base: int = 0) -> "AffineIndex":
+        """Index expression of copy ``k`` in a body unrolled by ``u``.
+
+        The unrolled loop's induction variable ``j`` advances once per body
+        execution, covering original iterations ``base + j*u + k``; the
+        element index is therefore ``coeff*u * j + (coeff*(base + k) +
+        offset)``.
+        """
+        return AffineIndex(self.coeff * u, self.offset + self.coeff * (base + k))
+
+    def at(self, i: int) -> int:
+        """Concrete element index for a concrete induction value."""
+        return self.coeff * i + self.offset
+
+    def __str__(self) -> str:
+        if self.coeff == 0:
+            return str(self.offset)
+        parts = "i" if self.coeff == 1 else f"{self.coeff}*i"
+        if self.offset > 0:
+            return f"{parts}+{self.offset}"
+        if self.offset < 0:
+            return f"{parts}-{-self.offset}"
+        return parts
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """A reference to an element of a named array.
+
+    Attributes:
+        array: name of the array (distinct arrays never alias).
+        index: affine index expression, meaningful when ``indirect`` is
+            False.
+        indirect: when True the element index comes from ``index_reg`` (a
+            value computed at run time, e.g. a gather through an index
+            array).  Indirect references defeat exact dependence analysis
+            and post-unroll coalescing, exactly as in a real compiler.
+        index_reg: register holding the runtime index for indirect refs.
+        width: number of consecutive elements accessed (2 for the wide
+            ``LOAD_PAIR`` produced by memory coalescing).
+    """
+
+    array: str
+    index: AffineIndex = AffineIndex()
+    indirect: bool = False
+    index_reg: Reg | None = None
+    width: int = 1
+
+    def shifted(self, k: int) -> "MemRef":
+        """The reference after substituting ``i -> i + k``."""
+        if self.indirect:
+            return self
+        return replace(self, index=self.index.shifted(k))
+
+    def unrolled(self, u: int, k: int, base: int = 0) -> "MemRef":
+        """The reference made by copy ``k`` of a body unrolled by ``u``.
+
+        Indirect references are untouched: their runtime index register is
+        recomputed by the copy's own (renamed) address chain.
+        """
+        if self.indirect:
+            return self
+        return replace(self, index=self.index.unrolled(u, k, base))
+
+    @property
+    def stride(self) -> int:
+        """Per-iteration element stride (0 for indirect refs)."""
+        return 0 if self.indirect else self.index.coeff
+
+    def __str__(self) -> str:
+        if self.indirect:
+            reg = self.index_reg if self.index_reg is not None else "?"
+            return f"{self.array}[{reg}]"
+        suffix = f":{self.width}" if self.width != 1 else ""
+        return f"{self.array}[{self.index}]{suffix}"
+
+
+def carried_distance(earlier: MemRef, later: MemRef) -> int | None:
+    """Dependence distance in iterations between two affine references.
+
+    Returns ``d >= 0`` when ``later`` at iteration ``i + d`` touches the same
+    element as ``earlier`` at iteration ``i`` (``d == 0`` is an
+    intra-iteration dependence).  Returns ``None`` when the two references
+    never overlap, or when either reference is indirect / the distance is not
+    a non-negative integer constant.
+    """
+    if earlier.indirect or later.indirect:
+        return None
+    if earlier.array != later.array:
+        return None
+    if earlier.index.coeff != later.index.coeff:
+        # Different strides over the same array: conservatively unknown
+        # unless both are loop-invariant scalars.
+        if earlier.index.coeff == 0 and later.index.coeff == 0:
+            return 0 if earlier.index.offset == later.index.offset else None
+        return None
+    coeff = earlier.index.coeff
+    delta = earlier.index.offset - later.index.offset
+    if coeff == 0:
+        return 0 if delta == 0 else None
+    if delta % coeff != 0:
+        return None
+    distance = delta // coeff
+    return distance if distance >= 0 else None

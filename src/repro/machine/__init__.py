@@ -1,0 +1,22 @@
+"""Machine descriptions for the EPIC target family."""
+
+from repro.machine.itanium2 import ITANIUM2, MACHINES, NARROW, SLOW_MEMORY, WIDE, machine_by_name
+from repro.machine.model import (
+    DEFAULT_LATENCIES,
+    DCacheParams,
+    ICacheParams,
+    MachineModel,
+)
+
+__all__ = [
+    "DEFAULT_LATENCIES",
+    "DCacheParams",
+    "ICacheParams",
+    "ITANIUM2",
+    "MACHINES",
+    "MachineModel",
+    "NARROW",
+    "SLOW_MEMORY",
+    "WIDE",
+    "machine_by_name",
+]

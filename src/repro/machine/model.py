@@ -1,0 +1,199 @@
+"""EPIC machine descriptions.
+
+A :class:`MachineModel` is everything the schedulers and the cycle simulator
+need to know about the target: issue width, functional-unit inventory,
+per-opcode latencies, register-file capacity, cache geometry, and the fixed
+overheads of loop control.  The default description
+(:data:`repro.machine.itanium2.ITANIUM2`) is modelled on the 1.3 GHz
+Itanium 2 the paper targets; alternate descriptions exercise the
+retargeting story (retrain the heuristic for a new machine by relabelling —
+the paper's Section 4.5 claim).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from types import MappingProxyType
+from typing import Mapping
+
+from repro.ir.instruction import Instruction
+from repro.ir.types import FUKind, OpCategory, Opcode
+
+
+@dataclass(frozen=True)
+class ICacheParams:
+    """Instruction-cache model parameters.
+
+    ``loop_budget_bytes`` is the effective share of the I-cache a single hot
+    loop can count on in a whole program (loops compete with each other and
+    with straight-line code); code beyond the budget pays ``miss_penalty``
+    per line per entry.
+    """
+
+    capacity_bytes: int = 16 * 1024
+    line_bytes: int = 64
+    loop_budget_bytes: int = 1536
+    miss_penalty: int = 24
+
+
+@dataclass(frozen=True)
+class DCacheParams:
+    """Data-cache model parameters (latencies in cycles)."""
+
+    l1_bytes: int = 16 * 1024
+    l2_bytes: int = 256 * 1024
+    l3_bytes: int = 3 * 1024 * 1024
+    line_bytes: int = 64
+    l1_latency: int = 4
+    l2_penalty: int = 7
+    l3_penalty: int = 14
+    memory_penalty: int = 120
+    indirect_miss_rate: float = 0.4
+    #: Sustained bandwidth (bytes/cycle) at each level.  Loops streaming
+    #: from beyond L1 hit these floors no matter how much ILP unrolling
+    #: exposes — misses only overlap up to the bandwidth/MSHR limit.
+    l2_bandwidth: float = 16.0
+    l3_bandwidth: float = 6.0
+    memory_bandwidth: float = 1.5
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """A statically scheduled (EPIC/VLIW-style) machine description."""
+
+    name: str
+    issue_width: int
+    fu_counts: Mapping[FUKind, int]
+    latencies: Mapping[Opcode, int]
+    load_latency: int
+    int_regs: int = 72
+    fp_regs: int = 72
+    rotating_regs: int = 96
+    spill_cycles: float = 4.0
+    spill_exponent: float = 1.7
+    #: Fraction of a body's pre-spill period that spill traffic can add at
+    #: most — the allocator spills cheapest-first, so even a badly
+    #: over-unrolled loop degrades boundedly rather than collapsing.
+    spill_cap_fraction: float = 1.0
+    #: Fraction of latency-stall cycles hidden by overlap with adjacent
+    #: iterations (scoreboarded in-order cores keep fetching across the
+    #: backedge, and -O3 glue such as prefetching fills some gaps).  0
+    #: models a strict lock-step EPIC pipeline; 1 models perfect overlap.
+    overlap_efficiency: float = 0.5
+    bytes_per_instr: float = 16.0 / 3.0
+    backedge_cycles: int = 1
+    precondition_cycles: int = 12
+    #: Extra preconditioning cost when the unroll factor is not a power of
+    #: two: the runtime trip split needs a real divide/modulo (emulated in
+    #: software on this family) instead of a shift and mask.
+    nonpow2_precondition_cycles: int = 48
+    #: Extra cycles per body execution for non-power-of-two factors: copy
+    #: addressing can no longer fold into shift-and-add (``shladd``) forms,
+    #: so an extra induction-update group lands on the backedge path.
+    nonpow2_body_cycles: int = 6
+    exit_mispredict_cycles: int = 8
+    counter_overhead_cycles: int = 9
+    icache: ICacheParams = field(default_factory=ICacheParams)
+    dcache: DCacheParams = field(default_factory=DCacheParams)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "fu_counts", MappingProxyType(dict(self.fu_counts)))
+        object.__setattr__(self, "latencies", MappingProxyType(dict(self.latencies)))
+        if self.issue_width < 1:
+            raise ValueError("issue width must be positive")
+        for kind in FUKind:
+            if self.fu_counts.get(kind, 0) < 1:
+                raise ValueError(f"machine needs at least one {kind.value} unit")
+
+    # ------------------------------------------------------------------
+    # Instruction properties.
+    # ------------------------------------------------------------------
+
+    def latency(self, inst: Instruction) -> int:
+        """Result latency of an instruction on this machine."""
+        if inst.op is Opcode.LOAD:
+            return self.load_latency
+        if inst.op is Opcode.LOAD_PAIR:
+            return self.load_latency + 1
+        return self.latencies[inst.op]
+
+    def fu_options(self, inst: Instruction) -> tuple[FUKind, ...]:
+        """Functional units the instruction may issue on.
+
+        Simple integer/compare/misc operations are "A-type": they issue on
+        either an integer or a memory unit, as on Itanium.
+        """
+        kind = inst.op.fu_kind
+        if kind is FUKind.INT and inst.op.category in (
+            OpCategory.INT_ALU,
+            OpCategory.COMPARE,
+            OpCategory.MISC,
+        ):
+            return (FUKind.INT, FUKind.MEM)
+        return (kind,)
+
+    def is_pipelined(self, inst: Instruction) -> bool:
+        return inst.op.info.pipelined
+
+    def code_bytes(self, n_instructions: int) -> int:
+        """Code footprint of ``n_instructions`` (EPIC bundles: 3 per 16 B)."""
+        return int(round(n_instructions * self.bytes_per_instr))
+
+    def regs_available(self, fp: bool, rotating: bool = False) -> int:
+        """Registers the allocator can give one loop body."""
+        if rotating:
+            return self.rotating_regs
+        return self.fp_regs if fp else self.int_regs
+
+    # ------------------------------------------------------------------
+    # Derived machines.
+    # ------------------------------------------------------------------
+
+    def with_load_latency(self, load_latency: int) -> "MachineModel":
+        """A copy with a different effective load latency — how the
+        simulator injects a loop's data-cache behaviour into scheduling."""
+        if load_latency == self.load_latency:
+            return self
+        return replace(
+            self,
+            fu_counts=dict(self.fu_counts),
+            latencies=dict(self.latencies),
+            load_latency=load_latency,
+        )
+
+    @property
+    def total_fu_slots(self) -> int:
+        return sum(self.fu_counts.values())
+
+
+#: Baseline per-opcode latencies shared by the stock machine descriptions.
+DEFAULT_LATENCIES: dict[Opcode, int] = {
+    Opcode.ADD: 1,
+    Opcode.SUB: 1,
+    Opcode.MUL: 3,
+    Opcode.DIV: 18,
+    Opcode.REM: 18,
+    Opcode.SHL: 1,
+    Opcode.SHR: 1,
+    Opcode.AND: 1,
+    Opcode.OR: 1,
+    Opcode.XOR: 1,
+    Opcode.MOV: 1,
+    Opcode.SXT: 1,
+    Opcode.SELECT: 1,
+    Opcode.FADD: 4,
+    Opcode.FSUB: 4,
+    Opcode.FMUL: 4,
+    Opcode.FDIV: 24,
+    Opcode.FMA: 4,
+    Opcode.FNEG: 1,
+    Opcode.CVT: 2,
+    Opcode.CMP: 1,
+    Opcode.FCMP: 1,
+    Opcode.STORE: 1,
+    Opcode.PREFETCH: 1,
+    Opcode.BR_EXIT: 1,
+    # LOAD / LOAD_PAIR latency comes from MachineModel.load_latency.
+    Opcode.LOAD: 0,
+    Opcode.LOAD_PAIR: 0,
+}

@@ -1,0 +1,94 @@
+"""Machine learning: classifiers, cross-validation, metrics, selection."""
+
+from repro.ml.crossval import (
+    leave_one_benchmark_out,
+    loocv_naive,
+    loocv_nn,
+    loocv_svm,
+    loocv_tuned_svm,
+)
+from repro.ml.pairwise import PairwiseLSSVM, make_tuned_pairwise_svm
+from repro.ml.dataset import LoopDataset, concatenate
+from repro.ml.feature_selection import (
+    ScoredFeature,
+    greedy_forward_selection,
+    mutual_information_score,
+    rank_by_mutual_information,
+    selected_feature_union,
+)
+from repro.ml.lda import LDAProjection, fit_lda
+from repro.ml.metrics import (
+    RankDistribution,
+    accuracy,
+    mean_cost_ratio,
+    near_optimal_accuracy,
+    prediction_ranks,
+    rank_distribution,
+)
+from repro.ml.multiclass import (
+    OutputCodeClassifier,
+    exhaustive_code,
+    identity_code,
+    random_code,
+)
+from repro.ml.near_neighbor import DEFAULT_RADIUS, NearNeighborClassifier, NNPrediction
+from repro.ml.lsh import LSHNearNeighbor
+from repro.ml.regression import KernelRidgeRegressor, loocv_regression_predictions
+from repro.ml.svm import LSSVM, TUNED_SVM_PARAMS, multiscale_rbf_kernel, rbf_kernel
+from repro.ml.trees import BoostedTrees, DecisionTree, binary_unroll_labels
+from repro.ml.tuning import (
+    TuningResult,
+    cross_val_accuracy,
+    grid_search,
+    kfold_indices,
+    tune_nn_radius,
+    tune_svm,
+)
+
+__all__ = [
+    "DEFAULT_RADIUS",
+    "LDAProjection",
+    "LSSVM",
+    "BoostedTrees",
+    "DecisionTree",
+    "KernelRidgeRegressor",
+    "LSHNearNeighbor",
+    "LoopDataset",
+    "NNPrediction",
+    "NearNeighborClassifier",
+    "OutputCodeClassifier",
+    "RankDistribution",
+    "ScoredFeature",
+    "accuracy",
+    "concatenate",
+    "exhaustive_code",
+    "fit_lda",
+    "greedy_forward_selection",
+    "identity_code",
+    "binary_unroll_labels",
+    "leave_one_benchmark_out",
+    "loocv_regression_predictions",
+    "loocv_naive",
+    "loocv_nn",
+    "loocv_svm",
+    "loocv_tuned_svm",
+    "make_tuned_pairwise_svm",
+    "multiscale_rbf_kernel",
+    "PairwiseLSSVM",
+    "TUNED_SVM_PARAMS",
+    "TuningResult",
+    "cross_val_accuracy",
+    "grid_search",
+    "kfold_indices",
+    "tune_nn_radius",
+    "tune_svm",
+    "mean_cost_ratio",
+    "mutual_information_score",
+    "near_optimal_accuracy",
+    "prediction_ranks",
+    "random_code",
+    "rank_by_mutual_information",
+    "rank_distribution",
+    "rbf_kernel",
+    "selected_feature_union",
+]

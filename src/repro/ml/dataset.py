@@ -1,0 +1,174 @@
+"""The labelled dataset: features, labels, and per-factor cycle counts.
+
+One row per surviving loop.  Besides the feature matrix and the best-factor
+label, the dataset keeps the full per-factor *measured* cycle vector (the
+paper's Table 2 "Cost" column and oracle need it) and the *noise-free* cycle
+vector (the evaluation's ground truth — the paper's equivalent is running
+the chosen binaries uninstrumented).
+
+Datasets persist to ``.npz`` and restore exactly, which is what lets the
+expensive labelling pipeline cache its output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.features.catalog import FEATURE_NAMES, N_FEATURES
+from repro.ir.types import MAX_UNROLL
+
+
+@dataclass(frozen=True)
+class LoopDataset:
+    """Immutable labelled dataset.
+
+    Attributes:
+        X: ``(n, 38)`` feature matrix (catalog order, unnormalised).
+        labels: ``(n,)`` best measured unroll factor per loop (1..8).
+        cycles: ``(n, 8)`` measured median cycles per factor.
+        true_cycles: ``(n, 8)`` noise-free cycles per factor.
+        loop_names / benchmarks / suites / languages: provenance per row.
+        swp: whether the measurements were taken with software pipelining.
+    """
+
+    X: np.ndarray
+    labels: np.ndarray
+    cycles: np.ndarray
+    true_cycles: np.ndarray
+    loop_names: np.ndarray
+    benchmarks: np.ndarray
+    suites: np.ndarray
+    languages: np.ndarray
+    swp: bool
+
+    def __post_init__(self) -> None:
+        n = len(self.labels)
+        if self.X.shape != (n, N_FEATURES):
+            raise ValueError(f"feature matrix must be ({n}, {N_FEATURES})")
+        for name in ("cycles", "true_cycles"):
+            if getattr(self, name).shape != (n, MAX_UNROLL):
+                raise ValueError(f"{name} must be ({n}, {MAX_UNROLL})")
+        for name in ("loop_names", "benchmarks", "suites", "languages"):
+            if len(getattr(self, name)) != n:
+                raise ValueError(f"{name} must have {n} entries")
+        if not np.all((self.labels >= 1) & (self.labels <= MAX_UNROLL)):
+            raise ValueError("labels must be unroll factors in [1, 8]")
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    @property
+    def n_features(self) -> int:
+        return self.X.shape[1]
+
+    @property
+    def feature_names(self) -> tuple[str, ...]:
+        return FEATURE_NAMES
+
+    def subset(self, mask: np.ndarray) -> "LoopDataset":
+        """Rows selected by a boolean mask or index array."""
+        return replace(
+            self,
+            X=self.X[mask],
+            labels=self.labels[mask],
+            cycles=self.cycles[mask],
+            true_cycles=self.true_cycles[mask],
+            loop_names=self.loop_names[mask],
+            benchmarks=self.benchmarks[mask],
+            suites=self.suites[mask],
+            languages=self.languages[mask],
+        )
+
+    def exclude_benchmark(self, name: str) -> "LoopDataset":
+        """All rows except those from ``name`` — the paper's protocol when
+        compiling a benchmark with a learned heuristic (Section 6.1)."""
+        return self.subset(self.benchmarks != name)
+
+    def only_benchmark(self, name: str) -> "LoopDataset":
+        return self.subset(self.benchmarks == name)
+
+    def benchmark_names(self) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for bench in self.benchmarks:
+            seen.setdefault(str(bench))
+        return tuple(seen)
+
+    # ------------------------------------------------------------------
+    # Derived quantities the experiments use.
+    # ------------------------------------------------------------------
+
+    def rank_of_prediction(self, row: int, factor: int) -> int:
+        """1 when ``factor`` is the loop's best measured factor, 2 when
+        second-best, ..., 8 when worst (the paper's Table 2 rows)."""
+        order = np.argsort(self.cycles[row], kind="stable")
+        return int(np.where(order == factor - 1)[0][0]) + 1
+
+    def cost_ratio(self, row: int, factor: int) -> float:
+        """Measured cycles at ``factor`` relative to the loop's best — the
+        runtime penalty of a (mis)prediction."""
+        best = float(self.cycles[row].min())
+        return float(self.cycles[row, factor - 1]) / best
+
+    def label_histogram(self) -> np.ndarray:
+        """Fraction of loops whose optimal factor is 1..8 (Figure 3)."""
+        counts = np.bincount(self.labels, minlength=MAX_UNROLL + 1)[1:]
+        return counts / max(len(self), 1)
+
+    # ------------------------------------------------------------------
+    # Persistence.
+    # ------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        np.savez_compressed(
+            path,
+            X=self.X,
+            labels=self.labels,
+            cycles=self.cycles,
+            true_cycles=self.true_cycles,
+            loop_names=self.loop_names.astype(str),
+            benchmarks=self.benchmarks.astype(str),
+            suites=self.suites.astype(str),
+            languages=self.languages.astype(str),
+            swp=np.array([self.swp]),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "LoopDataset":
+        with np.load(Path(path), allow_pickle=False) as data:
+            return cls(
+                X=data["X"],
+                labels=data["labels"],
+                cycles=data["cycles"],
+                true_cycles=data["true_cycles"],
+                loop_names=data["loop_names"],
+                benchmarks=data["benchmarks"],
+                suites=data["suites"],
+                languages=data["languages"],
+                swp=bool(data["swp"][0]),
+            )
+
+
+def concatenate(parts: list[LoopDataset]) -> LoopDataset:
+    """Stack several datasets (same regime) into one."""
+    if not parts:
+        raise ValueError("nothing to concatenate")
+    if len({part.swp for part in parts}) != 1:
+        raise ValueError("cannot mix SWP regimes in one dataset")
+    return LoopDataset(
+        X=np.concatenate([p.X for p in parts]),
+        labels=np.concatenate([p.labels for p in parts]),
+        cycles=np.concatenate([p.cycles for p in parts]),
+        true_cycles=np.concatenate([p.true_cycles for p in parts]),
+        loop_names=np.concatenate([p.loop_names for p in parts]),
+        benchmarks=np.concatenate([p.benchmarks for p in parts]),
+        suites=np.concatenate([p.suites for p in parts]),
+        languages=np.concatenate([p.languages for p in parts]),
+        swp=parts[0].swp,
+    )

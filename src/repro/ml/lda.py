@@ -1,0 +1,82 @@
+"""Fisher linear discriminant analysis.
+
+The paper's Figures 1 and 2 visualise loops by projecting the feature space
+"onto a plane" found with "the linear discriminant analysis algorithm
+described in [Duda-Hart-Stork]": the axes are linear combinations of the
+original features that maximally separate the classes.  This module is that
+projection: solve the generalised eigenproblem ``S_b v = lambda S_w v`` and
+keep the leading eigenvectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.linalg
+
+
+@dataclass(frozen=True)
+class LDAProjection:
+    """A fitted discriminant projection."""
+
+    mean: np.ndarray
+    components: np.ndarray  # (n_features, n_components)
+    eigenvalues: np.ndarray
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Project rows of ``X`` onto the discriminant plane."""
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        return (X - self.mean) @ self.components
+
+    @property
+    def n_components(self) -> int:
+        return self.components.shape[1]
+
+
+def fit_lda(X: np.ndarray, y: np.ndarray, n_components: int = 2) -> LDAProjection:
+    """Fit Fisher LDA and keep the ``n_components`` leading directions.
+
+    Within-class scatter is regularised (shrunk toward its diagonal) so the
+    solve stays stable when some features are nearly collinear — common for
+    loop features (e.g. op counts and operand counts track each other).
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y)
+    n, d = X.shape
+    classes = np.unique(y)
+    if len(classes) < 2:
+        raise ValueError("LDA needs at least two classes")
+    max_components = min(d, len(classes) - 1)
+    if n_components > max_components:
+        raise ValueError(
+            f"at most {max_components} discriminants exist for this problem"
+        )
+
+    overall_mean = X.mean(axis=0)
+    s_within = np.zeros((d, d))
+    s_between = np.zeros((d, d))
+    for cls in classes:
+        rows = X[y == cls]
+        mean = rows.mean(axis=0)
+        centered = rows - mean
+        s_within += centered.T @ centered
+        gap = (mean - overall_mean)[:, None]
+        s_between += len(rows) * (gap @ gap.T)
+
+    # Shrinkage regularisation keeps S_w invertible.
+    ridge = 1e-6 * np.trace(s_within) / d + 1e-12
+    s_within += ridge * np.eye(d)
+
+    eigenvalues, eigenvectors = scipy.linalg.eigh(s_between, s_within)
+    order = np.argsort(eigenvalues)[::-1][:n_components]
+    components = eigenvectors[:, order]
+    # Normalise component scale for stable plotting.
+    norms = np.linalg.norm(components, axis=0)
+    norms[norms == 0.0] = 1.0
+    components = components / norms
+    return LDAProjection(
+        mean=overall_mean,
+        components=components,
+        eigenvalues=eigenvalues[order],
+    )

@@ -1,0 +1,94 @@
+"""Evaluation metrics for unroll-factor predictors.
+
+The paper's Table 2 reports, for each predictor, the fraction of predictions
+that picked the loop's optimal factor, its second-best factor, ..., its
+worst factor, together with a "Cost" column: the average runtime penalty of
+landing on the N-th best factor.  :func:`rank_distribution` computes the
+table; :func:`accuracy` and :func:`near_optimal_accuracy` give the headline
+numbers (65% optimal, 79% optimal-or-second-best).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ir.types import MAX_UNROLL
+from repro.ml.dataset import LoopDataset
+
+
+@dataclass(frozen=True)
+class RankDistribution:
+    """Rank histogram and per-rank misprediction costs for one predictor."""
+
+    fractions: np.ndarray  # (8,), fractions[k] = share of predictions that
+    # landed on the (k+1)-th best factor
+    costs: np.ndarray  # (8,), mean cycles ratio vs optimal at each rank
+
+    @property
+    def optimal(self) -> float:
+        """Fraction of predictions that picked the optimal factor."""
+        return float(self.fractions[0])
+
+    @property
+    def near_optimal(self) -> float:
+        """Fraction that picked the optimal or second-best factor."""
+        return float(self.fractions[0] + self.fractions[1])
+
+    def row(self, rank: int) -> tuple[float, float]:
+        """``(fraction, cost)`` for 1-indexed ``rank``."""
+        return float(self.fractions[rank - 1]), float(self.costs[rank - 1])
+
+
+def prediction_ranks(dataset: LoopDataset, predictions: np.ndarray) -> np.ndarray:
+    """Rank (1 = optimal ... 8 = worst) of each prediction under the
+    dataset's measured cycles."""
+    predictions = np.asarray(predictions, dtype=np.int64)
+    if len(predictions) != len(dataset):
+        raise ValueError("one prediction per dataset row required")
+    order = np.argsort(dataset.cycles, axis=1, kind="stable")
+    ranks = np.empty(len(dataset), dtype=np.int64)
+    for i in range(len(dataset)):
+        ranks[i] = int(np.where(order[i] == predictions[i] - 1)[0][0]) + 1
+    return ranks
+
+
+def rank_distribution(dataset: LoopDataset, predictions: np.ndarray) -> RankDistribution:
+    """The paper's Table 2 rows for one predictor.
+
+    The Cost column is a property of the *dataset* (how expensive the N-th
+    best factor is on average), computed over all loops exactly as the
+    paper describes — "the average runtime penalty for mispredicting (as
+    compared to the optimal factor)".
+    """
+    ranks = prediction_ranks(dataset, predictions)
+    fractions = np.bincount(ranks, minlength=MAX_UNROLL + 1)[1:] / len(dataset)
+
+    order = np.argsort(dataset.cycles, axis=1, kind="stable")
+    best = dataset.cycles.min(axis=1)
+    costs = np.empty(MAX_UNROLL)
+    for rank in range(MAX_UNROLL):
+        nth_best = dataset.cycles[np.arange(len(dataset)), order[:, rank]]
+        costs[rank] = float(np.mean(nth_best / best))
+    return RankDistribution(fractions=fractions, costs=costs)
+
+
+def accuracy(dataset: LoopDataset, predictions: np.ndarray) -> float:
+    """Fraction of predictions matching the measured-best factor."""
+    predictions = np.asarray(predictions, dtype=np.int64)
+    return float(np.mean(predictions == dataset.labels))
+
+
+def near_optimal_accuracy(dataset: LoopDataset, predictions: np.ndarray) -> float:
+    """Fraction of predictions landing on the best or second-best factor."""
+    ranks = prediction_ranks(dataset, predictions)
+    return float(np.mean(ranks <= 2))
+
+
+def mean_cost_ratio(dataset: LoopDataset, predictions: np.ndarray) -> float:
+    """Average measured-cycles ratio of the predictions vs per-loop optimum
+    — 1.0 is a perfect predictor."""
+    predictions = np.asarray(predictions, dtype=np.int64)
+    chosen = dataset.cycles[np.arange(len(dataset)), predictions - 1]
+    return float(np.mean(chosen / dataset.cycles.min(axis=1)))

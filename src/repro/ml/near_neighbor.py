@@ -1,0 +1,132 @@
+"""Near neighbor classification (the paper's Section 5.1).
+
+"The idea of the algorithm is to construct a database of all (x_i, y_i)
+pairs in the training set" — prediction inspects the labels of all training
+examples within a fixed Euclidean radius of the (normalised) query and
+returns the most common one.  When no neighbor falls inside the radius, or
+when there is no clear winner, the paper "simply assign[s] the unroll factor
+based on the label of the single nearest neighbor"; it also notes the
+neighbor vote doubles as a *confidence*, enabling outlier-inspection tools.
+
+The paper uses radius 0.3, "determined experimentally"; feature vectors are
+normalised "to weigh all features equally" (we default to min-max scaling so
+a 0.3 radius is meaningful).  Training is population of the database —
+"trivial to train" — and lookup is a linear scan, fast at this dataset size
+(their 2,500-example scan took under 5 ms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.features.normalize import Normalizer, fit_normalizer
+
+#: The paper's experimentally chosen neighborhood radius.
+DEFAULT_RADIUS = 0.3
+
+
+@dataclass(frozen=True)
+class NNPrediction:
+    """A prediction with its neighbor evidence."""
+
+    label: int
+    confidence: float  # fraction of in-radius neighbors voting for label
+    n_neighbors: int  # neighbors within the radius
+    used_fallback: bool  # True when the 1-NN fallback decided
+
+
+class NearNeighborClassifier:
+    """Radius-vote near neighbor classifier with a 1-NN fallback."""
+
+    def __init__(self, radius: float = DEFAULT_RADIUS, normalization: str = "minmax"):
+        if radius <= 0:
+            raise ValueError("radius must be positive")
+        self.radius = radius
+        self.normalization = normalization
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self._normalizer: Normalizer | None = None
+
+    # ------------------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "NearNeighborClassifier":
+        """Populate the database (this *is* the training)."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if len(X) != len(y) or len(X) == 0:
+            raise ValueError("X and y must be non-empty and aligned")
+        self._normalizer = fit_normalizer(X, self.normalization)
+        self._X = self._normalizer.transform(X)
+        self._y = y
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._X is not None
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise RuntimeError("classifier is not fitted")
+
+    # ------------------------------------------------------------------
+
+    def predict_one(self, x: np.ndarray) -> NNPrediction:
+        """Classify a single loop, reporting neighbor evidence."""
+        self._require_fitted()
+        q = self._normalizer.transform(np.asarray(x, dtype=np.float64))
+        distances = np.sqrt(((self._X - q) ** 2).sum(axis=1))
+        in_radius = distances <= self.radius
+        n_in = int(in_radius.sum())
+        if n_in == 0:
+            nearest = int(np.argmin(distances))
+            return NNPrediction(int(self._y[nearest]), 0.0, 0, True)
+        votes = np.bincount(self._y[in_radius])
+        top = votes.max()
+        winners = np.flatnonzero(votes == top)
+        if len(winners) > 1:
+            # No clear winner: fall back to the single nearest neighbor.
+            nearest = int(np.argmin(distances))
+            return NNPrediction(int(self._y[nearest]), top / n_in, n_in, True)
+        return NNPrediction(int(winners[0]), top / n_in, n_in, False)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Classify a batch of loops (labels only)."""
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        return np.array([self.predict_one(x).label for x in X], dtype=np.int64)
+
+    def confidences(self, X: np.ndarray) -> np.ndarray:
+        """Per-query confidence — the outlier-detection signal."""
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        return np.array([self.predict_one(x).confidence for x in X])
+
+    # ------------------------------------------------------------------
+
+    def loocv_predictions(self) -> np.ndarray:
+        """Exact leave-one-out predictions over the training database.
+
+        Computed from one pairwise distance matrix rather than N refits —
+        the database *is* the model, so removing a row just means masking
+        it out of the vote.
+        """
+        self._require_fitted()
+        X, y = self._X, self._y
+        n = len(X)
+        sq = (X**2).sum(axis=1)
+        d2 = sq[:, None] + sq[None, :] - 2.0 * (X @ X.T)
+        np.maximum(d2, 0.0, out=d2)
+        distances = np.sqrt(d2)
+        np.fill_diagonal(distances, np.inf)
+        out = np.empty(n, dtype=np.int64)
+        for i in range(n):
+            row = distances[i]
+            in_radius = row <= self.radius
+            if not in_radius.any():
+                out[i] = y[int(np.argmin(row))]
+                continue
+            votes = np.bincount(y[in_radius])
+            top = votes.max()
+            winners = np.flatnonzero(votes == top)
+            out[i] = y[int(np.argmin(row))] if len(winners) > 1 else winners[0]
+        return out

@@ -1,0 +1,100 @@
+"""Kernel ridge regression on unroll factors — the paper's future work.
+
+Section 8: "learned heuristic predictions are confined to the limits of the
+labels with which they were trained (e.g., our learned classifiers will
+never predict unroll factors greater than eight). ... That said, future
+work will consider regression, which can predict values outside the range
+of the labels with which the learning algorithm is trained."
+
+This module is that future work: kernel ridge regression (the natural
+regression twin of the LS-SVM — same system matrix, real-valued targets)
+trained on the measured best factors.  Predictions are continuous; the
+deployment path rounds and clamps them into the legal factor range, but the
+raw values are exposed so the extrapolation behaviour the paper anticipates
+is observable (see the regression ablation bench).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+from repro.features.normalize import fit_minmax
+from repro.ml.svm import multiscale_rbf_kernel, rbf_kernel
+
+
+class KernelRidgeRegressor:
+    """Kernel ridge regression: ``(K + lambda I) alpha = y``."""
+
+    def __init__(
+        self,
+        ridge: float = 1e-2,
+        sigma: float = 0.1,
+        kernel: str = "multiscale",
+        scale_ratio: float = 30.0,
+        mix: float = 0.5,
+    ):
+        if ridge <= 0 or sigma <= 0:
+            raise ValueError("ridge and sigma must be positive")
+        if kernel not in ("rbf", "multiscale"):
+            raise ValueError(f"unknown kernel {kernel!r}")
+        self.ridge = ridge
+        self.sigma = sigma
+        self.kernel = kernel
+        self.scale_ratio = scale_ratio
+        self.mix = mix
+        self._X = None
+        self._alpha = None
+        self._mean = 0.0
+        self._normalizer = None
+
+    def _kernel(self, A, B):
+        if self.kernel == "multiscale":
+            return multiscale_rbf_kernel(A, B, self.sigma, self.scale_ratio, self.mix)
+        return rbf_kernel(A, B, self.sigma)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KernelRidgeRegressor":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if len(X) == 0 or len(X) != len(y):
+            raise ValueError("X and y must be non-empty and aligned")
+        self._normalizer = fit_minmax(X)
+        Z = self._normalizer.transform(X)
+        self._mean = float(y.mean())
+        K = self._kernel(Z, Z)
+        system = K + self.ridge * np.eye(len(Z))
+        self._alpha = scipy.linalg.solve(system, y - self._mean, assume_a="pos")
+        self._X = Z
+        return self
+
+    def predict_value(self, X: np.ndarray) -> np.ndarray:
+        """Raw continuous predictions (may leave the trained label range)."""
+        if self._alpha is None:
+            raise RuntimeError("regressor is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        K = self._kernel(self._normalizer.transform(X), self._X)
+        return K @ self._alpha + self._mean
+
+    def predict(self, X: np.ndarray, lo: int = 1, hi: int = 8) -> np.ndarray:
+        """Deployment form: rounded and clamped into the legal factor set."""
+        values = self.predict_value(X)
+        return np.clip(np.round(values), lo, hi).astype(np.int64)
+
+
+def loocv_regression_predictions(
+    X: np.ndarray,
+    y: np.ndarray,
+    regressor: KernelRidgeRegressor | None = None,
+) -> np.ndarray:
+    """Exact LOOCV factor predictions of the regressor.
+
+    Kernel ridge has the same closed-form LOO identity as LS-SVM:
+    ``y_i - f_{-i}(x_i) = alpha_i / (A^{-1})_ii`` with ``A = K + ridge I``.
+    """
+    reg = regressor or KernelRidgeRegressor()
+    reg.fit(X, y.astype(np.float64))
+    A = reg._kernel(reg._X, reg._X) + reg.ridge * np.eye(len(reg._X))
+    inv_diag = np.diag(np.linalg.inv(A))
+    residual = reg._alpha / inv_diag
+    loo_values = np.asarray(y, dtype=np.float64) - residual
+    return np.clip(np.round(loo_values), 1, 8).astype(np.int64)

@@ -1,0 +1,207 @@
+"""Decision trees and boosting — the related-work baseline.
+
+The paper's Section 9 contrasts its multi-class approach with Monsifrot,
+Bodin, and Quiniou's *binary* "boosted decision tree" classifier, which
+only decides unroll-or-not and leaves the factor to the compiler: "their
+learned classifier correctly predicts 86% of the loops in their benchmark
+suite. Judging by the histogram in Figure 3, simply unrolling all the time
+will achieve 77% accuracy, and while unrolling may be better than not
+unrolling for a given example, Table 2 shows that choosing the wrong unroll
+factor can severely limit performance."
+
+This module implements that baseline from scratch — CART-style trees with
+Gini impurity and AdaBoost (discrete SAMME for the binary case) — so the
+ablation bench can quantify the paper's argument on our data: high binary
+accuracy, mediocre realized performance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves carry a class distribution."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    distribution: np.ndarray | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.distribution is not None
+
+
+class DecisionTree:
+    """CART classifier: axis-aligned splits minimising weighted Gini.
+
+    Supports sample weights (required by boosting) and any integer label
+    set; prediction returns the majority class of the reached leaf.
+    """
+
+    def __init__(self, max_depth: int = 4, min_leaf: int = 5):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.max_depth = max_depth
+        self.min_leaf = min_leaf
+        self._root: _Node | None = None
+        self._classes: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray, sample_weight=None) -> "DecisionTree":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if sample_weight is None:
+            sample_weight = np.full(len(y), 1.0 / len(y))
+        sample_weight = np.asarray(sample_weight, dtype=np.float64)
+        self._classes = np.unique(y)
+        class_index = np.searchsorted(self._classes, y)
+        self._root = self._grow(X, class_index, sample_weight, depth=0)
+        return self
+
+    def _distribution(self, class_index, weight) -> np.ndarray:
+        dist = np.bincount(class_index, weights=weight, minlength=len(self._classes))
+        total = dist.sum()
+        return dist / total if total > 0 else np.full_like(dist, 1.0 / len(dist))
+
+    def _grow(self, X, class_index, weight, depth) -> _Node:
+        dist = self._distribution(class_index, weight)
+        if (
+            depth >= self.max_depth
+            or len(class_index) < 2 * self.min_leaf
+            or dist.max() >= 1.0 - 1e-12
+        ):
+            return _Node(distribution=dist)
+        feature, threshold, gain = self._best_split(X, class_index, weight)
+        if feature < 0 or gain <= 1e-12:
+            return _Node(distribution=dist)
+        goes_left = X[:, feature] <= threshold
+        left = self._grow(X[goes_left], class_index[goes_left], weight[goes_left], depth + 1)
+        right = self._grow(X[~goes_left], class_index[~goes_left], weight[~goes_left], depth + 1)
+        return _Node(feature=feature, threshold=threshold, left=left, right=right)
+
+    def _best_split(self, X, class_index, weight):
+        n, d = X.shape
+        k = len(self._classes)
+        parent = self._distribution(class_index, weight)
+        total_weight = weight.sum()
+        parent_gini = 1.0 - (parent**2).sum()
+        best = (-1, 0.0, 0.0)
+        for feature in range(d):
+            order = np.argsort(X[:, feature], kind="stable")
+            values = X[order, feature]
+            w = weight[order]
+            onehot = np.zeros((n, k))
+            onehot[np.arange(n), class_index[order]] = w
+            left_counts = np.cumsum(onehot, axis=0)
+            left_weight = np.cumsum(w)
+            # Candidate split after position i (between distinct values).
+            for i in range(self.min_leaf - 1, n - self.min_leaf):
+                if values[i] == values[i + 1]:
+                    continue
+                wl = left_weight[i]
+                wr = total_weight - wl
+                if wl <= 0 or wr <= 0:
+                    continue
+                pl = left_counts[i] / wl
+                pr = (left_counts[-1] - left_counts[i]) / wr
+                gini = (wl * (1 - (pl**2).sum()) + wr * (1 - (pr**2).sum())) / total_weight
+                gain = parent_gini - gini
+                if gain > best[2]:
+                    best = (feature, 0.5 * (values[i] + values[i + 1]), gain)
+        return best
+
+    # ------------------------------------------------------------------
+
+    def _leaf_for(self, x) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            node = node.left if x[node.feature] <= node.threshold else node.right
+        return node
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        picks = [int(np.argmax(self._leaf_for(x).distribution)) for x in X]
+        return self._classes[picks]
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        return np.vstack([self._leaf_for(x).distribution for x in X])
+
+
+class BoostedTrees:
+    """AdaBoost (discrete SAMME) over shallow CART trees.
+
+    With binary labels this is the classic boosted-decision-tree setup of
+    the Monsifrot et al. baseline; it also handles the multi-class case via
+    the SAMME correction term.
+    """
+
+    def __init__(self, n_rounds: int = 25, max_depth: int = 2, min_leaf: int = 5):
+        self.n_rounds = n_rounds
+        self.max_depth = max_depth
+        self.min_leaf = min_leaf
+        self._stages: list[tuple[float, DecisionTree]] = []
+        self._classes: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "BoostedTrees":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        self._classes = np.unique(y)
+        k = len(self._classes)
+        if k < 2:
+            raise ValueError("boosting needs at least two classes")
+        weight = np.full(len(y), 1.0 / len(y))
+        self._stages = []
+        for _ in range(self.n_rounds):
+            tree = DecisionTree(max_depth=self.max_depth, min_leaf=self.min_leaf)
+            tree.fit(X, y, sample_weight=weight)
+            predictions = tree.predict(X)
+            wrong = predictions != y
+            error = float(weight[wrong].sum())
+            if error >= 1.0 - 1.0 / k:
+                break  # no better than chance: stop
+            error = max(error, 1e-12)
+            alpha = np.log((1.0 - error) / error) + np.log(k - 1.0)
+            self._stages.append((alpha, tree))
+            weight = weight * np.exp(alpha * wrong)
+            weight /= weight.sum()
+            if error <= 1e-12:
+                break
+        if not self._stages:
+            tree = DecisionTree(max_depth=self.max_depth, min_leaf=self.min_leaf)
+            tree.fit(X, y)
+            self._stages.append((1.0, tree))
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._classes is None:
+            raise RuntimeError("ensemble is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        scores = np.zeros((len(X), len(self._classes)))
+        for alpha, tree in self._stages:
+            votes = tree.predict(X)
+            for col, cls in enumerate(self._classes):
+                scores[:, col] += alpha * (votes == cls)
+        return self._classes[np.argmax(scores, axis=1)]
+
+    @property
+    def n_stages(self) -> int:
+        return len(self._stages)
+
+
+def binary_unroll_labels(labels: np.ndarray) -> np.ndarray:
+    """Collapse unroll factors to the Monsifrot-style binary question:
+    1 = leave rolled, 2 = unroll (any factor)."""
+    labels = np.asarray(labels, dtype=np.int64)
+    return np.where(labels == 1, 1, 2)

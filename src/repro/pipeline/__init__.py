@@ -1,0 +1,36 @@
+"""End-to-end pipeline: measure -> filter/label -> train -> evaluate."""
+
+from repro.pipeline.cache import Artifacts, build_artifacts, cached_measurements, config_key
+from repro.pipeline.evaluation import (
+    BenchmarkResult,
+    EvaluationConfig,
+    SpeedupReport,
+    evaluate_speedups,
+)
+from repro.pipeline.labeling import (
+    LabelingConfig,
+    LabelingStats,
+    label_suite,
+    measure_loop_cycles,
+    measure_suite,
+    stats_from_table,
+)
+from repro.pipeline.measurements import MeasurementTable
+
+__all__ = [
+    "Artifacts",
+    "BenchmarkResult",
+    "EvaluationConfig",
+    "LabelingConfig",
+    "LabelingStats",
+    "MeasurementTable",
+    "SpeedupReport",
+    "build_artifacts",
+    "cached_measurements",
+    "config_key",
+    "evaluate_speedups",
+    "label_suite",
+    "measure_loop_cycles",
+    "measure_suite",
+    "stats_from_table",
+]

@@ -1,0 +1,98 @@
+"""Disk cache for the expensive pipeline artefacts.
+
+Measuring 72 benchmarks at 8 unroll factors in two scheduling regimes takes
+minutes; the benches and examples want it instant.  Artefacts are keyed by a
+hash of everything that determines them (suite seed and scale, labelling
+config, machine description), so a stale cache can never be confused for a
+current one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+
+from repro.ir.program import Suite
+from repro.machine.model import MachineModel
+from repro.ml.dataset import LoopDataset
+from repro.pipeline.labeling import LabelingConfig, measure_suite
+from repro.pipeline.measurements import MeasurementTable
+from repro.workloads.generator import WORKLOADS_VERSION, generate_suite
+
+#: Default cache directory (repository-local, ignored by packaging).
+DEFAULT_CACHE_DIR = Path(__file__).resolve().parents[3] / ".cache"
+
+
+def _machine_fingerprint(machine: MachineModel) -> dict:
+    payload = {
+        field.name: getattr(machine, field.name)
+        for field in dataclasses.fields(machine)
+        if field.name not in ("fu_counts", "latencies", "icache", "dcache")
+    }
+    payload["fu_counts"] = {k.value: v for k, v in machine.fu_counts.items()}
+    payload["latencies"] = {k.value: v for k, v in machine.latencies.items()}
+    payload["icache"] = dataclasses.asdict(machine.icache)
+    payload["dcache"] = dataclasses.asdict(machine.dcache)
+    return payload
+
+
+def config_key(suite_seed: int, loops_scale: float, config: LabelingConfig) -> str:
+    """Stable hash of everything that determines a measurement table."""
+    payload = {
+        "suite_seed": suite_seed,
+        "loops_scale": loops_scale,
+        "seed": config.seed,
+        "swp": config.swp,
+        "n_runs": config.n_runs,
+        "noise": dataclasses.asdict(config.noise),
+        "machine": _machine_fingerprint(config.machine),
+        "workloads_version": WORKLOADS_VERSION,
+        "format": 3,
+    }
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def cached_measurements(
+    suite: Suite,
+    suite_seed: int,
+    loops_scale: float,
+    config: LabelingConfig,
+    cache_dir: Path | None = None,
+) -> MeasurementTable:
+    """Measure the suite, or load the cached table if one matches."""
+    cache_dir = Path(cache_dir) if cache_dir is not None else DEFAULT_CACHE_DIR
+    key = config_key(suite_seed, loops_scale, config)
+    path = cache_dir / f"measurements_{key}.npz"
+    if path.exists():
+        return MeasurementTable.load(path)
+    table = measure_suite(suite, config)
+    table.save(path)
+    return table
+
+
+@dataclasses.dataclass(frozen=True)
+class Artifacts:
+    """Everything the experiments consume, built once and cached."""
+
+    suite: Suite
+    table: MeasurementTable
+    dataset: LoopDataset
+    config: LabelingConfig
+
+
+def build_artifacts(
+    suite_seed: int = 20050320,
+    loops_scale: float = 1.0,
+    swp: bool = False,
+    config: LabelingConfig | None = None,
+    cache_dir: Path | None = None,
+) -> Artifacts:
+    """Generate the suite, measure it (cache-aware), and label it."""
+    config = config or LabelingConfig(seed=suite_seed, swp=swp)
+    suite = generate_suite(seed=suite_seed, loops_scale=loops_scale)
+    table = cached_measurements(suite, suite_seed, loops_scale, config, cache_dir)
+    dataset = table.to_dataset(config.min_cycles, config.min_benefit)
+    return Artifacts(suite=suite, table=table, dataset=dataset, config=config)

@@ -1,0 +1,153 @@
+"""The labelling pipeline: measure every loop at every unroll factor.
+
+Reproduces the paper's data-collection protocol (Sections 4.4-4.6):
+
+1. compile every unrollable loop at unroll factors 1..8 (here: the cost
+   simulator times each configuration);
+2. run each configuration 30 times and keep the median cumulative cycles
+   per loop (the noise model supplies the 30 samples);
+3. keep only loops that run for at least 50,000 cycles — short loops are
+   measurement noise magnets;
+4. keep only loops whose best factor is "measurably better than the average
+   (1.05x) over all unroll factors" — flat loops carry no signal;
+5. label each surviving loop with its best measured factor and pair the
+   label with the loop's 38 static features.
+
+:func:`measure_suite` produces the *unfiltered* :class:`MeasurementTable`
+(steps 1-2 for every loop); :func:`label_suite` applies steps 3-5 on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.features.extract import extract_features
+from repro.ir.loop import Loop
+from repro.ir.program import Suite
+from repro.ir.types import MAX_UNROLL
+from repro.machine.itanium2 import ITANIUM2
+from repro.machine.model import MachineModel
+from repro.ml.dataset import LoopDataset
+from repro.pipeline.measurements import MeasurementTable
+from repro.simulate.executor import CostModel
+from repro.simulate.noise import DEFAULT_NOISE, NoiseModel
+
+
+@dataclass(frozen=True)
+class LabelingConfig:
+    """Knobs of the labelling protocol (paper defaults)."""
+
+    seed: int = 20050320
+    swp: bool = False
+    machine: MachineModel = ITANIUM2
+    noise: NoiseModel = DEFAULT_NOISE
+    n_runs: int = 30
+    min_cycles: float = 50_000.0
+    min_benefit: float = 1.05
+
+
+@dataclass
+class LabelingStats:
+    """What the filters did — reported alongside every dataset."""
+
+    n_loops_total: int = 0
+    n_below_cycle_floor: int = 0
+    n_flat: int = 0
+    n_labeled: int = 0
+    labels_histogram: dict[int, int] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        return (
+            f"{self.n_loops_total} loops measured; "
+            f"{self.n_below_cycle_floor} below the cycle floor, "
+            f"{self.n_flat} flat (< min benefit), {self.n_labeled} labelled"
+        )
+
+
+def measure_loop_cycles(
+    loop: Loop,
+    cost_model: CostModel,
+    noise: NoiseModel,
+    rng: np.random.Generator,
+    n_runs: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(measured_median, true)`` cycles for factors 1..8."""
+    measured = np.empty(MAX_UNROLL)
+    true = np.empty(MAX_UNROLL)
+    for factor in range(1, MAX_UNROLL + 1):
+        true_cycles = cost_model.loop_cost(loop, factor).total_cycles
+        true[factor - 1] = true_cycles
+        measured[factor - 1] = noise.median_measurement(
+            true_cycles, loop.entry_count, rng, n=n_runs
+        )
+    return measured, true
+
+
+def measure_suite(suite: Suite, config: LabelingConfig = LabelingConfig()) -> MeasurementTable:
+    """Steps 1-2 of the protocol over every loop in the suite."""
+    cost_model = CostModel(machine=config.machine, swp=config.swp)
+    n = suite.n_loops
+    X = np.empty((n, 38))
+    measured = np.empty((n, MAX_UNROLL))
+    true = np.empty((n, MAX_UNROLL))
+    names: list[str] = []
+    benchs: list[str] = []
+    suites: list[str] = []
+    langs: list[str] = []
+    entries = np.empty(n, dtype=np.int64)
+
+    row = 0
+    seeds = np.random.SeedSequence(config.seed).spawn(len(suite.benchmarks))
+    for benchmark, seed in zip(suite.benchmarks, seeds):
+        rng = np.random.default_rng(seed)
+        for loop in benchmark.loops:
+            measured[row], true[row] = measure_loop_cycles(
+                loop, cost_model, config.noise, rng, config.n_runs
+            )
+            X[row] = extract_features(loop, config.machine)
+            names.append(loop.name)
+            benchs.append(benchmark.name)
+            suites.append(benchmark.suite)
+            langs.append(loop.language.name)
+            entries[row] = loop.entry_count
+            row += 1
+
+    return MeasurementTable(
+        X=X,
+        measured=measured,
+        true_cycles=true,
+        loop_names=np.array(names),
+        benchmarks=np.array(benchs),
+        suites=np.array(suites),
+        languages=np.array(langs),
+        entry_counts=entries,
+        swp=config.swp,
+    )
+
+
+def stats_from_table(table: MeasurementTable, config: LabelingConfig) -> LabelingStats:
+    """Filter statistics for a measured table."""
+    stats = LabelingStats(n_loops_total=len(table))
+    long_enough = table.measured[:, 0] >= config.min_cycles
+    best = table.measured.min(axis=1)
+    informative = table.measured.mean(axis=1) / best >= config.min_benefit
+    stats.n_below_cycle_floor = int(np.sum(~long_enough))
+    stats.n_flat = int(np.sum(long_enough & ~informative))
+    mask = long_enough & informative
+    stats.n_labeled = int(mask.sum())
+    labels = np.argmin(table.measured[mask], axis=1) + 1
+    for label in labels:
+        stats.labels_histogram[int(label)] = stats.labels_histogram.get(int(label), 0) + 1
+    return stats
+
+
+def label_suite(
+    suite: Suite, config: LabelingConfig = LabelingConfig()
+) -> tuple[LoopDataset, LabelingStats]:
+    """The full protocol: measure, filter, label."""
+    table = measure_suite(suite, config)
+    stats = stats_from_table(table, config)
+    dataset = table.to_dataset(config.min_cycles, config.min_benefit)
+    return dataset, stats

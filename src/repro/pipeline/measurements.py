@@ -1,0 +1,116 @@
+"""The full measurement table: every loop, every unroll factor.
+
+The labelled dataset (2,500+ surviving loops) is what the classifiers
+train on, but the *whole-program* experiments need more: a benchmark's
+runtime sums over **all** its loops, including the ones the noise filters
+rejected.  :class:`MeasurementTable` is that superset — one row per loop in
+the suite, carrying static features, noisy measured medians, and noise-free
+truth per factor.  The labelled dataset is a filtered view of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.features.catalog import N_FEATURES
+from repro.ir.types import MAX_UNROLL
+from repro.ml.dataset import LoopDataset
+
+
+@dataclass(frozen=True)
+class MeasurementTable:
+    """Per-loop measurements over the full suite (no filtering).
+
+    Attributes mirror :class:`~repro.ml.dataset.LoopDataset`, plus
+    ``entry_counts`` (needed to reason about per-entry costs).
+    """
+
+    X: np.ndarray  # (n, 38) static features
+    measured: np.ndarray  # (n, 8) median measured cycles per factor
+    true_cycles: np.ndarray  # (n, 8) noise-free cycles per factor
+    loop_names: np.ndarray
+    benchmarks: np.ndarray
+    suites: np.ndarray
+    languages: np.ndarray
+    entry_counts: np.ndarray
+    swp: bool
+
+    def __post_init__(self) -> None:
+        n = len(self.loop_names)
+        if self.X.shape != (n, N_FEATURES):
+            raise ValueError(f"feature matrix must be ({n}, {N_FEATURES})")
+        for name in ("measured", "true_cycles"):
+            if getattr(self, name).shape != (n, MAX_UNROLL):
+                raise ValueError(f"{name} must be ({n}, {MAX_UNROLL})")
+
+    def __len__(self) -> int:
+        return len(self.loop_names)
+
+    # ------------------------------------------------------------------
+
+    def survivor_mask(self, min_cycles: float, min_benefit: float) -> np.ndarray:
+        """The paper's two filters as a boolean row mask: the rolled loop
+        must run at least ``min_cycles``, and the best factor must beat the
+        all-factor average by ``min_benefit``."""
+        long_enough = self.measured[:, 0] >= min_cycles
+        best = self.measured.min(axis=1)
+        informative = self.measured.mean(axis=1) / best >= min_benefit
+        return long_enough & informative
+
+    def to_dataset(self, min_cycles: float, min_benefit: float) -> LoopDataset:
+        """The labelled training dataset: filtered rows, argmin labels."""
+        mask = self.survivor_mask(min_cycles, min_benefit)
+        if not mask.any():
+            raise ValueError("no loops survived the filters")
+        labels = np.argmin(self.measured[mask], axis=1) + 1
+        return LoopDataset(
+            X=self.X[mask],
+            labels=labels.astype(np.int64),
+            cycles=self.measured[mask],
+            true_cycles=self.true_cycles[mask],
+            loop_names=self.loop_names[mask],
+            benchmarks=self.benchmarks[mask],
+            suites=self.suites[mask],
+            languages=self.languages[mask],
+            swp=self.swp,
+        )
+
+    def rows_for_benchmark(self, benchmark: str) -> np.ndarray:
+        """Row indices belonging to one benchmark."""
+        return np.flatnonzero(self.benchmarks == benchmark)
+
+    # ------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        np.savez_compressed(
+            path,
+            X=self.X,
+            measured=self.measured,
+            true_cycles=self.true_cycles,
+            loop_names=self.loop_names.astype(str),
+            benchmarks=self.benchmarks.astype(str),
+            suites=self.suites.astype(str),
+            languages=self.languages.astype(str),
+            entry_counts=self.entry_counts,
+            swp=np.array([self.swp]),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "MeasurementTable":
+        with np.load(Path(path), allow_pickle=False) as data:
+            return cls(
+                X=data["X"],
+                measured=data["measured"],
+                true_cycles=data["true_cycles"],
+                loop_names=data["loop_names"],
+                benchmarks=data["benchmarks"],
+                suites=data["suites"],
+                languages=data["languages"],
+                entry_counts=data["entry_counts"],
+                swp=bool(data["swp"][0]),
+            )

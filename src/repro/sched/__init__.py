@@ -1,0 +1,27 @@
+"""Schedulers: acyclic list scheduling, modulo scheduling, register pressure."""
+
+from repro.sched.list_scheduler import ListSchedule, list_schedule, steady_state_cycles
+from repro.sched.modulo import (
+    ModuloSchedule,
+    ModuloScheduleError,
+    modulo_schedule,
+    recurrence_mii,
+    resource_mii,
+    swp_register_pressure,
+)
+from repro.sched.regpressure import PressureEstimate, max_live, spill_cycles
+
+__all__ = [
+    "ListSchedule",
+    "ModuloSchedule",
+    "ModuloScheduleError",
+    "PressureEstimate",
+    "list_schedule",
+    "max_live",
+    "modulo_schedule",
+    "recurrence_mii",
+    "resource_mii",
+    "spill_cycles",
+    "steady_state_cycles",
+    "swp_register_pressure",
+]

@@ -1,0 +1,108 @@
+"""Register-pressure estimation over a schedule.
+
+MAXLIVE — the peak number of simultaneously live values — decides whether a
+loop body fits the register file.  Unrolling multiplies live values, and the
+resulting spill traffic is one of the paper's headline reasons why "more
+unrolling" is not free, so this estimate feeds both the cycle simulator and
+the ``live range size`` feature the paper's feature-selection study ranks
+highly.
+
+Live intervals over one body execution:
+
+* a value defined at cycle ``c`` and last used at cycle ``u`` is live on
+  ``[c, u]``;
+* loop-invariant live-ins occupy a register for the whole body;
+* loop-carried values are live from body start to their last use (the
+  incoming copy) *and* from their definition to body end (the outgoing
+  copy) — conservatively the whole body.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.dependence import DependenceGraph
+from repro.ir.types import DType
+from repro.sched.list_scheduler import ListSchedule
+
+
+@dataclass(frozen=True)
+class PressureEstimate:
+    """Peak simultaneous live values, split by register file."""
+
+    int_live: int
+    fp_live: int
+
+    @property
+    def total(self) -> int:
+        return self.int_live + self.fp_live
+
+
+def max_live(deps: DependenceGraph, schedule: ListSchedule) -> PressureEstimate:
+    """MAXLIVE of one scheduled body execution."""
+    body = deps.body
+    n = len(body)
+    horizon = (max(schedule.start) if n else 0) + 1
+
+    # Map each register to its definition cycle and last-use cycle.
+    def_cycle: dict = {}
+    last_use: dict = {}
+    for i, inst in enumerate(body):
+        for reg in inst.reg_dests():
+            def_cycle[reg] = schedule.start[i]
+        for reg in inst.reg_srcs():
+            cycle = schedule.start[i]
+            if cycle > last_use.get(reg, -1):
+                last_use[reg] = cycle
+
+    events_int: list[tuple[int, int]] = []
+    events_fp: list[tuple[int, int]] = []
+    all_regs = set(def_cycle) | set(last_use)
+    for reg in all_regs:
+        if reg.dtype is DType.PRED:
+            continue  # predicates live in their own (large) register file
+        defined = reg in def_cycle
+        used = reg in last_use
+        if defined and used and last_use[reg] >= def_cycle[reg]:
+            lo, hi = def_cycle[reg], last_use[reg]
+        elif defined and used:
+            # Used before defined: a carried value — live across the body.
+            lo, hi = 0, horizon
+        elif defined:
+            # Defined, never read here: live out (carried or stored later).
+            lo, hi = def_cycle[reg], horizon
+        else:
+            # Live-in only (invariant or incoming carried value).
+            lo, hi = 0, horizon
+        target = events_fp if reg.dtype is DType.F64 else events_int
+        target.append((lo, 1))
+        target.append((hi + 1, -1))
+
+    return PressureEstimate(_peak(events_int), _peak(events_fp))
+
+
+def _peak(events: list[tuple[int, int]]) -> int:
+    events.sort()
+    live = peak = 0
+    for _, delta in events:
+        live += delta
+        if live > peak:
+            peak = live
+    return peak
+
+
+def spill_cycles(pressure: PressureEstimate, machine) -> float:
+    """Extra cycles per body execution caused by spilling when MAXLIVE
+    exceeds the available registers (zero when everything fits).
+
+    The cost is superlinear in the excess: a value or two over the limit
+    just shortens some live ranges (the allocator copes almost for free),
+    but a large excess cascades — every spill's reload lengthens other live
+    ranges, forcing more spills.  The exponent is a machine parameter.
+    """
+    excess_int = max(0, pressure.int_live - machine.regs_available(fp=False))
+    excess_fp = max(0, pressure.fp_live - machine.regs_available(fp=True))
+    excess = excess_int + excess_fp
+    if excess == 0:
+        return 0.0
+    return machine.spill_cycles * excess**machine.spill_exponent

@@ -1,0 +1,22 @@
+"""Cycle simulation: cache models, measurement noise, and the cost executor."""
+
+from repro.simulate.cache import (
+    ELEMENT_BYTES,
+    effective_load_latency,
+    icache_entry_penalty,
+)
+from repro.simulate.executor import ENTRY_OVERHEAD, SWP_SETUP, CostModel, LoopCost
+from repro.simulate.noise import DEFAULT_NOISE, NOISELESS, NoiseModel
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_NOISE",
+    "ELEMENT_BYTES",
+    "ENTRY_OVERHEAD",
+    "LoopCost",
+    "NOISELESS",
+    "NoiseModel",
+    "SWP_SETUP",
+    "effective_load_latency",
+    "icache_entry_penalty",
+]

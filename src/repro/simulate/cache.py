@@ -1,0 +1,128 @@
+"""Cache behaviour models.
+
+Two effects matter for unrolling and both are modelled here:
+
+* **Instruction cache** — code expansion.  Unrolled bodies (plus the
+  remainder copy) can outgrow the I-cache share a loop can realistically
+  hold in a full program; the overflow is re-fetched on every loop entry.
+  This is the paper's first listed drawback of unrolling, and it makes the
+  trip-count and body-size features genuinely predictive.
+* **Data cache** — each loop gets an *effective load latency*: the machine's
+  base latency plus a stall component derived from the loop's strides,
+  footprint, and indirect accesses.  Long effective latencies reward the
+  extra ILP unrolling exposes (more independent loads in flight), short
+  ones don't — another axis the classifiers must learn.
+"""
+
+from __future__ import annotations
+
+from repro.ir.loop import Loop
+from repro.machine.model import MachineModel
+
+#: Array element size in bytes (all arrays are float64).
+ELEMENT_BYTES = 8
+
+
+def effective_load_latency(loop: Loop, machine: MachineModel) -> int:
+    """Average load latency the loop observes, given its access patterns."""
+    dcache = machine.dcache
+    loads = [
+        inst
+        for inst in loop.body
+        if inst.op.is_load and inst.mem is not None
+    ]
+    if not loads:
+        return machine.load_latency
+
+    footprint = _data_footprint_bytes(loop)
+    if footprint <= dcache.l1_bytes:
+        level_penalty = 0.0
+    elif footprint <= dcache.l2_bytes:
+        level_penalty = dcache.l2_penalty
+    elif footprint <= dcache.l3_bytes:
+        level_penalty = dcache.l3_penalty
+    else:
+        level_penalty = dcache.memory_penalty
+
+    total_extra = 0.0
+    for inst in loads:
+        mem = inst.mem
+        if mem.indirect:
+            # Gathers miss at a fixed rate regardless of footprint level,
+            # paying at least the L3 penalty.
+            penalty = max(level_penalty, dcache.l3_penalty)
+            total_extra += dcache.indirect_miss_rate * penalty
+        else:
+            stride_bytes = max(abs(mem.stride), 1) * ELEMENT_BYTES
+            miss_rate = min(1.0, stride_bytes / dcache.line_bytes)
+            if mem.stride == 0:
+                miss_rate = 0.0  # loop-invariant scalar: always resident
+            total_extra += miss_rate * level_penalty
+    average_extra = total_extra / len(loads)
+    return machine.load_latency + int(round(average_extra))
+
+
+def _data_footprint_bytes(loop: Loop) -> int:
+    """Bytes of distinct data the loop sweeps per entry."""
+    spans: dict[str, int] = {}
+    trips = loop.trip.runtime
+    for inst in loop.body:
+        mem = inst.mem
+        if mem is None:
+            continue
+        if mem.indirect:
+            span = loop.arrays.get(mem.array, trips) * ELEMENT_BYTES
+        else:
+            span = (abs(mem.stride) * (trips - 1) + mem.width) * ELEMENT_BYTES
+        spans[mem.array] = max(spans.get(mem.array, 0), span)
+    return sum(spans.values())
+
+
+def bandwidth_floor_per_iteration(loop: Loop, machine: MachineModel) -> float:
+    """Minimum cycles per *original* iteration imposed by memory bandwidth.
+
+    A loop whose working set streams from L2/L3/memory cannot run faster
+    than the level's sustained bandwidth allows, regardless of how many
+    independent loads unrolling puts in flight.  This is why the paper-era
+    wisdom says unrolling does nothing for bandwidth-bound loops: their
+    per-iteration cost is flat in the unroll factor, and code-growth
+    penalties then make *not* unrolling optimal.
+    """
+    dcache = machine.dcache
+    footprint = _data_footprint_bytes(loop)
+    if footprint <= dcache.l1_bytes:
+        return 0.0
+    if footprint <= dcache.l2_bytes:
+        bandwidth = dcache.l2_bandwidth
+    elif footprint <= dcache.l3_bytes:
+        bandwidth = dcache.l3_bandwidth
+    else:
+        bandwidth = dcache.memory_bandwidth
+
+    bytes_per_iter = 0.0
+    for inst in loop.body:
+        mem = inst.mem
+        if mem is None or not inst.op.is_memory:
+            continue
+        if mem.indirect:
+            # A gather touches a whole line per access, effectively.
+            bytes_per_iter += dcache.line_bytes * dcache.indirect_miss_rate
+        elif mem.stride != 0:
+            # Unique bytes the reference consumes per iteration, capped at
+            # one line (larger strides still fetch whole lines).
+            line_elems = dcache.line_bytes // ELEMENT_BYTES
+            stride_bytes = min(abs(mem.stride), line_elems) * ELEMENT_BYTES
+            bytes_per_iter += stride_bytes * mem.width
+    return bytes_per_iter / bandwidth
+
+
+def icache_entry_penalty(emitted_instructions: int, machine: MachineModel) -> int:
+    """Extra cycles *per loop entry* caused by code outgrowing the loop's
+    I-cache share (the overflow streams back in every time)."""
+    icache = machine.icache
+    code_bytes = machine.code_bytes(emitted_instructions)
+    overflow = code_bytes - icache.loop_budget_bytes
+    if overflow <= 0:
+        return 0
+    overflow_lines = -(-overflow // icache.line_bytes)
+    return overflow_lines * icache.miss_penalty

@@ -1,0 +1,237 @@
+"""The loop cycle simulator.
+
+``CostModel.loop_cost(loop, factor)`` answers the question the paper answers
+with a real Itanium 2: *how many cycles does this loop take per program run
+when unrolled by this factor?*  The answer is emergent, not a formula: the
+loop is actually unrolled, cleaned up (scalar replacement, coalescing, DCE),
+dependence-analyzed, and scheduled — acyclically when software pipelining is
+off, by iterative modulo scheduling when it is on — on the chosen machine
+description, with register-pressure spills, I-cache overflow, trip-count
+preconditioning, and early-exit costs layered on top.
+
+Because every term comes from the same IR the feature extractor reads, the
+optimal unroll factor is a learnable (but noisy and non-obvious) function of
+the loop's static characteristics — the property all of the paper's
+experiments rest on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.dependence import analyze_dependences
+from repro.ir.loop import Loop
+from repro.machine.itanium2 import ITANIUM2
+from repro.machine.model import MachineModel
+from repro.sched.list_scheduler import list_schedule, steady_state_cycles
+from repro.sched.modulo import ModuloScheduleError, modulo_schedule, swp_register_pressure
+from repro.sched.regpressure import max_live, spill_cycles
+from repro.simulate.cache import (
+    bandwidth_floor_per_iteration,
+    effective_load_latency,
+    icache_entry_penalty,
+)
+from repro.transforms.pipeline import OptimizationPlan, optimize_for_factor
+from repro.transforms.unroll import UnrollResult
+
+#: Fixed cycles to enter a loop (live-in setup, first-bundle fetch).
+ENTRY_OVERHEAD = 3
+
+#: Fixed cycles to set up a software-pipelined kernel (rotating-register
+#: initialisation, predicate staging).
+SWP_SETUP = 6
+
+
+@dataclass(frozen=True)
+class LoopCost:
+    """Cycle cost of one (loop, unroll factor) configuration."""
+
+    loop_name: str
+    factor: int
+    swp_requested: bool
+    swp_used: bool
+    total_cycles: float
+    per_entry_cycles: float
+    main_period: float
+    ii: int | None
+    stages: int | None
+    spill_penalty: float
+    icache_penalty: int
+    precondition_penalty: int
+    emitted_instructions: int
+
+
+class CostModel:
+    """Times loops on a machine description.
+
+    Args:
+        machine: target description (default: the Itanium 2 lookalike).
+        swp: whether software pipelining is enabled (the paper's two
+            regimes).
+        plan: post-unroll cleanup switches (ablations toggle these).
+    """
+
+    def __init__(
+        self,
+        machine: MachineModel = ITANIUM2,
+        swp: bool = False,
+        plan: OptimizationPlan | None = None,
+    ):
+        self.machine = machine
+        self.swp = swp
+        self.plan = plan or OptimizationPlan()
+        self._latency_cache: dict[str, int] = {}
+        self._floor_cache: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+
+    def loop_cost(self, loop: Loop, factor: int) -> LoopCost:
+        """Cycles per program run for ``loop`` unrolled by ``factor``."""
+        eff_latency = self._effective_latency(loop)
+        machine = self.machine.with_load_latency(eff_latency)
+        bw_floor = self._bandwidth_floor(loop)
+        result = optimize_for_factor(loop, factor, self.plan)
+
+        main_cycles = 0.0
+        main_period = 0.0
+        ii = stages = None
+        spill = 0.0
+        swp_used = False
+
+        if result.main is not None:
+            (
+                main_cycles,
+                main_period,
+                ii,
+                stages,
+                spill,
+                swp_used,
+            ) = self._part_cycles(result.main, machine, bw_floor, allow_swp=True)
+
+        rem_cycles = 0.0
+        if result.remainder is not None:
+            rem_cycles, _, _, _, rem_spill, _ = self._part_cycles(
+                result.remainder, machine, bw_floor, allow_swp=False
+            )
+            spill += rem_spill
+
+        icache = icache_entry_penalty(result.emitted_size, machine)
+        precondition = 0
+        if result.needs_precondition:
+            precondition = machine.precondition_cycles
+            if result.factor & (result.factor - 1):  # not a power of two
+                precondition += machine.nonpow2_precondition_cycles
+        exit_cost = 0.0
+        if loop.has_early_exit:
+            # The final (taken) exit branch mispredicts once per entry, and
+            # an unrolled body overshoots: on average (factor-1)/2 copies of
+            # work issue past the exiting iteration before the branch
+            # resolves — the paper's speculation-gone-wrong cost.
+            exit_cost = machine.exit_mispredict_cycles
+            if result.factor > 1 and main_period > 0:
+                # Beyond the wasted copies themselves, speculatively issued
+                # memory accesses past the exit pollute the cache/TLB, so
+                # the effective waste is closer to a full body's worth.
+                wasted_copies = (result.factor - 1) * 0.8
+                exit_cost += wasted_copies * (main_period / result.factor)
+
+        per_entry = (
+            main_cycles
+            + rem_cycles
+            + icache
+            + precondition
+            + exit_cost
+            + ENTRY_OVERHEAD
+        )
+        total = per_entry * loop.entry_count
+        return LoopCost(
+            loop_name=loop.name,
+            factor=factor,
+            swp_requested=self.swp,
+            swp_used=swp_used,
+            total_cycles=total,
+            per_entry_cycles=per_entry,
+            main_period=main_period,
+            ii=ii,
+            stages=stages,
+            spill_penalty=spill,
+            icache_penalty=icache,
+            precondition_penalty=precondition,
+            emitted_instructions=result.emitted_size,
+        )
+
+    def sweep(self, loop: Loop) -> dict[int, LoopCost]:
+        """Costs at every unroll factor in the label space."""
+        from repro.ir.types import UNROLL_FACTORS
+
+        return {factor: self.loop_cost(loop, factor) for factor in UNROLL_FACTORS}
+
+    # ------------------------------------------------------------------
+
+    def _effective_latency(self, loop: Loop) -> int:
+        cached = self._latency_cache.get(loop.name)
+        if cached is None:
+            cached = effective_load_latency(loop, self.machine)
+            self._latency_cache[loop.name] = cached
+        return cached
+
+    def _bandwidth_floor(self, loop: Loop) -> float:
+        cached = self._floor_cache.get(loop.name)
+        if cached is None:
+            cached = bandwidth_floor_per_iteration(loop, self.machine)
+            self._floor_cache[loop.name] = cached
+        return cached
+
+    def _part_cycles(
+        self, part: Loop, machine: MachineModel, bw_floor: float, allow_swp: bool
+    ) -> tuple[float, float, int | None, int | None, float, bool]:
+        """Cycles per entry for one loop part (main or remainder).
+
+        ``bw_floor`` is the loop's bandwidth-imposed minimum cycles per
+        original iteration; one body execution covers ``unroll_factor``
+        iterations, so the body period is floored at ``bw_floor * factor``.
+
+        Returns ``(cycles, period, ii, stages, spill, swp_used)``.
+        """
+        deps = analyze_dependences(part)
+        trips = part.trip.runtime
+        body_floor = bw_floor * part.unroll_factor
+
+        if allow_swp and self.swp and part.swp_eligible:
+            try:
+                kernel = modulo_schedule(deps, machine)
+            except ModuloScheduleError:
+                kernel = None
+            if kernel is not None and trips > kernel.stages:
+                int_need, fp_need = swp_register_pressure(deps, kernel)
+                rotating = machine.rotating_regs
+                excess = max(0, int_need - rotating) + max(0, fp_need - rotating)
+                ii_eff = kernel.ii + -(-excess // 4) if excess else kernel.ii
+                ii_eff = max(ii_eff, int(-(-body_floor // 1)))  # ceil of the floor
+                cycles = (trips + kernel.stages - 1) * ii_eff + SWP_SETUP
+                return (
+                    float(cycles),
+                    float(ii_eff),
+                    ii_eff,
+                    kernel.stages,
+                    0.0,
+                    True,
+                )
+
+        schedule = list_schedule(deps, machine)
+        pressure = max_live(deps, schedule)
+        base_period = max(steady_state_cycles(deps, schedule, machine), body_floor)
+        # Spill cost is bounded relative to the loop itself: the allocator
+        # spills cheapest-first, so over-unrolling degrades, never explodes.
+        spill = min(
+            spill_cycles(pressure, machine),
+            machine.spill_cap_fraction * base_period,
+        )
+        # The bandwidth floor caps how far ILP can compress the schedule,
+        # but spill traffic and the backedge update group ride *on top* of
+        # it: spills add memory traffic of their own, and the induction
+        # update issues in its own group at the backedge.
+        period = base_period + spill
+        if part.unroll_factor & (part.unroll_factor - 1):
+            period += machine.nonpow2_body_cycles
+        return float(trips * period), float(period), None, None, spill * trips, False

@@ -1,0 +1,20 @@
+"""Loop transformations: unrolling and the post-unroll cleanup passes."""
+
+from repro.transforms.coalesce import coalesce_loads, coalesce_loads_body
+from repro.transforms.dce import eliminate_dead_code
+from repro.transforms.pipeline import OptimizationPlan, optimize_for_factor
+from repro.transforms.scalar_replacement import scalar_replace, scalar_replace_body
+from repro.transforms.unroll import UnrollResult, unroll, unroll_all_factors
+
+__all__ = [
+    "OptimizationPlan",
+    "UnrollResult",
+    "coalesce_loads",
+    "coalesce_loads_body",
+    "eliminate_dead_code",
+    "optimize_for_factor",
+    "scalar_replace",
+    "scalar_replace_body",
+    "unroll",
+    "unroll_all_factors",
+]

@@ -1,0 +1,136 @@
+"""Memory-access coalescing: merging adjacent loads into wide loads.
+
+Unrolling turns a single stride-1 load into several loads of *consecutive*
+elements (``a[i]``, ``a[i+1]``, ...).  A machine with a wide memory path can
+fetch two adjacent elements in one operation (Itanium's ``ldfpd``), halving
+memory-port pressure.  The paper's Section 3 calls unrolling "key to exposing
+adjacent memory references so that they can be merged into a single wide
+reference"; this pass performs that merge.
+
+Safety conditions for merging loads ``a[e]`` and ``a[e+1]``:
+
+* both are unpredicated affine width-1 loads with the same stride;
+* the reference's per-iteration stride must be *even* and the pair must
+  start at an even element offset: a wide load needs 16-byte alignment on
+  every iteration, which an odd stride cannot guarantee.  This is why
+  odd unroll factors forfeit coalescing on unit-stride streams (the
+  unrolled stride is ``coeff * factor``) — one of the physical reasons
+  the paper's optimal-factor histogram is dominated by powers of two;
+* no store that could touch ``a`` appears between the two loads in body
+  order (the pair issues at the earlier position).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.ir.instruction import Instruction
+from repro.ir.loop import Loop
+from repro.ir.types import Opcode
+from repro.ir.values import MemRef
+
+
+def coalesce_loads_body(body: tuple[Instruction, ...]) -> tuple[Instruction, ...]:
+    """Merge adjacent-element load pairs in one body (to fixpoint).
+
+    One sweep considers the first load per (array, stride, offset); bodies
+    with *duplicate* offsets (which scalar replacement normally removes
+    first) can expose further pairs after a sweep, so sweeps repeat until
+    nothing merges — making the pass idempotent regardless of pass order.
+    """
+    while True:
+        merged = _coalesce_sweep(body)
+        if merged is body:
+            return body
+        body = merged
+
+
+def _coalesce_sweep(body: tuple[Instruction, ...]) -> tuple[Instruction, ...]:
+    """A single merge sweep; returns ``body`` itself when nothing merged."""
+    # Collect candidate loads grouped by (array, stride).
+    candidates: dict[tuple[str, int], list[tuple[int, Instruction]]] = {}
+    for pos, inst in enumerate(body):
+        if (
+            inst.op is Opcode.LOAD
+            and inst.pred is None
+            and inst.mem is not None
+            and not inst.mem.indirect
+            and inst.mem.width == 1
+            and inst.mem.index.coeff % 2 == 0  # alignment holds every iteration
+        ):
+            key = (inst.mem.array, inst.mem.index.coeff)
+            candidates.setdefault(key, []).append((pos, inst))
+
+    merged_at: dict[int, Instruction] = {}
+    removed: set[int] = set()
+
+    for (array, _coeff), loads in candidates.items():
+        by_offset = {}
+        for pos, inst in loads:
+            by_offset.setdefault(inst.mem.index.offset, (pos, inst))
+        for offset in sorted(by_offset):
+            if offset % 2 != 0:
+                continue  # pairs must start even-aligned
+            if offset + 1 not in by_offset:
+                continue
+            pos_a, load_a = by_offset[offset]
+            pos_b, load_b = by_offset[offset + 1]
+            if pos_a in removed or pos_b in removed or pos_a in merged_at or pos_b in merged_at:
+                continue
+            first, second = min(pos_a, pos_b), max(pos_a, pos_b)
+            # The pair issues at the *earlier* position, so only the later
+            # load's element is read earlier than before; a store between
+            # the two that could touch that element blocks the merge.
+            later_offset = body[second].mem.index.offset
+            if _store_between(
+                body, first, second, array, load_a.mem.index.coeff, (later_offset,)
+            ):
+                continue
+            pair_mem = replace(load_a.mem, width=2)
+            even_pos, even_load = (pos_a, load_a) if pos_a <= pos_b else (pos_b, load_b)
+            pair = Instruction(
+                Opcode.LOAD_PAIR,
+                dest=load_a.dest,
+                dest2=load_b.dest,
+                mem=pair_mem,
+            )
+            merged_at[even_pos] = pair
+            removed.add(pos_a if even_pos == pos_b else pos_b)
+
+    if not merged_at and not removed:
+        return body
+    new_body: list[Instruction] = []
+    for pos, inst in enumerate(body):
+        if pos in removed:
+            continue
+        new_body.append(merged_at.get(pos, inst))
+    return tuple(new_body)
+
+
+def _store_between(
+    body: tuple[Instruction, ...],
+    first: int,
+    second: int,
+    array: str,
+    coeff: int = 0,
+    offsets: tuple[int, ...] = (),
+) -> bool:
+    """Whether a store between two positions could touch the pair's
+    elements.  Affine stores with the same stride and a provably different
+    offset are harmless; anything else on the same array blocks the merge."""
+    for pos in range(first, second):
+        inst = body[pos]
+        if inst.op is not Opcode.STORE or inst.mem is None or inst.mem.array != array:
+            continue
+        mem = inst.mem
+        if mem.indirect or inst.pred is not None:
+            return True
+        if mem.index.coeff == coeff and mem.index.offset not in offsets:
+            continue  # same stride, distinct element every iteration
+        return True
+    return False
+
+
+def coalesce_loads(loop: Loop) -> Loop:
+    """Coalescing over a whole loop."""
+    return loop.with_body(coalesce_loads_body(loop.body))

@@ -1,0 +1,47 @@
+"""Dead code elimination for loop bodies.
+
+Removes instructions whose results are never used, keeping everything with a
+side effect (stores, branches, prefetches) and every definition that feeds a
+loop-carried recurrence (such values are live around the backedge even when
+no later instruction in the body reads them).  Runs to a fixpoint, since
+removing one dead instruction can kill its operands' last uses.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instruction import Instruction
+from repro.ir.loop import Loop
+from repro.ir.values import Reg
+
+
+def eliminate_dead_code(loop: Loop) -> Loop:
+    """Return ``loop`` with dead instructions removed."""
+    carried = loop.carried_regs()
+    body = list(loop.body)
+    changed = True
+    while changed:
+        changed = False
+        used: set[Reg] = set()
+        for inst in body:
+            used.update(inst.reg_srcs())
+        kept: list[Instruction] = []
+        for inst in body:
+            if _has_side_effect(inst):
+                kept.append(inst)
+                continue
+            dests = list(inst.reg_dests())
+            live = any(d in used or d in carried for d in dests)
+            if live:
+                kept.append(inst)
+            else:
+                changed = True
+        body = kept
+    if len(body) == len(loop.body):
+        return loop
+    if not body:
+        raise ValueError(f"DCE removed the entire body of {loop.name!r}")
+    return loop.with_body(tuple(body))
+
+
+def _has_side_effect(inst: Instruction) -> bool:
+    return inst.op.is_store or inst.op.is_branch or not any(True for _ in inst.reg_dests())

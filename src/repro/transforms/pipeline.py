@@ -1,0 +1,60 @@
+"""The per-factor optimization pipeline: unroll, then clean up.
+
+This is the sequence the simulated compiler applies when it decides to unroll
+a loop by some factor — mirroring ORC's ordering, where unrolling runs before
+the scalar optimizer and the scheduler:
+
+1. unroll by the chosen factor;
+2. scalar replacement (store-to-load forwarding and redundant-load
+   elimination across the now-adjacent copies);
+3. memory coalescing (merge adjacent stride-1 loads into wide loads);
+4. dead code elimination.
+
+The remainder loop is left untouched (it executes at most ``factor - 1``
+times, so optimizing it is not worth code growth — the same call ORC makes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+
+from repro.ir.loop import Loop
+from repro.transforms.coalesce import coalesce_loads
+from repro.transforms.dce import eliminate_dead_code
+from repro.transforms.scalar_replacement import scalar_replace
+from repro.transforms.unroll import UnrollResult, unroll
+
+
+@dataclass(frozen=True)
+class OptimizationPlan:
+    """Switches for the post-unroll cleanup passes.
+
+    The defaults model the full compiler; the ablation benches toggle the
+    memory optimizations off to measure how much of unrolling's benefit
+    flows through them.
+    """
+
+    scalar_replacement: bool = True
+    coalescing: bool = True
+    dead_code_elimination: bool = True
+
+
+def optimize_for_factor(
+    loop: Loop, factor: int, plan: OptimizationPlan | None = None
+) -> UnrollResult:
+    """Unroll ``loop`` by ``factor`` and run the cleanup pipeline on the
+    unrolled main loop, returning the final :class:`UnrollResult`."""
+    plan = plan or OptimizationPlan()
+    result = unroll(loop, factor)
+    main = result.main
+    if main is None:
+        return result
+    if plan.scalar_replacement:
+        main = scalar_replace(main)
+    if plan.coalescing:
+        main = coalesce_loads(main)
+    if plan.dead_code_elimination:
+        main = eliminate_dead_code(main)
+    if main is result.main:
+        return result
+    return dc_replace(result, main=main)

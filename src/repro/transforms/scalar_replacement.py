@@ -1,0 +1,102 @@
+"""Scalar replacement of redundant memory accesses.
+
+After unrolling, consecutive copies of the body often touch the same memory
+locations (a stencil's ``a[i+1]`` in copy 0 is copy 1's ``a[i]``).  This pass
+forwards values through registers instead of re-reading memory:
+
+* **store-to-load forwarding** — a load whose address exactly matches an
+  earlier store becomes a ``MOV`` from the stored value;
+* **redundant-load elimination** — a load whose address matches an earlier
+  load (with no intervening store that could touch it) becomes a ``MOV``
+  from the earlier destination.
+
+This is the paper's "many of these references can be eliminated altogether
+with scalar replacement" benefit, and it is also a source of unrolling's
+register-pressure cost: every forwarded value's live range now spans copies.
+
+The pass is intra-body (distance-0) and deliberately conservative around
+predication and indirect references: predicated memory ops neither provide
+nor receive forwarded values, and any store whose target cannot be proven
+distinct kills the affected availability set.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instruction import Instruction, mov
+from repro.ir.loop import Loop
+from repro.ir.types import Opcode
+from repro.ir.values import MemRef, Operand
+
+#: Availability key for an affine scalar memory location.
+_Key = tuple[str, int, int]
+
+
+def _key(mem: MemRef) -> _Key | None:
+    if mem.indirect or mem.width != 1:
+        return None
+    return (mem.array, mem.index.coeff, mem.index.offset)
+
+
+def scalar_replace_body(body: tuple[Instruction, ...]) -> tuple[Instruction, ...]:
+    """Apply scalar replacement to one body, returning the new body."""
+    available_stores: dict[_Key, Operand] = {}
+    available_loads: dict[_Key, object] = {}
+    new_body: list[Instruction] = []
+
+    for inst in body:
+        if inst.op is Opcode.STORE:
+            key = _key(inst.mem) if inst.mem is not None else None
+            if inst.pred is not None or key is None:
+                # Unanalyzable store: kill everything that might alias.
+                _kill_array(available_stores, inst.mem.array if inst.mem else None)
+                _kill_array(available_loads, inst.mem.array if inst.mem else None)
+            else:
+                _kill_overlapping(available_stores, key)
+                _kill_overlapping(available_loads, key)
+                available_stores[key] = inst.srcs[0]
+            new_body.append(inst)
+            continue
+
+        if inst.op is Opcode.LOAD and inst.pred is None and inst.mem is not None:
+            key = _key(inst.mem)
+            if key is not None:
+                if key in available_stores:
+                    new_body.append(mov(inst.dest, available_stores[key]))
+                    available_loads[key] = inst.dest
+                    continue
+                if key in available_loads:
+                    new_body.append(mov(inst.dest, available_loads[key]))
+                    continue
+                available_loads[key] = inst.dest
+        new_body.append(inst)
+
+    return tuple(new_body)
+
+
+def _kill_overlapping(table: dict[_Key, object], store_key: _Key) -> None:
+    """Invalidate availability entries a store to ``store_key`` may clobber.
+
+    Same array, same stride, different offset addresses a provably distinct
+    element every iteration; anything else on the same array is killed.
+    """
+    array, coeff, offset = store_key
+    dead = [
+        k
+        for k in table
+        if k[0] == array and not (k[1] == coeff and k[2] != offset)
+    ]
+    for k in dead:
+        del table[k]
+
+
+def _kill_array(table: dict[_Key, object], array: str | None) -> None:
+    if array is None:
+        table.clear()
+        return
+    for k in [k for k in table if k[0] == array]:
+        del table[k]
+
+
+def scalar_replace(loop: Loop) -> Loop:
+    """Scalar replacement over a whole loop."""
+    return loop.with_body(scalar_replace_body(loop.body))

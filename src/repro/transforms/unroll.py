@@ -1,0 +1,223 @@
+"""Loop unrolling.
+
+Replicates the loop body ``u`` times, renaming registers per copy (chaining
+loop-carried recurrences through the copies so reductions stay serial — we
+do not reassociate), retargeting affine memory references, and handling the
+three trip-count situations a real unroller faces:
+
+* **compile-time-known trip count** — main loop plus a statically sized
+  remainder (or a full unroll when the trip count is at most the factor);
+* **counted but compile-time-unknown** — preconditioning: the compiler
+  emits a remainder loop and a runtime trip-count split (charged by the
+  cost model via :attr:`UnrollResult.needs_precondition`);
+* **while-style (non-counted)** — no remainder is possible; every copy
+  keeps its early-exit branch, which is exactly the control-flow overhead
+  the paper's Section 3 warns about.
+
+Early-exit branches inside counted loops are likewise duplicated per copy,
+and the remainder only runs when no exit fired (the interpreter enforces
+this; see :func:`repro.ir.interp.run_unrolled`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+
+from repro.ir.instruction import Instruction
+from repro.ir.loop import Loop, TripInfo
+from repro.ir.types import MAX_UNROLL, Opcode
+from repro.ir.values import Reg
+
+
+@dataclass(frozen=True)
+class UnrollResult:
+    """Outcome of unrolling one loop.
+
+    Attributes:
+        original: the input loop.
+        requested_factor: the factor asked for.
+        factor: the effective factor (clamped to a known trip count).
+        main: the unrolled main loop, or ``None`` when the trip count is
+            known to be smaller than the factor's first full body.
+        remainder: the loop covering leftover iterations, as it will
+            *execute* for the loop's runtime trip count (``None`` when no
+            leftover iterations run).
+        remainder_emitted: whether the compiler emitted remainder code at
+            all — true whenever the trip count is not compile-time known,
+            even if the remainder happens to run zero times.  Drives the
+            code-size (I-cache) model.
+        needs_precondition: whether a runtime trip-count split is required
+            (counted loop, unknown trip count, factor > 1).
+    """
+
+    original: Loop
+    requested_factor: int
+    factor: int
+    main: Loop | None
+    remainder: Loop | None
+    remainder_emitted: bool
+    needs_precondition: bool
+
+    @property
+    def emitted_size(self) -> int:
+        """Total instructions emitted (main + any remainder code)."""
+        size = 0
+        if self.main is not None:
+            size += self.main.size
+        if self.remainder_emitted:
+            size += self.original.size
+        return size
+
+    def loops(self) -> tuple[Loop, ...]:
+        """The loops that actually execute, in order."""
+        parts = []
+        if self.main is not None:
+            parts.append(self.main)
+        if self.remainder is not None:
+            parts.append(self.remainder)
+        return tuple(parts)
+
+
+def unroll(loop: Loop, factor: int) -> UnrollResult:
+    """Unroll ``loop`` by ``factor`` (1 to :data:`MAX_UNROLL`)."""
+    if not (1 <= factor <= MAX_UNROLL):
+        raise ValueError(f"unroll factor must be in [1, {MAX_UNROLL}], got {factor}")
+    if loop.unroll_factor != 1:
+        raise ValueError(f"loop {loop.name!r} is already unrolled")
+
+    trip = loop.trip
+    effective = factor
+    if trip.known:
+        effective = min(factor, trip.compile_time)
+    if effective == 1:
+        return UnrollResult(
+            original=loop,
+            requested_factor=factor,
+            factor=1,
+            main=loop,
+            remainder=None,
+            remainder_emitted=False,
+            needs_precondition=False,
+        )
+
+    if trip.counted:
+        return _unroll_counted(loop, factor, effective)
+    return _unroll_while(loop, factor, effective)
+
+
+def _unroll_counted(loop: Loop, requested: int, u: int) -> UnrollResult:
+    trip = loop.trip
+    total = trip.runtime
+    main_trips = total // u
+    leftover = total % u
+
+    main = None
+    if main_trips > 0:
+        main = loop.with_body(
+            _unrolled_body(loop, u, base=0),
+            trip=TripInfo(
+                runtime=main_trips,
+                compile_time=main_trips if trip.known else None,
+                counted=True,
+            ),
+            unroll_factor=u,
+            name=f"{loop.name}#u{u}",
+        )
+
+    remainder = None
+    if leftover > 0:
+        remainder = loop.with_body(
+            _retargeted_body(loop, base=main_trips * u),
+            trip=TripInfo(
+                runtime=leftover,
+                compile_time=leftover if trip.known else None,
+                counted=True,
+            ),
+            unroll_factor=1,
+            name=f"{loop.name}#rem",
+        )
+
+    remainder_emitted = (leftover > 0) if trip.known else True
+    return UnrollResult(
+        original=loop,
+        requested_factor=requested,
+        factor=u,
+        main=main,
+        remainder=remainder,
+        remainder_emitted=remainder_emitted,
+        needs_precondition=not trip.known,
+    )
+
+
+def _unroll_while(loop: Loop, requested: int, u: int) -> UnrollResult:
+    """Unroll a while-style loop: every copy keeps its exit branch, the new
+    bound is the body-execution count at which the original bound is hit."""
+    if not loop.has_early_exit:
+        raise ValueError(
+            f"non-counted loop {loop.name!r} has no exit branch; its trip "
+            "semantics would be undefined"
+        )
+    total = loop.trip.runtime
+    main = loop.with_body(
+        _unrolled_body(loop, u, base=0),
+        trip=TripInfo(runtime=-(-total // u), compile_time=None, counted=False),
+        unroll_factor=u,
+        name=f"{loop.name}#u{u}",
+    )
+    return UnrollResult(
+        original=loop,
+        requested_factor=requested,
+        factor=u,
+        main=main,
+        remainder=None,
+        remainder_emitted=False,
+        needs_precondition=False,
+    )
+
+
+def _unrolled_body(loop: Loop, u: int, base: int) -> tuple[Instruction, ...]:
+    """Replicate the body ``u`` times with per-copy register renaming.
+
+    Non-carried registers get a ``.k`` suffix per copy.  Carried registers
+    chain: copy ``k`` reads the name written by copy ``k - 1`` and the last
+    copy writes back the *original* name, so the backedge (and any remainder
+    loop) sees the recurrence in its usual register.
+    """
+    carried = loop.carried_regs()
+    current: dict[Reg, Reg] = {}
+    body: list[Instruction] = []
+    for k in range(u):
+        for inst in loop.body:
+            src_map = {
+                reg: current[reg]
+                for reg in inst.reg_srcs()
+                if reg in current and current[reg] != reg
+            }
+            dest_map: dict[Reg, Reg] = {}
+            for dest in inst.reg_dests():
+                if dest in carried and k == u - 1:
+                    dest_map[dest] = dest
+                else:
+                    dest_map[dest] = Reg(f"{dest.name}.{k}", dest.dtype)
+            new_inst = inst.rewritten(src_map, dest_map)
+            new_inst = new_inst.with_unrolled_mem(u, k, base)
+            body.append(new_inst)
+            current.update(dest_map)
+    return tuple(body)
+
+
+def _retargeted_body(loop: Loop, base: int) -> tuple[Instruction, ...]:
+    """The original body re-based to start at original iteration ``base``
+    (used for remainder loops), with fresh instruction identities."""
+    body = []
+    for inst in loop.body:
+        new_inst = inst.rewritten({}, {})
+        new_inst = new_inst.with_unrolled_mem(1, 0, base)
+        body.append(new_inst)
+    return tuple(body)
+
+
+def unroll_all_factors(loop: Loop) -> dict[int, UnrollResult]:
+    """Unroll ``loop`` at every factor in the label space — the measurement
+    sweep the labelling pipeline performs for each loop."""
+    return {factor: unroll(loop, factor) for factor in range(1, MAX_UNROLL + 1)}

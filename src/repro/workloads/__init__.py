@@ -1,0 +1,33 @@
+"""Workloads: kernels, body patterns, and the 72-benchmark synthetic suite."""
+
+from repro.workloads.generator import (
+    ARCHETYPES,
+    Archetype,
+    generate_benchmark,
+    generate_loop,
+    generate_suite,
+)
+from repro.workloads.kernels import KERNELS
+from repro.workloads.patterns import PATTERNS
+from repro.workloads.spec_names import (
+    ROSTER,
+    SPEC2000,
+    SPEC2000_FP_NAMES,
+    SPEC2000_NAMES,
+    BenchmarkInfo,
+)
+
+__all__ = [
+    "ARCHETYPES",
+    "Archetype",
+    "BenchmarkInfo",
+    "KERNELS",
+    "PATTERNS",
+    "ROSTER",
+    "SPEC2000",
+    "SPEC2000_FP_NAMES",
+    "SPEC2000_NAMES",
+    "generate_benchmark",
+    "generate_loop",
+    "generate_suite",
+]

@@ -1,0 +1,293 @@
+"""Synthetic benchmark generation.
+
+Builds the training population: 72 benchmarks whose innermost loops are
+composed from the pattern library according to per-archetype mixes.  The
+archetypes encode the folklore the paper's benchmark choice embodies —
+floating-point SPEC codes are stencil/reduction-heavy Fortran with long
+trips, integer SPEC codes are control- and pointer-heavy C with short trips
+and early exits, Mediabench kernels have small compile-time-known trip
+counts, and so on.  Everything is driven by ``numpy.random.SeedSequence``
+spawning, so the entire 72-benchmark suite is a pure function of one root
+seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ir.builder import LoopBuilder
+from repro.ir.loop import Loop, TripInfo
+from repro.ir.program import Benchmark, Suite
+from repro.ir.types import Language
+from repro.ir.validate import validate_loop
+from repro.workloads.patterns import PATTERNS
+from repro.workloads.spec_names import ROSTER, BenchmarkInfo
+
+
+@dataclass(frozen=True)
+class Archetype:
+    """Per-suite-style generation parameters."""
+
+    name: str
+    pattern_weights: dict[str, float]
+    extra_patterns: tuple[int, int]  # min/max patterns beyond the first
+    trip_log2: tuple[float, float]
+    known_prob: float
+    small_known_prob: float
+    while_prob: float
+    entries_log2: tuple[float, float]
+    loop_fraction: tuple[float, float]
+    n_loops: tuple[int, int]
+    fat_prob: float = 0.10
+    while_trip_log2: tuple[float, float] = (3.0, 6.5)
+    #: Probability of a huge streaming trip count (working set beyond L3 —
+    #: a swim/art-style benchmark sweep); unrolling cannot beat memory
+    #: bandwidth there.
+    huge_trip_prob: float = 0.0
+    huge_trip_log2: tuple[float, float] = (15.0, 18.0)
+
+
+ARCHETYPES: dict[str, Archetype] = {
+    "spec-fp": Archetype(
+        name="spec-fp",
+        pattern_weights={
+            "stream_map": 3.0,
+            "stencil": 2.5,
+            "reduction": 2.0,
+            "strided": 1.5,
+            "carried_store": 1.0,
+            "invariant": 1.0,
+            "recurrence": 0.8,
+            "conditional": 0.5,
+            "gather": 0.3,
+        },
+        extra_patterns=(1, 4),
+        trip_log2=(5.0, 14.5),
+        known_prob=0.25,
+        small_known_prob=0.08,
+        while_prob=0.03,
+        entries_log2=(2.0, 8.0),
+        loop_fraction=(0.70, 0.92),
+        n_loops=(40, 70),
+        fat_prob=0.22,
+        huge_trip_prob=0.10,
+    ),
+    "spec-int": Archetype(
+        name="spec-int",
+        pattern_weights={
+            "int_mix": 3.0,
+            "conditional": 2.0,
+            "pointer_chase": 2.0,
+            "gather": 1.5,
+            "stream_map": 1.2,
+            "scatter": 1.0,
+            "search_exit": 1.0,
+            "reduction": 0.8,
+            "invariant": 0.6,
+            "recurrence": 0.4,
+        },
+        extra_patterns=(1, 3),
+        trip_log2=(2.5, 8.0),
+        known_prob=0.30,
+        small_known_prob=0.15,
+        while_prob=0.30,
+        entries_log2=(3.0, 9.0),
+        loop_fraction=(0.25, 0.55),
+        n_loops=(25, 50),
+        fat_prob=0.18,
+    ),
+    "media": Archetype(
+        name="media",
+        pattern_weights={
+            "stream_map": 2.5,
+            "int_mix": 2.0,
+            "stencil": 1.5,
+            "conditional": 1.5,
+            "strided": 1.0,
+            "reduction": 1.0,
+            "invariant": 0.8,
+        },
+        extra_patterns=(1, 2),
+        trip_log2=(2.5, 7.0),
+        known_prob=0.45,
+        small_known_prob=0.30,
+        while_prob=0.10,
+        entries_log2=(4.0, 10.0),
+        loop_fraction=(0.50, 0.80),
+        n_loops=(20, 40),
+        fat_prob=0.08,
+    ),
+    "perfect": Archetype(
+        name="perfect",
+        pattern_weights={
+            "stencil": 2.5,
+            "stream_map": 2.0,
+            "strided": 2.0,
+            "reduction": 1.5,
+            "carried_store": 1.2,
+            "invariant": 1.0,
+            "recurrence": 0.8,
+        },
+        extra_patterns=(2, 4),
+        trip_log2=(5.0, 13.0),
+        known_prob=0.35,
+        small_known_prob=0.05,
+        while_prob=0.02,
+        entries_log2=(2.0, 7.0),
+        loop_fraction=(0.65, 0.90),
+        n_loops=(30, 50),
+        fat_prob=0.28,
+        huge_trip_prob=0.10,
+    ),
+    "kernel": Archetype(
+        name="kernel",
+        pattern_weights={name: 1.0 for name in PATTERNS if name != "search_exit"},
+        extra_patterns=(0, 1),
+        trip_log2=(6.0, 14.0),
+        known_prob=0.40,
+        small_known_prob=0.10,
+        while_prob=0.05,
+        entries_log2=(1.0, 6.0),
+        loop_fraction=(0.80, 0.95),
+        n_loops=(15, 30),
+        huge_trip_prob=0.12,
+    ),
+}
+
+#: Trip*entries below which a loop will likely fail the 50k-cycle filter.
+_MIN_WORK = 12_000
+
+#: Bumped whenever generation logic or archetype parameters change, so that
+#: cached measurement tables keyed on it can never go stale.
+WORKLOADS_VERSION = 3
+
+
+def generate_loop(
+    rng: np.random.Generator,
+    archetype: Archetype,
+    name: str,
+    benchmark: str,
+    language: Language,
+) -> Loop:
+    """Generate one innermost loop of the given archetype."""
+    is_while = rng.random() < archetype.while_prob
+    entries: int | None = None
+
+    if is_while:
+        # Search-style loops exit early, so their effective trips are short;
+        # an unrolled copy's overshoot is then a real fraction of the work.
+        lo, hi = archetype.while_trip_log2
+        trip = int(round(2.0 ** rng.uniform(lo, hi)))
+        known = False  # a while loop's bound is never a compile-time constant
+    elif rng.random() < archetype.huge_trip_prob:
+        lo, hi = archetype.huge_trip_log2
+        trip = int(round(2.0 ** rng.uniform(lo, hi)))
+        known = False  # huge sweeps run over runtime-sized arrays
+        entries = int(rng.integers(1, 9))  # a whole-array pass runs few times
+    elif rng.random() < archetype.small_known_prob:
+        trip = int(rng.choice([4, 6, 8, 8, 12, 16]))
+        known = True
+    else:
+        lo, hi = archetype.trip_log2
+        trip = int(round(2.0 ** rng.uniform(lo, hi)))
+        known = rng.random() < archetype.known_prob
+
+    if entries is None:
+        lo, hi = archetype.entries_log2
+        entries = int(round(2.0 ** rng.uniform(lo, hi)))
+        # Bias most loops over the measurement floor so the 50k-cycle filter
+        # trims a realistic minority rather than the bulk of the population.
+        if rng.random() < 0.85 and trip * entries < _MIN_WORK:
+            entries = max(entries, -(-_MIN_WORK // trip))
+
+    is_fat = rng.random() < archetype.fat_prob
+    if is_fat:
+        # Fat bodies are common in the population but rarely on the hot
+        # path (setup/epilogue-style code), so they run far fewer entries
+        # than the streaming kernels that dominate runtime.
+        entries = max(1, entries // 6)
+
+    nest_level = 1 + int(rng.random() < 0.55) + int(rng.random() < 0.20)
+
+    builder = LoopBuilder(
+        name,
+        TripInfo(runtime=trip, compile_time=trip if known else None, counted=not is_while),
+        nest_level=nest_level,
+        language=language,
+        entry_count=entries,
+        benchmark=benchmark,
+    )
+
+    names = [n for n in archetype.pattern_weights if n != "search_exit"]
+    weights = np.array([archetype.pattern_weights[n] for n in names], dtype=float)
+    weights /= weights.sum()
+    extra_lo, extra_hi = archetype.extra_patterns
+    if is_fat:
+        # A "fat" body — hand-unrolled legacy code or a fused megaloop.
+        # Unrolling these blows registers and the I-cache almost at once.
+        n_patterns = int(rng.integers(5, 10))
+    else:
+        n_patterns = 1 + int(rng.integers(extra_lo, extra_hi + 1))
+    chosen = list(rng.choice(names, size=n_patterns, p=weights))
+    if is_while:
+        chosen.insert(0, "search_exit")
+    elif "search_exit" in archetype.pattern_weights and rng.random() < 0.06:
+        chosen.append("search_exit")  # a 'break' inside a counted loop
+
+    for tag_index, pattern_name in enumerate(chosen):
+        PATTERNS[pattern_name](builder, rng, tag=f"p{tag_index}")
+
+    loop = builder.build(validate=False)
+    validate_loop(loop)
+    return loop
+
+
+def generate_benchmark(
+    info: BenchmarkInfo,
+    rng: np.random.Generator,
+    loops_scale: float = 1.0,
+) -> Benchmark:
+    """Generate all loops of one roster benchmark."""
+    archetype = ARCHETYPES[info.archetype]
+    lo, hi = archetype.n_loops
+    n_loops = max(3, int(round(rng.integers(lo, hi + 1) * loops_scale)))
+    loops = tuple(
+        generate_loop(
+            rng,
+            archetype,
+            name=f"{info.name}/loop_{index:03d}",
+            benchmark=info.name,
+            language=info.language,
+        )
+        for index in range(n_loops)
+    )
+    frac_lo, frac_hi = archetype.loop_fraction
+    loop_fraction = float(rng.uniform(frac_lo, frac_hi))
+    return Benchmark(
+        name=info.name,
+        suite=info.suite,
+        language=info.language,
+        loops=loops,
+        loop_fraction=loop_fraction,
+    )
+
+
+def generate_suite(
+    seed: int = 20050320,
+    roster: tuple[BenchmarkInfo, ...] = ROSTER,
+    loops_scale: float = 1.0,
+) -> Suite:
+    """Generate the full training suite (72 benchmarks by default).
+
+    The suite is a pure function of ``seed``: each benchmark gets an
+    independent child generator via ``SeedSequence.spawn``, so adding or
+    reordering benchmarks never perturbs the others.
+    """
+    children = np.random.SeedSequence(seed).spawn(len(roster))
+    benchmarks = tuple(
+        generate_benchmark(info, np.random.default_rng(child), loops_scale)
+        for info, child in zip(roster, children)
+    )
+    return Suite(name=f"metaopt-suite-{seed}", benchmarks=benchmarks)

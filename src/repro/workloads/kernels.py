@@ -1,0 +1,382 @@
+"""Classic loop kernels, parameterised.
+
+These are the idioms the paper's motivation section talks about — streaming
+maps, reductions, stencils, searches, gathers, linear recurrences — written
+against the :class:`~repro.ir.builder.LoopBuilder` DSL.  They serve three
+audiences: the examples (readable, recognisable loops), the tests (known
+structure in, known behaviour out), and the workload generator (which
+instantiates randomised variants of the same shapes).
+
+Every kernel takes ``trip`` (iterations per entry), ``entries`` (loop entries
+per program run) and ``known`` (whether the trip count is a compile-time
+constant), so callers control the measurement-scale knobs the labelling
+pipeline filters on.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import LoopBuilder
+from repro.ir.loop import Loop, TripInfo
+from repro.ir.types import CmpOp, DType, Language, Opcode
+
+
+def _trip(trip: int, known: bool, counted: bool = True) -> TripInfo:
+    return TripInfo(runtime=trip, compile_time=trip if known else None, counted=counted)
+
+
+def daxpy(
+    trip: int = 1024,
+    entries: int = 64,
+    known: bool = False,
+    alpha: float = 2.5,
+    name: str = "kernel/daxpy",
+    language: Language = Language.FORTRAN,
+) -> Loop:
+    """``y[i] += alpha * x[i]`` — the canonical streaming FP kernel."""
+    b = LoopBuilder(name, _trip(trip, known), language=language, entry_count=entries)
+    x = b.load("x")
+    y = b.load("y")
+    scaled = b.fp(Opcode.FMA, x, b.fconst(alpha), y)
+    b.store(scaled, "y")
+    return b.build()
+
+
+def dot_product(
+    trip: int = 2048,
+    entries: int = 32,
+    known: bool = False,
+    name: str = "kernel/dot",
+    language: Language = Language.FORTRAN,
+) -> Loop:
+    """``acc += x[i] * y[i]`` — a serial FP reduction."""
+    b = LoopBuilder(name, _trip(trip, known), language=language, entry_count=entries)
+    acc = b.carried(DType.F64, init=0.0)
+    x = b.load("x")
+    y = b.load("y")
+    b.fp(Opcode.FMA, x, y, acc, dest=acc)
+    return b.build()
+
+
+def stencil3(
+    trip: int = 1024,
+    entries: int = 48,
+    known: bool = False,
+    name: str = "kernel/stencil3",
+    language: Language = Language.FORTRAN,
+) -> Loop:
+    """3-point stencil ``out[i] = w0*a[i] + w1*a[i+1] + w2*a[i+2]`` —
+    scalar replacement across unrolled copies shines here."""
+    b = LoopBuilder(name, _trip(trip, known), language=language, entry_count=entries)
+    a0 = b.load("a", offset=0)
+    a1 = b.load("a", offset=1)
+    a2 = b.load("a", offset=2)
+    t0 = b.fp(Opcode.FMUL, a0, b.fconst(0.25))
+    t1 = b.fp(Opcode.FMA, a1, b.fconst(0.5), t0)
+    t2 = b.fp(Opcode.FMA, a2, b.fconst(0.25), t1)
+    b.store(t2, "out")
+    return b.build()
+
+
+def vector_scale(
+    trip: int = 512,
+    entries: int = 100,
+    known: bool = True,
+    name: str = "kernel/scale",
+    language: Language = Language.C,
+) -> Loop:
+    """``out[i] = s * a[i]`` with a loop-invariant scalar."""
+    b = LoopBuilder(name, _trip(trip, known), language=language, entry_count=entries)
+    s = b.reg(DType.F64)  # invariant live-in
+    a = b.load("a")
+    b.store(b.fp(Opcode.FMUL, a, s), "out")
+    return b.build()
+
+
+def triad(
+    trip: int = 4096,
+    entries: int = 16,
+    known: bool = False,
+    name: str = "kernel/triad",
+    language: Language = Language.FORTRAN,
+) -> Loop:
+    """STREAM triad: ``a[i] = b[i] + q * c[i]`` — memory-port bound."""
+    b = LoopBuilder(name, _trip(trip, known), language=language, entry_count=entries)
+    bv = b.load("b")
+    cv = b.load("c")
+    b.store(b.fp(Opcode.FMA, cv, b.fconst(3.0), bv), "a")
+    return b.build()
+
+
+def sum_reduction(
+    trip: int = 1000,
+    entries: int = 60,
+    known: bool = False,
+    name: str = "kernel/vsum",
+    language: Language = Language.C,
+) -> Loop:
+    """``acc += a[i]`` — latency-bound serial recurrence."""
+    b = LoopBuilder(name, _trip(trip, known), language=language, entry_count=entries)
+    acc = b.carried(DType.F64, init=0.0)
+    a = b.load("a")
+    b.fp(Opcode.FADD, acc, a, dest=acc)
+    return b.build()
+
+
+def max_reduction(
+    trip: int = 800,
+    entries: int = 50,
+    known: bool = False,
+    name: str = "kernel/vmax",
+    language: Language = Language.C,
+) -> Loop:
+    """``m = max(m, a[i])`` via compare + select."""
+    b = LoopBuilder(name, _trip(trip, known), language=language, entry_count=entries)
+    m = b.carried(DType.F64, init=-1e30)
+    a = b.load("a")
+    greater = b.cmp(CmpOp.GT, a, m, fp=True)
+    selected = b.select(greater, a, m, dtype=DType.F64)
+    b.mov(selected, dest=m)
+    return b.build()
+
+
+def fir_filter(
+    taps: int = 4,
+    trip: int = 1024,
+    entries: int = 40,
+    known: bool = False,
+    name: str = "kernel/fir",
+    language: Language = Language.C,
+) -> Loop:
+    """``out[i] = sum_k w_k * x[i+k]`` — a small FIR with compile-time taps."""
+    b = LoopBuilder(name, _trip(trip, known), language=language, entry_count=entries)
+    acc = None
+    for k in range(taps):
+        xv = b.load("x", offset=k)
+        weight = b.fconst(1.0 / (k + 1))
+        acc = b.fp(Opcode.FMUL, xv, weight) if acc is None else b.fp(Opcode.FMA, xv, weight, acc)
+    b.store(acc, "out")
+    return b.build()
+
+
+def strided_copy(
+    stride: int = 2,
+    trip: int = 512,
+    entries: int = 80,
+    known: bool = False,
+    name: str = "kernel/strided_copy",
+    language: Language = Language.FORTRAN,
+) -> Loop:
+    """``out[i] = a[stride*i]`` — a non-unit-stride (cache-hostile) read."""
+    b = LoopBuilder(name, _trip(trip, known), language=language, entry_count=entries)
+    a = b.load("a", stride=stride)
+    b.store(a, "out", stride=1)
+    return b.build()
+
+
+def sentinel_search(
+    trip: int = 600,
+    entries: int = 70,
+    name: str = "kernel/search",
+    language: Language = Language.C,
+) -> Loop:
+    """A while-style sentinel search: exit when ``a[i]`` matches the key.
+
+    Callers (and the interpreter's strict mode) rely on the data containing
+    the key by iteration ``trip - 1`` — plant it with
+    :func:`plant_sentinel`.
+    """
+    b = LoopBuilder(
+        name,
+        TripInfo(runtime=trip, compile_time=None, counted=False),
+        language=language,
+        entry_count=entries,
+    )
+    key = b.reg(DType.F64)  # invariant live-in: the searched-for value
+    a = b.load("a")
+    found = b.cmp(CmpOp.EQ, a, key, fp=True)
+    b.exit_if(found)
+    running = b.carried(DType.F64, init=0.0)
+    b.fp(Opcode.FADD, running, a, dest=running)
+    return b.build()
+
+
+def plant_sentinel(state, loop: Loop, key_reg, position: int | None = None) -> None:
+    """Make a :func:`sentinel_search` loop's exit fire by iteration
+    ``position`` (default: the last legal one)."""
+    if position is None:
+        position = loop.trip.runtime - 1
+    state.arrays["a"][position] = state.regs[key_reg]
+
+
+def gather_accumulate(
+    trip: int = 512,
+    entries: int = 30,
+    known: bool = False,
+    name: str = "kernel/gather",
+    language: Language = Language.C,
+) -> Loop:
+    """``acc += data[idx[i]]`` — indirect access defeating exact analysis."""
+    b = LoopBuilder(name, _trip(trip, known), language=language, entry_count=entries)
+    b.array("data", trip + 8)
+    raw = b.load("idx", dtype=DType.I64)
+    index = b.intop(Opcode.SXT, raw)
+    value = b.load_indirect("data", index)
+    acc = b.carried(DType.F64, init=0.0)
+    b.fp(Opcode.FADD, acc, value, dest=acc)
+    return b.build()
+
+
+def linear_recurrence(
+    trip: int = 900,
+    entries: int = 45,
+    known: bool = False,
+    name: str = "kernel/linrec",
+    language: Language = Language.FORTRAN,
+) -> Loop:
+    """``s = alpha * s + a[i]`` — an unbreakable serial FP recurrence;
+    unrolling cannot speed this up (and code growth makes it worse)."""
+    b = LoopBuilder(name, _trip(trip, known), language=language, entry_count=entries)
+    s = b.carried(DType.F64, init=1.0)
+    a = b.load("a")
+    b.fp(Opcode.FMA, s, b.fconst(0.99), a, dest=s)
+    return b.build()
+
+
+def int_hash(
+    trip: int = 1500,
+    entries: int = 55,
+    known: bool = False,
+    name: str = "kernel/int_hash",
+    language: Language = Language.C,
+) -> Loop:
+    """An integer mixing kernel: ``h[i] = mix(k[i])`` with shifts and xors."""
+    b = LoopBuilder(name, _trip(trip, known), language=language, entry_count=entries)
+    k = b.load("k", dtype=DType.I64)
+    h1 = b.intop(Opcode.SHL, k, b.iconst(13))
+    h2 = b.intop(Opcode.XOR, k, h1)
+    h3 = b.intop(Opcode.SHR, h2, b.iconst(7))
+    h4 = b.intop(Opcode.XOR, h2, h3)
+    h5 = b.intop(Opcode.MUL, h4, b.iconst(0x27D4EB2F))
+    b.store(h5, "h")
+    return b.build()
+
+
+def conditional_update(
+    trip: int = 700,
+    entries: int = 65,
+    known: bool = False,
+    name: str = "kernel/cond_update",
+    language: Language = Language.C,
+) -> Loop:
+    """``if (a[i] > t) out[i] = a[i] * w`` — predicated internal control."""
+    b = LoopBuilder(name, _trip(trip, known), language=language, entry_count=entries)
+    a = b.load("a")
+    above = b.cmp(CmpOp.GT, a, b.fconst(0.0), fp=True)
+    scaled = b.fp(Opcode.FMUL, a, b.fconst(1.5), pred=above)
+    b.store(scaled, "out", pred=above)
+    return b.build()
+
+
+def matvec_row(
+    trip: int = 256,
+    entries: int = 256,
+    known: bool = True,
+    name: str = "kernel/matvec_row",
+    language: Language = Language.FORTRAN,
+) -> Loop:
+    """One row of a matrix-vector product: ``acc += m[i] * v[i]`` where the
+    loop is entered once per row (high entry count, known trip)."""
+    b = LoopBuilder(
+        name,
+        _trip(trip, known),
+        nest_level=2,
+        language=language,
+        entry_count=entries,
+    )
+    acc = b.carried(DType.F64, init=0.0)
+    m = b.load("m")
+    v = b.load("v")
+    b.fp(Opcode.FMA, m, v, acc, dest=acc)
+    return b.build()
+
+
+def l2_norm(
+    trip: int = 1200,
+    entries: int = 35,
+    known: bool = False,
+    name: str = "kernel/l2norm",
+    language: Language = Language.C,
+) -> Loop:
+    """``acc += a[i] * a[i]``."""
+    b = LoopBuilder(name, _trip(trip, known), language=language, entry_count=entries)
+    acc = b.carried(DType.F64, init=0.0)
+    a = b.load("a")
+    b.fp(Opcode.FMA, a, a, acc, dest=acc)
+    return b.build()
+
+
+def complex_multiply(
+    trip: int = 640,
+    entries: int = 42,
+    known: bool = False,
+    name: str = "kernel/cmul",
+    language: Language = Language.FORTRAN90,
+) -> Loop:
+    """Interleaved complex multiply: reads pairs ``(re, im)`` at stride 2 —
+    a coalescing showcase."""
+    b = LoopBuilder(name, _trip(trip, known), language=language, entry_count=entries)
+    ar = b.load("a", stride=2, offset=0)
+    ai = b.load("a", stride=2, offset=1)
+    br = b.load("b", stride=2, offset=0)
+    bi = b.load("b", stride=2, offset=1)
+    rr = b.fp(Opcode.FMUL, ar, br)
+    ii = b.fp(Opcode.FMUL, ai, bi)
+    ri = b.fp(Opcode.FMUL, ar, bi)
+    ir = b.fp(Opcode.FMUL, ai, br)
+    re = b.fp(Opcode.FSUB, rr, ii)
+    im = b.fp(Opcode.FADD, ri, ir)
+    b.store(re, "out", stride=2, offset=0)
+    b.store(im, "out", stride=2, offset=1)
+    return b.build()
+
+
+def scatter_increment(
+    trip: int = 400,
+    entries: int = 25,
+    known: bool = False,
+    name: str = "kernel/scatter",
+    language: Language = Language.C,
+) -> Loop:
+    """Histogram-style scatter: ``bins[idx[i]] += 1.0`` — an indirect store
+    that serialises memory dependence analysis."""
+    b = LoopBuilder(name, _trip(trip, known), language=language, entry_count=entries)
+    b.array("bins", 64)
+    raw = b.load("idx", dtype=DType.I64)
+    index = b.intop(Opcode.SXT, raw)
+    current_mem = b.load_indirect("bins", index)
+    bumped = b.fp(Opcode.FADD, current_mem, b.fconst(1.0))
+    b.store_indirect(bumped, "bins", index)
+    return b.build()
+
+
+#: All kernels by short name (examples and tests index this).
+KERNELS = {
+    "daxpy": daxpy,
+    "dot": dot_product,
+    "stencil3": stencil3,
+    "scale": vector_scale,
+    "triad": triad,
+    "vsum": sum_reduction,
+    "vmax": max_reduction,
+    "fir": fir_filter,
+    "strided_copy": strided_copy,
+    "search": sentinel_search,
+    "gather": gather_accumulate,
+    "linrec": linear_recurrence,
+    "int_hash": int_hash,
+    "cond_update": conditional_update,
+    "matvec_row": matvec_row,
+    "l2norm": l2_norm,
+    "cmul": complex_multiply,
+    "scatter": scatter_increment,
+}

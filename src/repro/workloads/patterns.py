@@ -1,0 +1,214 @@
+"""Randomised loop-body patterns.
+
+The workload generator composes loop bodies out of these emitters, each of
+which writes one "computation" (in the paper's Table 1 sense: an
+independently schedulable dataflow strand) into a :class:`LoopBuilder`.
+Patterns are parameterised by an explicit ``numpy.random.Generator`` so the
+whole suite is reproducible, and each pattern namespaces its arrays with a
+``tag`` so strands only alias when a pattern wants them to.
+
+The pattern inventory mirrors the loop idioms of the paper's training suites
+(SPEC fp/int, Mediabench, Perfect, kernels): streaming maps, reductions,
+stencils, strided and indirect accesses, predicated conditionals, integer
+mixing, serial recurrences, and early-exit searches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir.builder import LoopBuilder
+from repro.ir.types import CmpOp, DType, Opcode
+from repro.ir.values import Operand
+
+_FP_OPS = (Opcode.FADD, Opcode.FSUB, Opcode.FMUL)
+_INT_OPS = (Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.SHR)
+
+
+def _random_fp_expr(b: LoopBuilder, rng: np.random.Generator, leaves: list[Operand], depth: int) -> Operand:
+    """A random FP expression tree over ``leaves``; returns the root value."""
+    if depth <= 0 or len(leaves) == 1:
+        return leaves[int(rng.integers(len(leaves)))]
+    lhs = _random_fp_expr(b, rng, leaves, depth - 1)
+    rhs = _random_fp_expr(b, rng, leaves, depth - 1)
+    roll = rng.random()
+    if roll < 0.15 and len(leaves) >= 2:
+        third = leaves[int(rng.integers(len(leaves)))]
+        return b.fp(Opcode.FMA, lhs, rhs, third)
+    if roll < 0.18:
+        return b.fp(Opcode.FDIV, lhs, rhs)
+    op = _FP_OPS[int(rng.integers(len(_FP_OPS)))]
+    return b.fp(op, lhs, rhs)
+
+
+def emit_stream_map(b: LoopBuilder, rng: np.random.Generator, tag: str) -> None:
+    """``out[i] = f(a[i], b[i], ...)`` — an embarrassingly parallel map."""
+    n_inputs = int(rng.integers(1, 4))
+    depth = int(rng.integers(1, 4))
+    leaves: list[Operand] = [b.load(f"{tag}_in{k}") for k in range(n_inputs)]
+    if rng.random() < 0.4:
+        leaves.append(b.fconst(float(rng.uniform(0.5, 4.0))))
+    root = _random_fp_expr(b, rng, leaves, depth)
+    if not hasattr(root, "dtype") or root.dtype is not DType.F64:
+        root = b.fp(Opcode.FMUL, root, b.fconst(1.0))
+    b.store(root, f"{tag}_out")
+
+
+def emit_reduction(b: LoopBuilder, rng: np.random.Generator, tag: str) -> None:
+    """A serial FP reduction (sum / dot / norm / max)."""
+    kind = rng.choice(["sum", "dot", "norm", "max"])
+    acc = b.carried(DType.F64, init=0.0)
+    a = b.load(f"{tag}_a")
+    if kind == "sum":
+        b.fp(Opcode.FADD, acc, a, dest=acc)
+    elif kind == "dot":
+        other = b.load(f"{tag}_b")
+        b.fp(Opcode.FMA, a, other, acc, dest=acc)
+    elif kind == "norm":
+        b.fp(Opcode.FMA, a, a, acc, dest=acc)
+    else:
+        bigger = b.cmp(CmpOp.GT, a, acc, fp=True)
+        chosen = b.select(bigger, a, acc, dtype=DType.F64)
+        b.mov(chosen, dest=acc)
+
+
+def emit_stencil(b: LoopBuilder, rng: np.random.Generator, tag: str) -> None:
+    """``out[i] = sum_k w_k * a[i+k]`` for 2-5 points — rich cross-copy
+    reuse for scalar replacement after unrolling."""
+    points = int(rng.integers(2, 6))
+    acc = None
+    for k in range(points):
+        val = b.load(f"{tag}_a", offset=k)
+        weight = b.fconst(float(rng.uniform(0.1, 1.0)))
+        acc = b.fp(Opcode.FMUL, val, weight) if acc is None else b.fp(Opcode.FMA, val, weight, acc)
+    b.store(acc, f"{tag}_out")
+
+
+def emit_strided_stream(b: LoopBuilder, rng: np.random.Generator, tag: str) -> None:
+    """A non-unit-stride read-modify-write (interleaved/column access)."""
+    stride = int(rng.choice([2, 2, 3, 4]))
+    a = b.load(f"{tag}_a", stride=stride)
+    scaled = b.fp(Opcode.FMUL, a, b.fconst(float(rng.uniform(0.5, 2.0))))
+    b.store(scaled, f"{tag}_out", stride=1)
+
+
+def emit_gather(b: LoopBuilder, rng: np.random.Generator, tag: str) -> None:
+    """Indirect read: ``acc += data[idx[i]]``."""
+    table = f"{tag}_table"
+    b.array(table, int(rng.integers(64, 1024)))
+    raw = b.load(f"{tag}_idx", dtype=DType.I64)
+    index = b.intop(Opcode.SXT, raw)
+    value = b.load_indirect(table, index)
+    acc = b.carried(DType.F64, init=0.0)
+    b.fp(Opcode.FADD, acc, value, dest=acc)
+
+
+def emit_scatter(b: LoopBuilder, rng: np.random.Generator, tag: str) -> None:
+    """Indirect update: ``bins[idx[i]] += a[i]`` (histogram)."""
+    bins = f"{tag}_bins"
+    b.array(bins, int(rng.integers(32, 256)))
+    raw = b.load(f"{tag}_idx", dtype=DType.I64)
+    index = b.intop(Opcode.SXT, raw)
+    a = b.load(f"{tag}_a")
+    current = b.load_indirect(bins, index)
+    b.store_indirect(b.fp(Opcode.FADD, current, a), bins, index)
+
+
+def emit_int_mix(b: LoopBuilder, rng: np.random.Generator, tag: str) -> None:
+    """An integer mixing chain (hashing / bit manipulation / address math)."""
+    length = int(rng.integers(2, 7))
+    value = b.load(f"{tag}_k", dtype=DType.I64)
+    for _ in range(length):
+        op = _INT_OPS[int(rng.integers(len(_INT_OPS)))]
+        if op in (Opcode.SHL, Opcode.SHR):
+            operand = b.iconst(int(rng.integers(1, 24)))
+        else:
+            operand = b.iconst(int(rng.integers(1, 1 << 16)))
+        value = b.intop(op, value, operand)
+    if rng.random() < 0.3:
+        value = b.intop(Opcode.MUL, value, b.iconst(0x9E3779B1))
+    b.store(value, f"{tag}_h")
+
+
+def emit_conditional(b: LoopBuilder, rng: np.random.Generator, tag: str) -> None:
+    """A predicated update: ``if (a[i] > t) out[i] = g(a[i])``."""
+    a = b.load(f"{tag}_a")
+    threshold = b.fconst(float(rng.uniform(-1.0, 1.0)))
+    above = b.cmp(CmpOp.GT, a, threshold, fp=True)
+    if rng.random() < 0.5:
+        scaled = b.fp(Opcode.FMUL, a, b.fconst(float(rng.uniform(0.5, 3.0))), pred=above)
+        b.store(scaled, f"{tag}_out", pred=above)
+    else:
+        alt = b.load(f"{tag}_b")
+        chosen = b.select(above, a, alt, dtype=DType.F64)
+        b.store(chosen, f"{tag}_out")
+
+
+def emit_recurrence(b: LoopBuilder, rng: np.random.Generator, tag: str) -> None:
+    """A serial linear recurrence ``s = alpha*s + a[i]`` — unrolling-proof."""
+    s = b.carried(DType.F64, init=1.0)
+    a = b.load(f"{tag}_a")
+    b.fp(Opcode.FMA, s, b.fconst(float(rng.uniform(0.9, 0.999))), a, dest=s)
+
+
+def emit_invariant_expr(b: LoopBuilder, rng: np.random.Generator, tag: str) -> None:
+    """A map using loop-invariant scalars (live-in registers)."""
+    scale = b.reg(DType.F64)  # invariant live-in
+    shift = b.reg(DType.F64)  # invariant live-in
+    a = b.load(f"{tag}_a")
+    b.store(b.fp(Opcode.FMA, a, scale, shift), f"{tag}_out")
+
+
+def emit_search_exit(b: LoopBuilder, rng: np.random.Generator, tag: str) -> None:
+    """A data-dependent early exit (the defining pattern of while-style
+    loops, also appearing as ``break`` in counted loops)."""
+    a = b.load(f"{tag}_scan")
+    key = b.reg(DType.F64)  # invariant live-in: the searched value
+    kind = CmpOp.GE if rng.random() < 0.5 else CmpOp.EQ
+    hit = b.cmp(kind, a, key, fp=True)
+    b.exit_if(hit)
+
+
+def emit_pointer_chase(b: LoopBuilder, rng: np.random.Generator, tag: str) -> None:
+    """A linked-list walk: ``p = next[p]`` plus a little work on the node.
+
+    The address of each iteration's load depends on the previous
+    iteration's load — a loop-carried dependence *through memory* that no
+    amount of unrolling can break.  This is the classic pointer-chasing
+    idiom of integer codes (and why their unrolling headroom is small).
+    """
+    table = f"{tag}_next"
+    b.array(table, int(rng.integers(64, 512)))
+    pointer = b.carried(DType.I64, init=0)
+    raw = b.load_indirect(table, pointer, dtype=DType.I64)
+    b.intop(Opcode.SXT, raw, dest=pointer)
+    payload = b.load_indirect(f"{tag}_data", pointer)
+    acc = b.carried(DType.F64, init=0.0)
+    b.fp(Opcode.FADD, acc, payload, dest=acc)
+
+
+def emit_cross_iteration_store(b: LoopBuilder, rng: np.random.Generator, tag: str) -> None:
+    """``a[i+d] = f(a[i])`` — a genuine loop-carried memory dependence with
+    distance ``d``, which caps the software pipeliner's RecMII."""
+    distance = int(rng.integers(1, 5))
+    a = b.load(f"{tag}_a", offset=0)
+    value = b.fp(Opcode.FMUL, a, b.fconst(float(rng.uniform(0.8, 1.2))))
+    b.store(value, f"{tag}_a", offset=distance)
+
+
+#: Pattern registry: name -> emitter.
+PATTERNS = {
+    "stream_map": emit_stream_map,
+    "reduction": emit_reduction,
+    "stencil": emit_stencil,
+    "strided": emit_strided_stream,
+    "gather": emit_gather,
+    "scatter": emit_scatter,
+    "int_mix": emit_int_mix,
+    "conditional": emit_conditional,
+    "pointer_chase": emit_pointer_chase,
+    "recurrence": emit_recurrence,
+    "invariant": emit_invariant_expr,
+    "search_exit": emit_search_exit,
+    "carried_store": emit_cross_iteration_store,
+}

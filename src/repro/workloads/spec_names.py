@@ -1,0 +1,145 @@
+"""The benchmark roster: 72 named benchmarks across five suite archetypes.
+
+Mirrors the paper's training population (Section 4.6): the 24 SPEC CPU2000
+benchmarks it evaluates (all of CINT2000 and CFP2000 except 252.eon, which
+is C++, and 191.fma3d, which miscompiled under their instrumentation), plus
+SPEC '95 and SPEC '92 programs (newest-version-only for duplicates such as
+swim), Mediabench applications, Perfect-suite programs, and a handful of
+kernels — 72 benchmarks in all, spanning C, Fortran, and Fortran 90.
+
+Only the names and archetype assignments are "real"; loop contents are
+generated synthetically per archetype (see ``generator.py``), since we do
+not have SPEC sources — what the classifiers consume is the (features,
+label) population, and the archetypes control its composition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.types import Language
+
+
+@dataclass(frozen=True)
+class BenchmarkInfo:
+    """Static description of one roster entry."""
+
+    name: str
+    suite: str
+    archetype: str
+    language: Language
+
+
+def _entry(name: str, suite: str, archetype: str, language: Language) -> BenchmarkInfo:
+    return BenchmarkInfo(name, suite, archetype, language)
+
+
+#: The 24 SPEC CPU2000 benchmarks of Figures 4 and 5, in the paper's order.
+SPEC2000: tuple[BenchmarkInfo, ...] = (
+    _entry("164.gzip", "spec2000-int", "spec-int", Language.C),
+    _entry("168.wupwise", "spec2000-fp", "spec-fp", Language.FORTRAN),
+    _entry("171.swim", "spec2000-fp", "spec-fp", Language.FORTRAN),
+    _entry("172.mgrid", "spec2000-fp", "spec-fp", Language.FORTRAN),
+    _entry("173.applu", "spec2000-fp", "spec-fp", Language.FORTRAN),
+    _entry("175.vpr", "spec2000-int", "spec-int", Language.C),
+    _entry("176.gcc", "spec2000-int", "spec-int", Language.C),
+    _entry("177.mesa", "spec2000-fp", "spec-fp", Language.C),
+    _entry("178.galgel", "spec2000-fp", "spec-fp", Language.FORTRAN90),
+    _entry("179.art", "spec2000-fp", "spec-fp", Language.C),
+    _entry("181.mcf", "spec2000-int", "spec-int", Language.C),
+    _entry("183.equake", "spec2000-fp", "spec-fp", Language.C),
+    _entry("186.crafty", "spec2000-int", "spec-int", Language.C),
+    _entry("187.facerec", "spec2000-fp", "spec-fp", Language.FORTRAN90),
+    _entry("188.ammp", "spec2000-fp", "spec-fp", Language.C),
+    _entry("189.lucas", "spec2000-fp", "spec-fp", Language.FORTRAN90),
+    _entry("197.parser", "spec2000-int", "spec-int", Language.C),
+    _entry("200.sixtrack", "spec2000-fp", "spec-fp", Language.FORTRAN),
+    _entry("253.perlbmk", "spec2000-int", "spec-int", Language.C),
+    _entry("254.gap", "spec2000-int", "spec-int", Language.C),
+    _entry("255.vortex", "spec2000-int", "spec-int", Language.C),
+    _entry("256.bzip2", "spec2000-int", "spec-int", Language.C),
+    _entry("300.twolf", "spec2000-int", "spec-int", Language.C),
+    _entry("301.apsi", "spec2000-fp", "spec-fp", Language.FORTRAN),
+)
+
+#: SPEC '95 programs whose newest version is the '95 one (no CPU2000 twin).
+SPEC95: tuple[BenchmarkInfo, ...] = (
+    _entry("101.tomcatv", "spec95-fp", "spec-fp", Language.FORTRAN),
+    _entry("103.su2cor", "spec95-fp", "spec-fp", Language.FORTRAN),
+    _entry("104.hydro2d", "spec95-fp", "spec-fp", Language.FORTRAN),
+    _entry("107.mgrid95", "spec95-fp", "spec-fp", Language.FORTRAN),
+    _entry("110.applu95", "spec95-fp", "spec-fp", Language.FORTRAN),
+    _entry("125.turb3d", "spec95-fp", "spec-fp", Language.FORTRAN),
+    _entry("141.apsi95", "spec95-fp", "spec-fp", Language.FORTRAN),
+    _entry("145.fpppp", "spec95-fp", "spec-fp", Language.FORTRAN),
+    _entry("099.go", "spec95-int", "spec-int", Language.C),
+    _entry("124.m88ksim", "spec95-int", "spec-int", Language.C),
+    _entry("129.compress", "spec95-int", "spec-int", Language.C),
+    _entry("132.ijpeg", "spec95-int", "spec-int", Language.C),
+)
+
+#: SPEC '92 stragglers.
+SPEC92: tuple[BenchmarkInfo, ...] = (
+    _entry("013.spice2g6", "spec92-fp", "spec-fp", Language.FORTRAN),
+    _entry("015.doduc", "spec92-fp", "spec-fp", Language.FORTRAN),
+    _entry("034.mdljdp2", "spec92-fp", "spec-fp", Language.FORTRAN),
+    _entry("039.wave5", "spec92-fp", "spec-fp", Language.FORTRAN),
+    _entry("047.tomcatv92", "spec92-fp", "spec-fp", Language.FORTRAN),
+    _entry("008.espresso", "spec92-int", "spec-int", Language.C),
+    _entry("022.li", "spec92-int", "spec-int", Language.C),
+    _entry("023.eqntott", "spec92-int", "spec-int", Language.C),
+)
+
+#: Mediabench applications.
+MEDIABENCH: tuple[BenchmarkInfo, ...] = (
+    _entry("adpcm", "mediabench", "media", Language.C),
+    _entry("epic", "mediabench", "media", Language.C),
+    _entry("g721", "mediabench", "media", Language.C),
+    _entry("gsm", "mediabench", "media", Language.C),
+    _entry("jpeg", "mediabench", "media", Language.C),
+    _entry("mpeg2dec", "mediabench", "media", Language.C),
+    _entry("mpeg2enc", "mediabench", "media", Language.C),
+    _entry("pegwit", "mediabench", "media", Language.C),
+    _entry("pgp", "mediabench", "media", Language.C),
+    _entry("rasta", "mediabench", "media", Language.C),
+    _entry("mesa-texgen", "mediabench", "media", Language.C),
+    _entry("ghostscript", "mediabench", "media", Language.C),
+)
+
+#: Perfect-suite programs.
+PERFECT: tuple[BenchmarkInfo, ...] = (
+    _entry("perfect-adm", "perfect", "perfect", Language.FORTRAN),
+    _entry("perfect-arc2d", "perfect", "perfect", Language.FORTRAN),
+    _entry("perfect-bdna", "perfect", "perfect", Language.FORTRAN),
+    _entry("perfect-dyfesm", "perfect", "perfect", Language.FORTRAN),
+    _entry("perfect-flo52", "perfect", "perfect", Language.FORTRAN),
+    _entry("perfect-mdg", "perfect", "perfect", Language.FORTRAN),
+    _entry("perfect-ocean", "perfect", "perfect", Language.FORTRAN),
+    _entry("perfect-qcd", "perfect", "perfect", Language.FORTRAN),
+)
+
+#: Hand-written kernels.
+KERNELS: tuple[BenchmarkInfo, ...] = (
+    _entry("kernels-blas1", "kernels", "kernel", Language.FORTRAN),
+    _entry("kernels-stencil", "kernels", "kernel", Language.C),
+    _entry("kernels-stream", "kernels", "kernel", Language.C),
+    _entry("kernels-livermore", "kernels", "kernel", Language.FORTRAN),
+    _entry("kernels-dsp", "kernels", "kernel", Language.C),
+    _entry("kernels-crypto", "kernels", "kernel", Language.C),
+    _entry("kernels-sort", "kernels", "kernel", Language.C),
+    _entry("kernels-linpack", "kernels", "kernel", Language.FORTRAN),
+)
+
+#: The full 72-benchmark roster, in stable order.
+ROSTER: tuple[BenchmarkInfo, ...] = (
+    SPEC2000 + SPEC95 + SPEC92 + MEDIABENCH + PERFECT + KERNELS
+)
+assert len(ROSTER) == 72, "the roster must contain exactly 72 benchmarks"
+
+#: Names of the SPEC 2000 floating-point benchmarks (Figure 4's 9% subset).
+SPEC2000_FP_NAMES: tuple[str, ...] = tuple(
+    info.name for info in SPEC2000 if info.suite == "spec2000-fp"
+)
+
+#: Names of all 24 evaluated SPEC 2000 benchmarks, in figure order.
+SPEC2000_NAMES: tuple[str, ...] = tuple(info.name for info in SPEC2000)

@@ -1,0 +1,89 @@
+"""Shared fixtures.
+
+Expensive artefacts (a measured mini-suite and its labelled dataset) are
+built once per session on a deliberately small configuration: a handful of
+benchmarks, relaxed filters, light noise.  Tests that need the full-scale
+pipeline belong in the benchmarks/ harness, not here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ir.builder import LoopBuilder
+from repro.ir.loop import TripInfo
+from repro.ir.program import Suite
+from repro.ir.types import DType, Opcode
+from repro.pipeline.labeling import LabelingConfig, measure_suite
+from repro.simulate.noise import NoiseModel
+from repro.workloads.generator import generate_benchmark
+from repro.workloads.spec_names import ROSTER
+
+
+@pytest.fixture
+def daxpy_loop():
+    """A small, analyzable streaming loop (used across many suites)."""
+    builder = LoopBuilder("test/daxpy", trip=TripInfo(runtime=96))
+    x = builder.load("x")
+    y = builder.load("y")
+    builder.store(builder.fp(Opcode.FMA, x, builder.fconst(2.5), y), "y")
+    return builder.build()
+
+
+@pytest.fixture
+def reduction_loop():
+    """A serial FP reduction with a carried accumulator."""
+    builder = LoopBuilder("test/vsum", trip=TripInfo(runtime=64))
+    acc = builder.carried(DType.F64, init=0.0)
+    value = builder.load("a")
+    builder.fp(Opcode.FADD, acc, value, dest=acc)
+    loop = builder.build()
+    return loop, acc, builder.carried_inits
+
+
+@pytest.fixture
+def stencil_loop():
+    """A 3-point stencil — cross-copy redundancy for scalar replacement."""
+    builder = LoopBuilder("test/stencil", trip=TripInfo(runtime=80))
+    a0 = builder.load("a", offset=0)
+    a1 = builder.load("a", offset=1)
+    a2 = builder.load("a", offset=2)
+    t = builder.fp(Opcode.FADD, a0, a1)
+    builder.store(builder.fp(Opcode.FADD, t, a2), "out")
+    return builder.build()
+
+
+@pytest.fixture(scope="session")
+def mini_suite() -> Suite:
+    """Six benchmarks (one per archetype plus two extras), scaled down."""
+    picks = [ROSTER[1], ROSTER[0], ROSTER[28], ROSTER[44], ROSTER[56], ROSTER[64]]
+    seeds = np.random.SeedSequence(1234).spawn(len(picks))
+    benchmarks = tuple(
+        generate_benchmark(info, np.random.default_rng(seed), loops_scale=0.3)
+        for info, seed in zip(picks, seeds)
+    )
+    return Suite(name="mini", benchmarks=benchmarks)
+
+
+@pytest.fixture(scope="session")
+def mini_config() -> LabelingConfig:
+    """Fast labelling config: light noise, relaxed filters, few runs."""
+    return LabelingConfig(
+        seed=7,
+        swp=False,
+        noise=NoiseModel(sigma=0.01, outlier_rate=0.0, counter_overhead=5),
+        n_runs=5,
+        min_cycles=5_000.0,
+        min_benefit=1.02,
+    )
+
+
+@pytest.fixture(scope="session")
+def mini_table(mini_suite, mini_config):
+    return measure_suite(mini_suite, mini_config)
+
+
+@pytest.fixture(scope="session")
+def mini_dataset(mini_table, mini_config):
+    return mini_table.to_dataset(mini_config.min_cycles, mini_config.min_benefit)

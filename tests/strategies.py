@@ -1,0 +1,51 @@
+"""Shared hypothesis strategies for the property-based suites."""
+
+from hypothesis import strategies as st
+
+from repro.ir.builder import LoopBuilder
+from repro.ir.loop import TripInfo
+from repro.ir.types import CmpOp, DType, Opcode
+
+from hypothesis import strategies as st
+
+from repro.ir.types import CmpOp, Opcode
+
+FP_OPS = [Opcode.FADD, Opcode.FSUB, Opcode.FMUL]
+
+
+@st.composite
+def random_loops(draw):
+    """A random but well-formed counted loop built through the DSL."""
+    trip = draw(st.integers(min_value=1, max_value=40))
+    known = draw(st.booleans())
+    builder = LoopBuilder(
+        "prop",
+        TripInfo(runtime=trip, compile_time=trip if known else None),
+    )
+    values = []
+    n_strands = draw(st.integers(min_value=1, max_value=3))
+    for strand in range(n_strands):
+        kind = draw(st.sampled_from(["map", "reduce", "stencil", "carried_store"]))
+        if kind == "map":
+            value = builder.load(f"in{strand}", offset=draw(st.integers(0, 2)))
+            op = draw(st.sampled_from(FP_OPS))
+            result = builder.fp(op, value, builder.fconst(draw(st.floats(0.5, 2.0))))
+            builder.store(result, f"out{strand}")
+            values.append(result)
+        elif kind == "reduce":
+            acc = builder.carried(DType.F64, init=0.0)
+            value = builder.load(f"r{strand}")
+            builder.fp(Opcode.FADD, acc, value, dest=acc)
+        elif kind == "stencil":
+            a = builder.load(f"s{strand}", offset=0)
+            b = builder.load(f"s{strand}", offset=draw(st.integers(1, 3)))
+            builder.store(builder.fp(Opcode.FADD, a, b), f"sout{strand}")
+        else:
+            value = builder.load(f"c{strand}", offset=0)
+            scaled = builder.fp(Opcode.FMUL, value, builder.fconst(0.75))
+            builder.store(scaled, f"c{strand}", offset=draw(st.integers(1, 4)))
+    if draw(st.booleans()) and values:
+        # Optionally a predicated consumer of an earlier value.
+        pred = builder.cmp(CmpOp.GT, values[0], builder.fconst(0.0), fp=True)
+        builder.store(values[0], "pred_out", pred=pred)
+    return builder.build()

@@ -1,0 +1,95 @@
+"""Tests for the command-line interface.
+
+The CLI drives the full-scale pipeline by default; to keep these tests
+fast they run at a tiny suite scale and relaxed filters are unnecessary
+because the generator's work-floor bias keeps enough loops above 50k
+cycles even at small scales.
+"""
+
+import pytest
+
+from repro.cli import main
+
+SCALE = ["--scale", "0.05", "--seed", "99"]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def warm_cache():
+    """Build the tiny dataset once so individual commands are quick."""
+    assert main(["build-data", *SCALE]) == 0
+
+
+class TestCommands:
+    def test_build_data_reports_counts(self, capsys):
+        assert main(["build-data", *SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "loops measured" in out
+        assert "dataset rows" in out
+
+    def test_histogram(self, capsys):
+        assert main(["histogram", *SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "u=1" in out and "u=8" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2", *SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "Optimal unroll factor" in out
+        assert "Worst unroll factor" in out
+
+    def test_features(self, capsys):
+        assert main(["features", *SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "mutual information" in out.lower()
+        assert "Greedy forward selection for NN" in out
+
+    def test_predict_known_kernel(self, capsys):
+        assert main(["predict", "daxpy", *SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "predicts unroll factor" in out
+        assert "simulator-optimal factor" in out
+
+    def test_predict_unknown_kernel(self, capsys):
+        assert main(["predict", "nonesuch", *SCALE]) == 2
+        assert "unknown kernel" in capsys.readouterr().out
+
+    def test_export_round_trips(self, tmp_path, capsys):
+        target = tmp_path / "loops.jsonl"
+        assert main(["export", str(target), *SCALE]) == 0
+        from repro.instrument import read_records
+
+        records = read_records(target)
+        assert len(records) > 0
+        assert all(1 <= r.best_factor <= 8 for r in records)
+
+    def test_predict_file(self, tmp_path, capsys):
+        source = tmp_path / "loops.rul"
+        source.write_text(
+            "loop cli_test trip=512 entries=8\n"
+            "  %x = load a[i]\n"
+            "  %y = fmul %x, 2.0\n"
+            "  store %y -> b[i]\n"
+            "end\n"
+        )
+        assert main(["predict-file", str(source), *SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "cli_test: predicted u=" in out
+
+    def test_predict_file_reports_parse_errors(self, tmp_path, capsys):
+        source = tmp_path / "bad.rul"
+        source.write_text("loop broken trip=8\n  %x = frobnicate 1, 2\nend\n")
+        assert main(["predict-file", str(source), *SCALE]) == 2
+        assert "cannot read" in capsys.readouterr().out
+
+    def test_suite_stats(self, capsys):
+        assert main(["suite-stats", *SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "72 benchmarks" in out
+        assert "loops per language" in out
+        assert "scalar recurrences" in out
+
+    def test_speedups_small(self, capsys):
+        assert main(["speedups", *SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "mean svm" in out
+        assert "164.gzip" in out

@@ -1,0 +1,154 @@
+"""Unit tests for the feature catalog and extractor."""
+
+import numpy as np
+import pytest
+
+from repro.features import (
+    FEATURE_NAMES,
+    FEATURES,
+    N_FEATURES,
+    by_name,
+    extract_features,
+    extract_matrix,
+    feature_index,
+    fit_minmax,
+    fit_normalizer,
+    fit_zscore,
+    table1_subset,
+)
+from repro.ir.builder import LoopBuilder
+from repro.ir.loop import TripInfo
+from repro.ir.types import CmpOp, DType, Language, Opcode
+
+
+class TestCatalog:
+    def test_exactly_38_features(self):
+        assert N_FEATURES == 38
+        assert len(FEATURE_NAMES) == 38
+
+    def test_indices_are_consecutive(self):
+        assert [spec.index for spec in FEATURES] == list(range(38))
+
+    def test_names_are_unique(self):
+        assert len(set(FEATURE_NAMES)) == 38
+
+    def test_lookup_by_name(self):
+        assert by_name("tripcount").index == feature_index("tripcount")
+        with pytest.raises(KeyError):
+            feature_index("does_not_exist")
+
+    def test_table1_subset_matches_flags(self):
+        subset = table1_subset()
+        assert all(spec.table1 for spec in subset)
+        assert {"nest_level", "num_ops", "tripcount", "language"} <= {
+            s.name for s in subset
+        }
+
+
+class TestExtraction:
+    def test_vector_shape_and_dtype(self, daxpy_loop):
+        vector = extract_features(daxpy_loop)
+        assert vector.shape == (38,)
+        assert vector.dtype == np.float64
+
+    def test_counts_on_known_loop(self, daxpy_loop):
+        v = extract_features(daxpy_loop)
+        get = lambda name: v[feature_index(name)]
+        assert get("num_ops") == 4
+        assert get("num_fp_ops") == 1  # the fma
+        assert get("num_loads") == 2
+        assert get("num_stores") == 1
+        assert get("num_mem_ops") == 3
+        assert get("num_branches") == 0
+        assert get("nest_level") == 1
+        assert get("language") == Language.C.value
+        assert get("known_tripcount") == 0
+        assert get("tripcount") == -1
+        assert get("stride_one_frac") == 1.0
+        assert get("num_distinct_arrays") == 2
+        assert get("has_early_exit") == 0
+
+    def test_known_tripcount_recorded(self):
+        builder = LoopBuilder("t", TripInfo(runtime=48, compile_time=48))
+        builder.store(builder.load("a"), "out")
+        v = extract_features(builder.build())
+        assert v[feature_index("tripcount")] == 48
+        assert v[feature_index("known_tripcount")] == 1
+
+    def test_carried_recurrence_features(self, reduction_loop):
+        loop, _, _ = reduction_loop
+        v = extract_features(loop)
+        assert v[feature_index("num_carried_reg_deps")] == 1
+        assert v[feature_index("rec_mii")] >= 4
+
+    def test_predicate_and_exit_features(self):
+        from repro.workloads.kernels import sentinel_search
+
+        v = extract_features(sentinel_search(trip=32, entries=1))
+        assert v[feature_index("has_early_exit")] == 1
+        assert v[feature_index("num_branches")] == 1
+        assert v[feature_index("num_unique_predicates")] >= 1
+        assert v[feature_index("max_control_dep_height")] >= 0
+
+    def test_indirect_refs_counted(self):
+        from repro.workloads.kernels import gather_accumulate
+
+        v = extract_features(gather_accumulate(trip=32, entries=1))
+        assert v[feature_index("num_indirect_refs")] == 1
+
+    def test_min_carried_mem_dep(self):
+        builder = LoopBuilder("t", TripInfo(runtime=32))
+        value = builder.load("a", offset=0)
+        builder.store(value, "a", offset=3)
+        v = extract_features(builder.build())
+        assert v[feature_index("min_mem_carried_dep")] == 3
+
+    def test_no_carried_mem_dep_is_minus_one(self, daxpy_loop):
+        v = extract_features(daxpy_loop)
+        assert v[feature_index("min_mem_carried_dep")] == -1
+
+    def test_matrix_extraction_matches_rows(self, daxpy_loop, stencil_loop):
+        matrix = extract_matrix([daxpy_loop, stencil_loop])
+        assert matrix.shape == (2, 38)
+        np.testing.assert_array_equal(matrix[0], extract_features(daxpy_loop))
+        np.testing.assert_array_equal(matrix[1], extract_features(stencil_loop))
+
+    def test_features_are_deterministic(self, stencil_loop):
+        np.testing.assert_array_equal(
+            extract_features(stencil_loop), extract_features(stencil_loop)
+        )
+
+
+class TestNormalization:
+    def test_minmax_maps_to_unit_interval(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(50, 6)) * 100
+        Z = fit_minmax(X).transform(X)
+        assert Z.min() >= -1e-12 and Z.max() <= 1 + 1e-12
+
+    def test_zscore_standardises(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(loc=5, scale=3, size=(200, 4))
+        Z = fit_zscore(X).transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(Z.std(axis=0), 1.0, atol=1e-12)
+
+    def test_constant_features_do_not_blow_up(self):
+        X = np.ones((10, 3))
+        Z = fit_minmax(X).transform(X)
+        assert np.isfinite(Z).all()
+
+    def test_round_trip(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(30, 5))
+        norm = fit_zscore(X)
+        np.testing.assert_allclose(norm.inverse_transform(norm.transform(X)), X)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            fit_normalizer(np.ones((3, 2)), "quantile")
+
+    def test_train_statistics_applied_to_novel_data(self):
+        X = np.array([[0.0], [10.0]])
+        norm = fit_minmax(X)
+        np.testing.assert_allclose(norm.transform(np.array([[20.0]])), [[2.0]])

@@ -1,0 +1,118 @@
+"""Unit tests for the heuristics: ORC, oracle, fixed, and learned."""
+
+import numpy as np
+import pytest
+
+from repro.heuristics import (
+    FixedFactorHeuristic,
+    ORCHeuristic,
+    OracleHeuristic,
+    orc_unroll_factor_no_swp,
+    orc_unroll_factor_swp,
+    train_nn_heuristic,
+    train_svm_heuristic,
+)
+from repro.ir.builder import LoopBuilder
+from repro.ir.loop import TripInfo
+from repro.ir.types import DType, Opcode
+from repro.workloads.kernels import daxpy, gather_accumulate, sentinel_search
+
+
+def _loop_of_size(n_ops, trip=256, known=False):
+    builder = LoopBuilder("t", TripInfo(runtime=trip, compile_time=trip if known else None))
+    for k in range(max(1, n_ops // 2)):
+        value = builder.load(f"a{k}")
+        builder.store(value, f"o{k}")
+    return builder.build()
+
+
+class TestORCNoSWP:
+    def test_full_unroll_of_short_known_trips(self):
+        loop = _loop_of_size(4, trip=6, known=True)
+        assert orc_unroll_factor_no_swp(loop) == 6
+
+    def test_exit_loops_barely_unrolled(self):
+        loop = sentinel_search(trip=64, entries=1)
+        assert orc_unroll_factor_no_swp(loop) <= 2
+
+    def test_huge_bodies_not_unrolled(self):
+        loop = _loop_of_size(400)
+        assert orc_unroll_factor_no_swp(loop) == 1
+
+    def test_budget_fills_exactly_not_pow2(self):
+        # A 26-op body under the 150-op budget: 150 // 26 = 5 — the model
+        # happily picks a non-power-of-two (its signature blind spot).
+        loop = _loop_of_size(26)
+        assert orc_unroll_factor_no_swp(loop) == 5
+
+    def test_divisor_preference_for_known_trips(self):
+        loop = _loop_of_size(26, trip=100, known=True)
+        # Budget allows 5; 5 divides 100, so no remainder loop: pick 5.
+        assert orc_unroll_factor_no_swp(loop) == 5
+        prime = _loop_of_size(26, trip=101, known=True)
+        # Nothing in 2..5 divides 101: refuse to unroll.
+        assert orc_unroll_factor_no_swp(prime) == 1
+
+    def test_indirect_refs_capped(self):
+        loop = gather_accumulate(trip=128, entries=1)
+        assert orc_unroll_factor_no_swp(loop) <= 2
+
+
+class TestORCSWP:
+    def test_fractional_ii_drives_the_choice(self):
+        # daxpy: ResMII = 1.5 -> unrolling by 2 gives an integral bound.
+        loop = daxpy(trip=512, entries=1)
+        assert orc_unroll_factor_swp(loop) == 2
+
+    def test_exit_loops_fall_back_to_no_swp_rule(self):
+        loop = sentinel_search(trip=64, entries=1)
+        assert orc_unroll_factor_swp(loop) == orc_unroll_factor_no_swp(loop)
+
+    def test_wrapper_dispatch(self):
+        loop = daxpy(trip=512, entries=1)
+        assert ORCHeuristic(swp=True).predict_loop(loop) == orc_unroll_factor_swp(loop)
+        assert ORCHeuristic(swp=False).predict_loop(loop) == orc_unroll_factor_no_swp(loop)
+
+
+class TestOracle:
+    def test_reads_measured_best(self, mini_dataset, mini_suite):
+        oracle = OracleHeuristic.from_dataset(mini_dataset)
+        loops = {l.name: l for b in mini_suite.benchmarks for l in b.loops}
+        name = str(mini_dataset.loop_names[0])
+        assert oracle.predict_loop(loops[name]) == int(mini_dataset.labels[0])
+
+    def test_unmeasured_loops_default_to_rolled(self, mini_suite):
+        oracle = OracleHeuristic({})
+        loop = mini_suite.benchmarks[0].loops[0]
+        assert oracle.predict_loop(loop) == 1
+
+    def test_fixed_factor(self, daxpy_loop):
+        assert FixedFactorHeuristic(4).predict_loop(daxpy_loop) == 4
+        with pytest.raises(ValueError):
+            FixedFactorHeuristic(9)
+
+
+class TestLearnedHeuristics:
+    def test_nn_heuristic_round_trip(self, mini_dataset, mini_suite):
+        heuristic = train_nn_heuristic(mini_dataset)
+        loops = {l.name: l for b in mini_suite.benchmarks for l in b.loops}
+        # A loop from the training set should usually get its own label
+        # back (its own feature vector sits in the database).
+        hits = 0
+        rows = range(0, len(mini_dataset), max(1, len(mini_dataset) // 20))
+        for row in rows:
+            loop = loops[str(mini_dataset.loop_names[row])]
+            if heuristic.predict_loop(loop) == int(mini_dataset.labels[row]):
+                hits += 1
+        assert hits / len(list(rows)) > 0.5
+
+    def test_svm_heuristic_predicts_in_range(self, mini_dataset, daxpy_loop):
+        heuristic = train_svm_heuristic(mini_dataset)
+        assert 1 <= heuristic.predict_loop(daxpy_loop) <= 8
+
+    def test_feature_subset_plumbed_through(self, mini_dataset, daxpy_loop):
+        indices = np.array([1, 2, 4, 19, 24])
+        heuristic = train_nn_heuristic(mini_dataset, feature_indices=indices)
+        assert 1 <= heuristic.predict_loop(daxpy_loop) <= 8
+        batch = heuristic.predict_features(mini_dataset.X[:5])
+        assert batch.shape == (5,)

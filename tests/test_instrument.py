@@ -1,0 +1,114 @@
+"""Unit tests for the instrumentation library and raw-data export."""
+
+import numpy as np
+import pytest
+
+from repro.instrument import (
+    LoopRecord,
+    LoopTimerBank,
+    measure_benchmark,
+    measure_loop,
+    read_records,
+    write_records,
+)
+from repro.simulate import CostModel, NOISELESS, NoiseModel
+from repro.workloads.kernels import daxpy
+
+
+class TestTimerBank:
+    def test_accumulates_per_loop(self):
+        bank = LoopTimerBank()
+        bank.record("a", 100.0)
+        bank.record("a", 50.0)
+        bank.record("b", 7.0)
+        assert bank.report() == {"a": 150.0, "b": 7.0}
+
+    def test_report_is_a_copy(self):
+        bank = LoopTimerBank()
+        bank.record("a", 1.0)
+        report = bank.report()
+        report["a"] = 999.0
+        assert bank.report()["a"] == 1.0
+
+
+class TestMeasurement:
+    def test_noiseless_measurement_equals_cost_model(self):
+        loop = daxpy(trip=256, entries=8)
+        model = CostModel()
+        rng = np.random.default_rng(0)
+        measurement = measure_loop(loop, 2, model, rng, noise=NOISELESS, n_runs=5)
+        assert measurement.median_cycles == model.loop_cost(loop, 2).total_cycles
+        assert measurement.n_runs == 5
+
+    def test_median_of_thirty_default(self):
+        loop = daxpy(trip=256, entries=8)
+        rng = np.random.default_rng(1)
+        measurement = measure_loop(loop, 1, CostModel(), rng)
+        assert measurement.n_runs == 30
+
+    def test_benchmark_measurement_covers_all_loops(self, mini_suite, mini_config):
+        bench = mini_suite.benchmarks[0]
+        rng = np.random.default_rng(2)
+        results = measure_benchmark(
+            bench, 4, CostModel(), rng, noise=mini_config.noise, n_runs=3
+        )
+        assert set(results) == {loop.name for loop in bench.loops}
+
+    def test_noise_does_not_bias_the_median_much(self):
+        loop = daxpy(trip=512, entries=16)
+        model = CostModel()
+        truth = model.loop_cost(loop, 1).total_cycles
+        noise = NoiseModel(sigma=0.02, outlier_rate=0.02, counter_overhead=0)
+        rng = np.random.default_rng(3)
+        medians = [
+            measure_loop(loop, 1, model, rng, noise=noise).median_cycles
+            for _ in range(10)
+        ]
+        assert abs(np.mean(medians) / truth - 1.0) < 0.02
+
+
+class TestRawDataRelease:
+    def _records(self, dataset, limit=10):
+        return [
+            LoopRecord(
+                loop_name=str(dataset.loop_names[i]),
+                benchmark=str(dataset.benchmarks[i]),
+                suite=str(dataset.suites[i]),
+                language=str(dataset.languages[i]),
+                features=tuple(float(v) for v in dataset.X[i]),
+                median_cycles=tuple(float(v) for v in dataset.cycles[i]),
+            )
+            for i in range(min(limit, len(dataset)))
+        ]
+
+    def test_round_trip(self, mini_dataset, tmp_path):
+        records = self._records(mini_dataset)
+        path = tmp_path / "loops.jsonl"
+        count = write_records(records, path)
+        loaded = read_records(path)
+        assert count == len(loaded) == len(records)
+        for original, restored in zip(records, loaded):
+            assert restored == original
+
+    def test_best_factor_property(self, mini_dataset, tmp_path):
+        records = self._records(mini_dataset, limit=5)
+        for i, record in enumerate(records):
+            assert record.best_factor == int(mini_dataset.labels[i])
+
+    def test_header_mismatch_detected(self, mini_dataset, tmp_path):
+        path = tmp_path / "loops.jsonl"
+        write_records(self._records(mini_dataset, 2), path)
+        content = path.read_text().splitlines()
+        content[0] = content[0].replace("nest_level", "bogus_feature")
+        path.write_text("\n".join(content) + "\n")
+        with pytest.raises(ValueError, match="catalog mismatch"):
+            read_records(path)
+
+    def test_version_mismatch_detected(self, mini_dataset, tmp_path):
+        path = tmp_path / "loops.jsonl"
+        write_records(self._records(mini_dataset, 2), path)
+        content = path.read_text().splitlines()
+        content[0] = content[0].replace('"format_version": 1', '"format_version": 99')
+        path.write_text("\n".join(content) + "\n")
+        with pytest.raises(ValueError, match="unsupported"):
+            read_records(path)

@@ -1,0 +1,111 @@
+"""End-to-end integration tests on the mini pipeline.
+
+These are the "does the whole paper loop hold together" checks: generate,
+measure, filter, label, select features, train, cross-validate, evaluate —
+asserting the qualitative relationships the full-scale benches assert at
+paper scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.heuristics import (
+    FixedFactorHeuristic,
+    ORCHeuristic,
+    OracleHeuristic,
+    train_nn_heuristic,
+    train_svm_heuristic,
+)
+from repro.ml import (
+    accuracy,
+    loocv_nn,
+    loocv_tuned_svm,
+    mean_cost_ratio,
+    rank_distribution,
+    selected_feature_union,
+)
+from repro.pipeline import EvaluationConfig, evaluate_speedups
+
+
+@pytest.fixture(scope="module")
+def selected(mini_dataset):
+    return selected_feature_union(
+        mini_dataset.X, mini_dataset.labels, subsample=150
+    )
+
+
+class TestLearnability:
+    def test_classifiers_beat_majority_class(self, mini_dataset, selected):
+        majority = np.bincount(mini_dataset.labels, minlength=9)[1:].max() / len(
+            mini_dataset
+        )
+        nn_acc = accuracy(mini_dataset, loocv_nn(mini_dataset, selected))
+        svm_acc = accuracy(mini_dataset, loocv_tuned_svm(mini_dataset, selected))
+        assert nn_acc > majority + 0.05
+        assert svm_acc > majority + 0.05
+
+    def test_classifiers_beat_orc(self, mini_suite, mini_dataset, selected):
+        loops = {l.name: l for b in mini_suite.benchmarks for l in b.loops}
+        orc = ORCHeuristic(swp=False)
+        orc_predictions = np.array(
+            [orc.predict_loop(loops[str(n)]) for n in mini_dataset.loop_names]
+        )
+        orc_acc = accuracy(mini_dataset, orc_predictions)
+        nn_acc = accuracy(mini_dataset, loocv_nn(mini_dataset, selected))
+        assert nn_acc > orc_acc
+
+    def test_learned_cost_close_to_optimal(self, mini_dataset, selected):
+        predictions = loocv_nn(mini_dataset, selected)
+        assert mean_cost_ratio(mini_dataset, predictions) < 1.25
+
+    def test_rank_distribution_mass_near_top(self, mini_dataset, selected):
+        predictions = loocv_tuned_svm(mini_dataset, selected)
+        distribution = rank_distribution(mini_dataset, predictions)
+        assert distribution.near_optimal > 0.5
+
+
+class TestDeployment:
+    def test_trained_heuristics_agree_with_their_classifier(
+        self, mini_suite, mini_dataset, selected
+    ):
+        heuristic = train_nn_heuristic(mini_dataset, feature_indices=selected)
+        loops = {l.name: l for b in mini_suite.benchmarks for l in b.loops}
+        batch = heuristic.predict_features(mini_dataset.X[:10])
+        singles = [
+            heuristic.predict_loop(loops[str(mini_dataset.loop_names[i])])
+            for i in range(10)
+        ]
+        np.testing.assert_array_equal(batch, singles)
+
+    def test_speedup_pipeline_orders_heuristics(
+        self, mini_suite, mini_table, mini_dataset, selected
+    ):
+        names = tuple(b.name for b in mini_suite.benchmarks)
+        report = evaluate_speedups(
+            mini_suite,
+            mini_table,
+            mini_dataset,
+            EvaluationConfig(swp=False, benchmarks=names, feature_indices=selected),
+        )
+        oracle_mean = report.mean_improvement("oracle")
+        svm_mean = report.mean_improvement("svm")
+        # The oracle never trails a learner by more than measurement noise.
+        assert oracle_mean >= svm_mean - 0.01
+
+    def test_fixed_factor_strawman_loses_to_oracle(self, mini_dataset):
+        oracle = OracleHeuristic.from_dataset(mini_dataset)
+        always8 = np.full(len(mini_dataset), 8)
+        oracle_pred = np.array(
+            [oracle.measured_best[str(n)] for n in mini_dataset.loop_names]
+        )
+        assert mean_cost_ratio(mini_dataset, oracle_pred) <= mean_cost_ratio(
+            mini_dataset, always8
+        )
+
+    def test_svm_heuristic_handles_novel_kernels(self, mini_dataset, selected):
+        from repro.workloads.kernels import KERNELS
+
+        heuristic = train_svm_heuristic(mini_dataset, feature_indices=selected)
+        for name in ("daxpy", "dot", "search", "gather", "cmul"):
+            factor = heuristic.predict_loop(KERNELS[name]())
+            assert 1 <= factor <= 8

@@ -1,0 +1,114 @@
+"""Unit tests for instruction construction and rewriting."""
+
+import pytest
+
+from repro.ir import instruction as ins
+from repro.ir.instruction import Instruction
+from repro.ir.types import CmpOp, DType, Opcode
+from repro.ir.values import AffineIndex, Imm, MemRef, Reg
+
+F0 = Reg("f0", DType.F64)
+F1 = Reg("f1", DType.F64)
+F2 = Reg("f2", DType.F64)
+P0 = Reg("p0", DType.PRED)
+R0 = Reg("r0", DType.I64)
+
+
+class TestConstruction:
+    def test_uids_are_unique(self):
+        a = ins.binop(Opcode.FADD, F2, F0, F1)
+        b = ins.binop(Opcode.FADD, F2, F0, F1)
+        assert a.uid != b.uid
+
+    def test_store_must_not_have_dest(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.STORE, dest=F0, srcs=(F1,), mem=MemRef("a"))
+
+    def test_arith_requires_dest(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.FADD, srcs=(F0, F1))
+
+    def test_memory_op_requires_memref(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.LOAD, dest=F0)
+
+    def test_compare_requires_cmp_kind(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.CMP, dest=P0, srcs=(R0, Imm(1)))
+
+    def test_compare_constructor(self):
+        inst = ins.compare(P0, CmpOp.LT, R0, Imm(10))
+        assert inst.cmp_op is CmpOp.LT
+        assert inst.op is Opcode.CMP
+
+    def test_fp_compare_constructor(self):
+        assert ins.compare(P0, CmpOp.GT, F0, F1, fp=True).op is Opcode.FCMP
+
+
+class TestOperandInspection:
+    def test_reg_srcs_includes_predicate(self):
+        inst = ins.binop(Opcode.FADD, F2, F0, F1, pred=P0)
+        assert set(inst.reg_srcs()) == {F0, F1, P0}
+
+    def test_reg_srcs_includes_indirect_index(self):
+        mem = MemRef("a", indirect=True, index_reg=R0)
+        inst = ins.load(F0, mem)
+        assert R0 in set(inst.reg_srcs())
+
+    def test_immediates_are_not_reg_srcs(self):
+        inst = ins.binop(Opcode.FMUL, F2, F0, Imm(2.0, DType.F64))
+        assert set(inst.reg_srcs()) == {F0}
+
+    def test_n_operands_counts_everything(self):
+        # dest + 2 srcs + pred + no mem = 4.
+        inst = ins.binop(Opcode.FADD, F2, F0, F1, pred=P0)
+        assert inst.n_operands == 4
+
+    def test_n_operands_counts_memref(self):
+        inst = ins.store(F0, MemRef("a"))
+        assert inst.n_operands == 2  # value + memory reference
+
+
+class TestRewriting:
+    def test_with_renamed_regs_maps_all_positions(self):
+        inst = ins.binop(Opcode.FADD, F2, F0, F1, pred=P0)
+        mapping = {F0: Reg("fx", DType.F64), F2: Reg("fy", DType.F64)}
+        out = inst.with_renamed_regs(mapping)
+        assert out.dest.name == "fy"
+        assert out.srcs[0].name == "fx"
+        assert out.srcs[1] == F1
+        assert out.uid != inst.uid
+
+    def test_rewritten_applies_asymmetric_maps(self):
+        # acc = acc + x: src map sends acc to the previous copy's name,
+        # dest map to this copy's name.
+        acc = Reg("acc", DType.F64)
+        inst = ins.binop(Opcode.FADD, acc, acc, F0)
+        out = inst.rewritten(
+            src_map={acc: Reg("acc.0", DType.F64)},
+            dest_map={acc: Reg("acc.1", DType.F64)},
+        )
+        assert out.dest.name == "acc.1"
+        assert out.srcs[0].name == "acc.0"
+
+    def test_rewritten_renames_indirect_index_as_source(self):
+        mem = MemRef("a", indirect=True, index_reg=R0)
+        inst = ins.load(F0, mem)
+        out = inst.rewritten({R0: Reg("r9", DType.I64)}, {})
+        assert out.mem.index_reg.name == "r9"
+
+    def test_with_unrolled_mem_identity_for_rolled(self):
+        inst = ins.load(F0, MemRef("a", AffineIndex(1, 0)))
+        assert inst.with_unrolled_mem(1, 0, 0) is inst
+
+    def test_with_unrolled_mem_retargets(self):
+        inst = ins.load(F0, MemRef("a", AffineIndex(1, 1)))
+        out = inst.with_unrolled_mem(4, 2, 0)
+        assert out.mem.index.coeff == 4
+        assert out.mem.index.offset == 3
+
+    def test_clone_is_fresh_identity(self):
+        inst = ins.mov(F0, Imm(1.0, DType.F64))
+        clone = inst.clone()
+        assert clone.uid != inst.uid
+        assert clone.op is inst.op and clone.dest == inst.dest

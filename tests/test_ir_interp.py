@@ -1,0 +1,191 @@
+"""Unit tests for the reference interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.ir.builder import LoopBuilder
+from repro.ir.interp import InterpreterError, initial_state, run_loop
+from repro.ir.loop import TripInfo
+from repro.ir.types import CmpOp, DType, Opcode
+
+
+def _single_op_loop(op, srcs, dtype=DType.I64):
+    builder = LoopBuilder("t", TripInfo(runtime=1))
+    builder.intop(op, *srcs) if dtype is DType.I64 else builder.fp(op, *srcs)
+    dest = builder._body[-1].dest
+    builder.store(dest, "out")
+    return builder.build(), dest
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "op, a, b, expected",
+        [
+            (Opcode.ADD, 3, 4, 7),
+            (Opcode.SUB, 3, 4, -1),
+            (Opcode.MUL, 3, 4, 12),
+            (Opcode.DIV, 7, 2, 3),
+            (Opcode.DIV, -7, 2, -3),  # truncated, not floored
+            (Opcode.DIV, 7, 0, 0),  # totalised division
+            (Opcode.REM, 7, 2, 1),
+            (Opcode.REM, 7, 0, 0),
+            (Opcode.SHL, 3, 2, 12),
+            (Opcode.SHR, 12, 2, 3),
+            (Opcode.AND, 0b1100, 0b1010, 0b1000),
+            (Opcode.OR, 0b1100, 0b1010, 0b1110),
+            (Opcode.XOR, 0b1100, 0b1010, 0b0110),
+        ],
+    )
+    def test_integer_ops(self, op, a, b, expected):
+        builder = LoopBuilder("t", TripInfo(runtime=1))
+        result = builder.intop(op, builder.iconst(a), builder.iconst(b))
+        builder.store(result, "out")
+        loop = builder.build()
+        state = initial_state(loop)
+        run_loop(loop, state)
+        assert state.arrays["out"][0] == expected
+
+    @pytest.mark.parametrize(
+        "op, a, b, expected",
+        [
+            (Opcode.FADD, 1.5, 2.25, 3.75),
+            (Opcode.FSUB, 1.5, 2.25, -0.75),
+            (Opcode.FMUL, 1.5, 2.0, 3.0),
+            (Opcode.FDIV, 3.0, 2.0, 1.5),
+            (Opcode.FDIV, 3.0, 0.0, 0.0),  # totalised
+        ],
+    )
+    def test_fp_ops(self, op, a, b, expected):
+        builder = LoopBuilder("t", TripInfo(runtime=1))
+        result = builder.fp(op, builder.fconst(a), builder.fconst(b))
+        builder.store(result, "out")
+        loop = builder.build()
+        state = initial_state(loop)
+        run_loop(loop, state)
+        assert state.arrays["out"][0] == pytest.approx(expected)
+
+    def test_fma(self):
+        builder = LoopBuilder("t", TripInfo(runtime=1))
+        result = builder.fp(Opcode.FMA, builder.fconst(2.0), builder.fconst(3.0), builder.fconst(1.0))
+        builder.store(result, "out")
+        loop = builder.build()
+        state = initial_state(loop)
+        run_loop(loop, state)
+        assert state.arrays["out"][0] == 7.0
+
+    def test_shift_amount_clamped(self):
+        builder = LoopBuilder("t", TripInfo(runtime=1))
+        result = builder.intop(Opcode.SHL, builder.iconst(1), builder.iconst(200))
+        builder.store(result, "out")
+        loop = builder.build()
+        state = initial_state(loop)
+        run_loop(loop, state)
+        assert state.arrays["out"][0] == float(1 << 63)
+
+
+class TestMemorySemantics:
+    def test_affine_load_store_round_trip(self, daxpy_loop):
+        state = initial_state(daxpy_loop, seed=3)
+        x = state.arrays["x"].copy()
+        y = state.arrays["y"].copy()
+        run_loop(daxpy_loop, state)
+        trips = daxpy_loop.trip.runtime
+        expected = y.copy()
+        expected[:trips] = x[:trips] * 2.5 + y[:trips]
+        np.testing.assert_allclose(state.arrays["y"], expected)
+
+    def test_indirect_index_wraps(self):
+        builder = LoopBuilder("t", TripInfo(runtime=1))
+        builder.array("data", 10)
+        big = builder.mov(builder.iconst(1007), dtype=DType.I64)
+        value = builder.load_indirect("data", big)
+        builder.store(value, "out")
+        loop = builder.build()
+        state = initial_state(loop)
+        run_loop(loop, state)
+        assert state.arrays["out"][0] == state.arrays["data"][1007 % 10]
+
+    def test_out_of_bounds_affine_access_raises(self):
+        builder = LoopBuilder("t", TripInfo(runtime=4))
+        builder.store(builder.fconst(1.0), "out")
+        loop = builder.build()
+        loop = loop.with_body(loop.body, arrays={"out": 2})  # shrink the array
+        state = initial_state(loop)
+        with pytest.raises(InterpreterError, match="out of bounds"):
+            run_loop(loop, state)
+
+
+class TestControlSemantics:
+    def test_early_exit_stops_iteration(self):
+        builder = LoopBuilder("t", TripInfo(runtime=10, counted=False))
+        value = builder.load("a")
+        hit = builder.cmp(CmpOp.GT, value, builder.fconst(100.0), fp=True)
+        builder.exit_if(hit)
+        counter = builder.carried(DType.F64, init=0.0)
+        builder.fp(Opcode.FADD, counter, builder.fconst(1.0), dest=counter)
+        loop = builder.build()
+        state = initial_state(loop, carried_inits=builder.carried_inits)
+        state.arrays["a"][:] = 0.0
+        state.arrays["a"][4] = 500.0  # sentinel at iteration 4
+        result = run_loop(loop, state)
+        assert result.exited_early
+        assert result.iterations == 5
+        assert state.regs[counter] == 4.0  # increment skipped on exit iteration
+
+    def test_while_loop_without_exit_raises_in_strict_mode(self):
+        builder = LoopBuilder("t", TripInfo(runtime=6, counted=False))
+        value = builder.load("a")
+        hit = builder.cmp(CmpOp.GT, value, builder.fconst(1e9), fp=True)
+        builder.exit_if(hit)
+        builder.store(value, "out")
+        loop = builder.build()
+        state = initial_state(loop)
+        with pytest.raises(InterpreterError, match="without taking its exit"):
+            run_loop(loop, state, strict_exit=True)
+
+    def test_predicated_store_skipped_when_false(self):
+        builder = LoopBuilder("t", TripInfo(runtime=4))
+        value = builder.load("a")
+        above = builder.cmp(CmpOp.GT, value, builder.fconst(1e9), fp=True)
+        builder.store(builder.fconst(7.0), "out", pred=above)
+        loop = builder.build()
+        state = initial_state(loop, seed=5)
+        before = state.arrays["out"].copy()
+        run_loop(loop, state)
+        np.testing.assert_array_equal(state.arrays["out"], before)
+
+    def test_select_chooses_by_predicate(self):
+        builder = LoopBuilder("t", TripInfo(runtime=1))
+        pred = builder.cmp(CmpOp.LT, builder.iconst(1), builder.iconst(2))
+        chosen = builder.select(pred, builder.fconst(10.0), builder.fconst(20.0))
+        builder.store(chosen, "out")
+        loop = builder.build()
+        state = initial_state(loop)
+        run_loop(loop, state)
+        assert state.arrays["out"][0] == 10.0
+
+
+class TestCarriedValues:
+    def test_reduction_accumulates(self, reduction_loop):
+        loop, acc, inits = reduction_loop
+        state = initial_state(loop, seed=11, carried_inits=inits)
+        values = state.arrays["a"].copy()
+        run_loop(loop, state)
+        assert state.regs[acc] == pytest.approx(values[: loop.trip.runtime].sum())
+
+    def test_undefined_register_read_raises(self):
+        from repro.ir.instruction import store as mk_store
+        from repro.ir.loop import Loop
+        from repro.ir.values import MemRef, Reg
+
+        ghost = Reg("ghost", DType.F64)
+        loop = Loop(
+            name="t",
+            body=(mk_store(ghost, MemRef("out")),),
+            trip=TripInfo(runtime=1),
+            arrays={"out": 8},
+        )
+        state = initial_state(loop)
+        state.regs.pop(ghost, None)
+        with pytest.raises(InterpreterError, match="undefined register"):
+            run_loop(loop, state)

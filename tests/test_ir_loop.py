@@ -1,0 +1,92 @@
+"""Unit tests for loops, trip info, and register classification."""
+
+import pytest
+
+from repro.ir.builder import LoopBuilder
+from repro.ir.loop import Loop, TripInfo
+from repro.ir.types import DType, Opcode
+
+
+class TestTripInfo:
+    def test_known_implies_counted(self):
+        with pytest.raises(ValueError):
+            TripInfo(runtime=10, compile_time=10, counted=False)
+
+    def test_compile_time_must_match_runtime(self):
+        with pytest.raises(ValueError):
+            TripInfo(runtime=10, compile_time=12)
+
+    def test_runtime_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TripInfo(runtime=0)
+
+    def test_known_property(self):
+        assert TripInfo(runtime=8, compile_time=8).known
+        assert not TripInfo(runtime=8).known
+
+
+class TestRegisterClassification:
+    def test_carried_register_detection(self):
+        builder = LoopBuilder("t", TripInfo(runtime=10))
+        acc = builder.carried(DType.F64, init=0.0)
+        value = builder.load("a")
+        builder.fp(Opcode.FADD, acc, value, dest=acc)
+        loop = builder.build()
+        assert loop.carried_regs() == {acc}
+        assert acc in loop.live_in_regs()
+        assert acc not in loop.invariant_regs()
+
+    def test_invariant_register_detection(self):
+        builder = LoopBuilder("t", TripInfo(runtime=10))
+        scale = builder.reg(DType.F64)  # never defined in the body
+        value = builder.load("a")
+        builder.store(builder.fp(Opcode.FMUL, value, scale), "out")
+        loop = builder.build()
+        assert loop.invariant_regs() == {scale}
+        assert loop.carried_regs() == set()
+
+    def test_plain_temporaries_are_neither(self):
+        builder = LoopBuilder("t", TripInfo(runtime=10))
+        value = builder.load("a")
+        builder.store(value, "out")
+        loop = builder.build()
+        assert value in loop.defined_regs()
+        assert value not in loop.live_in_regs()
+
+
+class TestLoopProperties:
+    def test_early_exit_detection(self, daxpy_loop):
+        assert not daxpy_loop.has_early_exit
+        assert daxpy_loop.swp_eligible
+
+    def test_while_loop_blocks_swp(self):
+        from repro.workloads.kernels import sentinel_search
+
+        loop = sentinel_search(trip=32, entries=2)
+        assert loop.has_early_exit
+        assert not loop.swp_eligible
+
+    def test_referenced_arrays(self, daxpy_loop):
+        assert daxpy_loop.referenced_arrays() == {"x", "y"}
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValueError):
+            Loop(name="t", body=(), trip=TripInfo(runtime=4))
+
+    def test_duplicate_loop_names_rejected_in_benchmark(self, daxpy_loop):
+        from repro.ir.program import Benchmark
+        from repro.ir.types import Language
+
+        with pytest.raises(ValueError):
+            Benchmark(
+                name="b",
+                suite="s",
+                language=Language.C,
+                loops=(daxpy_loop, daxpy_loop),
+            )
+
+    def test_with_body_replaces_and_keeps_rest(self, daxpy_loop):
+        new = daxpy_loop.with_body(daxpy_loop.body[:2], name="other")
+        assert new.size == 2
+        assert new.name == "other"
+        assert new.trip == daxpy_loop.trip

@@ -1,0 +1,165 @@
+"""Unit tests for the printer, validator, builder, and program containers."""
+
+import pytest
+
+from repro.ir.builder import LoopBuilder
+from repro.ir.loop import TripInfo
+from repro.ir.printer import format_instruction, format_loop
+from repro.ir.program import Benchmark, Suite
+from repro.ir.types import CmpOp, DType, Language, Opcode
+from repro.ir.validate import ValidationError, is_valid_loop, validate_loop
+
+
+class TestPrinter:
+    def test_instruction_rendering(self, daxpy_loop):
+        text = format_instruction(daxpy_loop.body[0])
+        assert text == "%f0 = load x[i]"
+
+    def test_store_rendering(self, daxpy_loop):
+        text = format_instruction(daxpy_loop.body[-1])
+        assert "store" in text and "-> y[i]" in text
+
+    def test_predicated_rendering(self):
+        builder = LoopBuilder("t", TripInfo(runtime=4))
+        value = builder.load("a")
+        pred = builder.cmp(CmpOp.GT, value, builder.fconst(0.0), fp=True)
+        builder.store(value, "out", pred=pred)
+        text = format_instruction(builder.build().body[-1])
+        assert text.startswith("(%p0)")
+
+    def test_compare_renders_condition(self):
+        builder = LoopBuilder("t", TripInfo(runtime=4))
+        value = builder.load("a")
+        builder.cmp(CmpOp.LE, value, builder.fconst(1.0), fp=True)
+        builder.store(value, "o")
+        text = format_instruction(builder.build().body[1])
+        assert "fcmp.le" in text
+
+    def test_loop_header_mentions_trip_knowledge(self):
+        builder = LoopBuilder("t", TripInfo(runtime=8, compile_time=8))
+        builder.store(builder.load("a"), "o")
+        assert "trip=8" in format_loop(builder.build())
+
+    def test_implicit_marker(self):
+        from repro.ir.instruction import mov
+        from repro.ir.values import Imm, Reg
+
+        inst = mov(Reg("r0", DType.I64), Imm(1), implicit=True)
+        assert format_instruction(inst).endswith("; implicit")
+
+
+class TestValidator:
+    def test_valid_loop_passes(self, daxpy_loop):
+        validate_loop(daxpy_loop)
+        assert is_valid_loop(daxpy_loop)
+
+    def test_redefinition_rejected(self):
+        builder = LoopBuilder("t", TripInfo(runtime=4))
+        value = builder.load("a")
+        builder.fp(Opcode.FMUL, value, value, dest=value)
+        builder.store(value, "o")
+        loop = builder.build(validate=False)
+        with pytest.raises(ValidationError, match="redefined"):
+            validate_loop(loop)
+        assert not is_valid_loop(loop)
+
+    def test_out_of_bounds_reference_rejected(self):
+        builder = LoopBuilder("t", TripInfo(runtime=100))
+        builder.store(builder.load("a"), "o")
+        loop = builder.build().with_body(
+            builder.build().body, arrays={"a": 5, "o": 200}
+        )
+        with pytest.raises(ValidationError, match="out of bounds"):
+            validate_loop(loop)
+
+    def test_undeclared_array_rejected(self):
+        builder = LoopBuilder("t", TripInfo(runtime=4))
+        builder.store(builder.load("a"), "o")
+        loop = builder.build().with_body(builder.build().body, arrays={"a": 16})
+        with pytest.raises(ValidationError, match="undeclared"):
+            validate_loop(loop)
+
+    def test_mistyped_predicate_rejected(self):
+        from repro.ir.instruction import store as mk_store
+        from repro.ir.loop import Loop
+        from repro.ir.values import MemRef, Reg
+
+        bad_pred = Reg("f9", DType.F64)
+        loop = Loop(
+            name="t",
+            body=(mk_store(Reg("f0", DType.F64), MemRef("o"), pred=bad_pred),),
+            trip=TripInfo(runtime=1),
+            arrays={"o": 8},
+        )
+        with pytest.raises(ValidationError, match="not PRED"):
+            validate_loop(loop)
+
+
+class TestBuilder:
+    def test_fresh_registers_unique(self):
+        builder = LoopBuilder("t", TripInfo(runtime=4))
+        regs = {builder.reg(DType.F64) for _ in range(10)}
+        assert len(regs) == 10
+
+    def test_array_auto_sizing_covers_strides(self):
+        builder = LoopBuilder("t", TripInfo(runtime=100))
+        builder.load("a", stride=4, offset=3)
+        builder.store(builder.fconst(0.0), "o")
+        loop = builder.build()
+        # 4*(99 + MAX_UNROLL) + 3 + 1 elements at least.
+        assert loop.arrays["a"] >= 4 * 99 + 4
+
+    def test_carried_inits_recorded(self):
+        builder = LoopBuilder("t", TripInfo(runtime=4))
+        acc = builder.carried(DType.F64, init=2.5)
+        value = builder.load("a")
+        builder.fp(Opcode.FADD, acc, value, dest=acc)
+        assert builder.carried_inits == {acc: 2.5}
+
+    def test_build_validates_by_default(self):
+        builder = LoopBuilder("t", TripInfo(runtime=4))
+        value = builder.load("a")
+        builder.fp(Opcode.FMUL, value, value, dest=value)
+        with pytest.raises(ValidationError):
+            builder.build()
+
+
+class TestProgramContainers:
+    def _bench(self, name, loops, fp=False):
+        return Benchmark(
+            name=name,
+            suite="spec2000-fp" if fp else "spec2000-int",
+            language=Language.C,
+            loops=tuple(loops),
+            loop_fraction=0.5,
+        )
+
+    def test_suite_aggregation(self, daxpy_loop, stencil_loop):
+        suite = Suite(
+            "s",
+            (
+                self._bench("a", [daxpy_loop]),
+                self._bench("b", [stencil_loop]),
+            ),
+        )
+        assert suite.n_loops == 2
+        assert suite.benchmark_by_name("a").n_loops == 1
+        with pytest.raises(KeyError):
+            suite.benchmark_by_name("zzz")
+
+    def test_loop_lookup(self, daxpy_loop):
+        bench = self._bench("a", [daxpy_loop])
+        assert bench.loop_by_name(daxpy_loop.name) is daxpy_loop
+        with pytest.raises(KeyError):
+            bench.loop_by_name("nope")
+
+    def test_fp_detection(self, daxpy_loop):
+        assert self._bench("a", [daxpy_loop], fp=True).is_floating_point
+        assert not self._bench("a", [daxpy_loop], fp=False).is_floating_point
+
+    def test_loop_fraction_validated(self, daxpy_loop):
+        with pytest.raises(ValueError):
+            Benchmark(
+                name="a", suite="s", language=Language.C,
+                loops=(daxpy_loop,), loop_fraction=0.0,
+            )

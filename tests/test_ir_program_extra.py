@@ -1,0 +1,123 @@
+"""Additional coverage: unroll-result helpers, interp edge cases, cost
+model bookkeeping — the smaller surfaces the main suites skim over."""
+
+import numpy as np
+import pytest
+
+from repro.ir.builder import LoopBuilder
+from repro.ir.interp import initial_state, run_loop, run_unrolled
+from repro.ir.loop import TripInfo
+from repro.ir.types import CmpOp, DType, Opcode
+from repro.simulate import CostModel
+from repro.transforms.unroll import unroll
+from repro.workloads.kernels import daxpy, sentinel_search
+
+
+class TestUnrollResultHelpers:
+    def test_loops_lists_executing_parts(self, daxpy_loop):
+        result = unroll(daxpy_loop, 5)
+        parts = result.loops()
+        assert parts == (result.main, result.remainder)
+        exact = unroll(daxpy_loop, 4)  # 96 % 4 == 0
+        assert exact.loops() == (exact.main,)
+
+    def test_emitted_size_counts_remainder_code(self, daxpy_loop):
+        result = unroll(daxpy_loop, 4)
+        # Unknown trip: remainder code is emitted even though none runs.
+        assert result.emitted_size == result.main.size + daxpy_loop.size
+
+    def test_main_none_when_trip_smaller_than_factor(self):
+        builder = LoopBuilder("t", TripInfo(runtime=3))
+        builder.store(builder.load("a"), "o")
+        result = unroll(builder.build(), 8)
+        assert result.main is None
+        assert result.remainder.trip.runtime == 3
+        # It still executes correctly.
+        loop = result.original
+        rolled = initial_state(loop, seed=0)
+        other = rolled.copy()
+        run_loop(loop, rolled)
+        run_unrolled(result, other)
+        np.testing.assert_allclose(other.arrays["o"], rolled.arrays["o"])
+
+
+class TestInterpreterEdges:
+    def test_run_unrolled_skips_remainder_after_exit(self):
+        builder = LoopBuilder("t", TripInfo(runtime=10))
+        value = builder.load("a")
+        hit = builder.cmp(CmpOp.GT, value, builder.fconst(100.0), fp=True)
+        builder.exit_if(hit)
+        builder.store(builder.fconst(1.0), "touched")
+        loop = builder.build()
+        result = unroll(loop, 4)
+        state = initial_state(loop, seed=0)
+        state.arrays["a"][:] = 0.0
+        state.arrays["a"][5] = 999.0  # exit in the second unrolled body
+        outcome = run_unrolled(result, state)
+        assert outcome.exited_early
+        # Iterations 6..9 never ran: remainder must have been skipped.
+        assert state.arrays["touched"][6] == pytest.approx(
+            initial_state(loop, seed=0).arrays["touched"][6]
+        )
+
+    def test_observable_includes_carried_scalars(self, reduction_loop):
+        loop, acc, inits = reduction_loop
+        state = initial_state(loop, seed=1, carried_inits=inits)
+        run_loop(loop, state)
+        observable = state.observable(loop)
+        assert f"%{acc.name}" in observable
+
+    def test_prefetch_is_a_noop(self):
+        from repro.ir.instruction import Instruction
+        from repro.ir.values import MemRef
+
+        builder = LoopBuilder("t", TripInfo(runtime=4))
+        builder.store(builder.load("a"), "o")
+        loop = builder.build()
+        body = (Instruction(Opcode.PREFETCH, mem=MemRef("a")),) + loop.body
+        with_prefetch = loop.with_body(body)
+        a_state = initial_state(loop, seed=2)
+        b_state = a_state.copy()
+        run_loop(loop, a_state)
+        run_loop(with_prefetch, b_state)
+        np.testing.assert_allclose(b_state.arrays["o"], a_state.arrays["o"])
+
+
+class TestCostBookkeeping:
+    def test_cost_fields_consistent(self):
+        loop = daxpy(trip=256, entries=8)
+        cost = CostModel().loop_cost(loop, 4)
+        assert cost.loop_name == loop.name
+        assert cost.factor == 4
+        assert cost.total_cycles == pytest.approx(
+            cost.per_entry_cycles * loop.entry_count
+        )
+        assert cost.emitted_instructions > 0
+
+    def test_swp_cost_reports_kernel_metadata(self):
+        loop = daxpy(trip=512, entries=4)
+        cost = CostModel(swp=True).loop_cost(loop, 2)
+        assert cost.swp_used
+        assert cost.ii is not None and cost.ii >= 1
+        assert cost.stages is not None and cost.stages >= 1
+
+    def test_exit_loop_cost_monotone_overshoot(self):
+        loop = sentinel_search(trip=24, entries=200)
+        model = CostModel()
+        overshoot = [
+            model.loop_cost(loop, u).per_entry_cycles for u in (1, 4, 8)
+        ]
+        # Short-trip search loops should not reward giant factors.
+        assert overshoot[2] > overshoot[1] * 0.8
+
+    def test_remainder_spills_are_counted(self):
+        # A fat body at factor 7 leaves a fat remainder; spill bookkeeping
+        # must cover both parts without double counting the main loop.
+        builder = LoopBuilder("t", TripInfo(runtime=30), entry_count=2)
+        for k in range(20):
+            value = builder.load(f"a{k}")
+            builder.store(builder.fp(Opcode.FMUL, value, builder.fconst(1.1)), f"o{k}")
+        loop = builder.build()
+        cost = CostModel().loop_cost(loop, 7)
+        assert cost.spill_penalty >= 0.0
+        assert np.isfinite(cost.total_cycles)

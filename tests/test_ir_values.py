@@ -1,0 +1,125 @@
+"""Unit tests for operand values and affine index arithmetic."""
+
+import pytest
+
+from repro.ir.types import DType
+from repro.ir.values import AffineIndex, Imm, MemRef, Reg, carried_distance
+
+
+class TestReg:
+    def test_str_uses_percent_prefix(self):
+        assert str(Reg("f3", DType.F64)) == "%f3"
+
+    def test_renamed_preserves_type(self):
+        reg = Reg("r1", DType.I64).renamed("r1.0")
+        assert reg.name == "r1.0"
+        assert reg.dtype is DType.I64
+
+    def test_regs_are_hashable_and_value_equal(self):
+        assert Reg("a", DType.F64) == Reg("a", DType.F64)
+        assert len({Reg("a", DType.F64), Reg("a", DType.F64)}) == 1
+        assert Reg("a", DType.F64) != Reg("a", DType.I64)
+
+
+class TestImm:
+    def test_int_rendering(self):
+        assert str(Imm(7)) == "7"
+
+    def test_float_rendering(self):
+        assert str(Imm(2.5, DType.F64)) == "2.5"
+
+
+class TestAffineIndex:
+    def test_at_evaluates_affine_form(self):
+        index = AffineIndex(coeff=3, offset=2)
+        assert index.at(0) == 2
+        assert index.at(10) == 32
+
+    def test_shifted_substitutes_iteration(self):
+        index = AffineIndex(coeff=2, offset=1).shifted(3)
+        assert index.coeff == 2
+        assert index.offset == 7
+
+    def test_unrolled_scales_stride_and_offsets(self):
+        # Copy k of an unroll-by-u body reads element coeff*(j*u + k) + off.
+        index = AffineIndex(coeff=1, offset=0).unrolled(u=4, k=3)
+        assert index.coeff == 4
+        assert index.offset == 3
+
+    def test_unrolled_with_base_models_remainder_loops(self):
+        index = AffineIndex(coeff=2, offset=5).unrolled(u=1, k=0, base=10)
+        assert index.coeff == 2
+        assert index.offset == 25
+
+    def test_unrolled_agrees_with_direct_evaluation(self):
+        index = AffineIndex(coeff=3, offset=4)
+        unrolled = index.unrolled(u=5, k=2, base=7)
+        for j in range(6):
+            assert unrolled.at(j) == index.at(7 + j * 5 + 2)
+
+    @pytest.mark.parametrize(
+        "index, expected",
+        [
+            (AffineIndex(1, 0), "i"),
+            (AffineIndex(2, 3), "2*i+3"),
+            (AffineIndex(1, -1), "i-1"),
+            (AffineIndex(0, 5), "5"),
+        ],
+    )
+    def test_rendering(self, index, expected):
+        assert str(index) == expected
+
+
+class TestMemRef:
+    def test_stride_of_affine_ref(self):
+        assert MemRef("a", AffineIndex(4, 0)).stride == 4
+
+    def test_stride_of_indirect_ref_is_zero(self):
+        ref = MemRef("a", indirect=True, index_reg=Reg("r0", DType.I64))
+        assert ref.stride == 0
+
+    def test_indirect_ref_survives_unrolling_unchanged(self):
+        ref = MemRef("a", indirect=True, index_reg=Reg("r0", DType.I64))
+        assert ref.unrolled(4, 2) is ref
+
+    def test_wide_ref_rendering(self):
+        assert str(MemRef("a", AffineIndex(2, 0), width=2)) == "a[2*i]:2"
+
+
+class TestCarriedDistance:
+    def test_same_location_is_distance_zero(self):
+        a = MemRef("a", AffineIndex(1, 3))
+        assert carried_distance(a, a) == 0
+
+    def test_later_read_of_earlier_write(self):
+        # store a[i+2] ... load a[i]: the load at iteration i+2 sees it.
+        store = MemRef("a", AffineIndex(1, 2))
+        load = MemRef("a", AffineIndex(1, 0))
+        assert carried_distance(store, load) == 2
+
+    def test_negative_distances_are_rejected(self):
+        store = MemRef("a", AffineIndex(1, 0))
+        load = MemRef("a", AffineIndex(1, 2))
+        assert carried_distance(store, load) is None
+
+    def test_different_arrays_never_alias(self):
+        assert carried_distance(MemRef("a"), MemRef("b")) is None
+
+    def test_non_integral_distance_is_none(self):
+        store = MemRef("a", AffineIndex(2, 1))
+        load = MemRef("a", AffineIndex(2, 0))
+        assert carried_distance(store, load) is None
+
+    def test_indirect_is_unanalyzable(self):
+        gather = MemRef("a", indirect=True, index_reg=Reg("r0", DType.I64))
+        assert carried_distance(gather, MemRef("a")) is None
+
+    def test_invariant_scalars_with_equal_offsets(self):
+        a = MemRef("a", AffineIndex(0, 7))
+        b = MemRef("a", AffineIndex(0, 7))
+        assert carried_distance(a, b) == 0
+
+    def test_invariant_scalars_with_distinct_offsets(self):
+        a = MemRef("a", AffineIndex(0, 7))
+        b = MemRef("a", AffineIndex(0, 8))
+        assert carried_distance(a, b) is None

@@ -1,0 +1,88 @@
+"""Unit tests for machine descriptions."""
+
+import pytest
+
+from repro.ir import instruction as ins
+from repro.ir.types import DType, FUKind, Opcode
+from repro.ir.values import MemRef, Reg
+from repro.machine import ITANIUM2, MACHINES, NARROW, SLOW_MEMORY, WIDE, machine_by_name
+
+F0 = Reg("f0", DType.F64)
+F1 = Reg("f1", DType.F64)
+R0 = Reg("r0", DType.I64)
+
+
+class TestLatencies:
+    def test_load_latency_comes_from_machine(self):
+        load = ins.load(F0, MemRef("a"))
+        assert ITANIUM2.latency(load) == ITANIUM2.load_latency
+
+    def test_wide_load_pays_one_extra_cycle(self):
+        pair = ins.Instruction(
+            Opcode.LOAD_PAIR, dest=F0, dest2=F1, mem=MemRef("a", width=2)
+        )
+        assert ITANIUM2.latency(pair) == ITANIUM2.load_latency + 1
+
+    def test_fp_latency(self):
+        fadd = ins.binop(Opcode.FADD, F0, F1, F1)
+        assert ITANIUM2.latency(fadd) == 4
+
+    def test_with_load_latency_overrides_only_loads(self):
+        slow = ITANIUM2.with_load_latency(20)
+        assert slow.latency(ins.load(F0, MemRef("a"))) == 20
+        assert slow.latency(ins.binop(Opcode.FADD, F0, F1, F1)) == 4
+
+    def test_with_same_latency_is_identity(self):
+        assert ITANIUM2.with_load_latency(ITANIUM2.load_latency) is ITANIUM2
+
+
+class TestUnitAssignment:
+    def test_atype_int_ops_may_use_memory_units(self):
+        add = ins.binop(Opcode.ADD, R0, R0, R0)
+        assert FUKind.MEM in ITANIUM2.fu_options(add)
+        assert FUKind.INT in ITANIUM2.fu_options(add)
+
+    def test_multiplies_are_int_only(self):
+        mul = ins.binop(Opcode.MUL, R0, R0, R0)
+        assert ITANIUM2.fu_options(mul) == (FUKind.INT,)
+
+    def test_fp_ops_are_fp_only(self):
+        fadd = ins.binop(Opcode.FADD, F0, F1, F1)
+        assert ITANIUM2.fu_options(fadd) == (FUKind.FP,)
+
+    def test_divides_are_not_pipelined(self):
+        fdiv = ins.binop(Opcode.FDIV, F0, F1, F1)
+        assert not ITANIUM2.is_pipelined(fdiv)
+
+
+class TestGeometry:
+    def test_code_bytes_uses_bundle_density(self):
+        assert ITANIUM2.code_bytes(3) == 16
+        assert ITANIUM2.code_bytes(6) == 32
+
+    def test_regs_available(self):
+        assert ITANIUM2.regs_available(fp=True) == ITANIUM2.fp_regs
+        assert ITANIUM2.regs_available(fp=False) == ITANIUM2.int_regs
+        assert ITANIUM2.regs_available(fp=True, rotating=True) == ITANIUM2.rotating_regs
+
+    def test_stock_machines_registry(self):
+        assert machine_by_name("itanium2-like") is ITANIUM2
+        assert set(MACHINES) == {m.name for m in (ITANIUM2, NARROW, WIDE, SLOW_MEMORY)}
+        with pytest.raises(KeyError, match="unknown machine"):
+            machine_by_name("pentium")
+
+    def test_variants_differ_meaningfully(self):
+        assert NARROW.issue_width < ITANIUM2.issue_width < WIDE.issue_width
+        assert SLOW_MEMORY.load_latency > ITANIUM2.load_latency
+
+    def test_machine_requires_every_unit_kind(self):
+        from repro.machine.model import DEFAULT_LATENCIES, MachineModel
+
+        with pytest.raises(ValueError, match="at least one"):
+            MachineModel(
+                name="broken",
+                issue_width=4,
+                fu_counts={FUKind.MEM: 1, FUKind.INT: 1, FUKind.FP: 1},
+                latencies=DEFAULT_LATENCIES,
+                load_latency=4,
+            )

@@ -1,0 +1,122 @@
+"""Unit tests for cross-validation protocols and LDA."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    OutputCodeClassifier,
+    accuracy,
+    fit_lda,
+    leave_one_benchmark_out,
+    loocv_nn,
+    loocv_svm,
+    loocv_tuned_svm,
+)
+from repro.ml.near_neighbor import NearNeighborClassifier
+
+
+class TestLOOCV:
+    def test_nn_loocv_shape(self, mini_dataset):
+        predictions = loocv_nn(mini_dataset)
+        assert predictions.shape == (len(mini_dataset),)
+        assert set(np.unique(predictions)) <= set(range(1, 9))
+
+    def test_svm_loocv_shape(self, mini_dataset):
+        predictions = loocv_svm(mini_dataset)
+        assert predictions.shape == (len(mini_dataset),)
+
+    def test_tuned_svm_beats_chance(self, mini_dataset):
+        predictions = loocv_tuned_svm(mini_dataset)
+        majority = np.bincount(mini_dataset.labels, minlength=9)[1:].max() / len(mini_dataset)
+        assert accuracy(mini_dataset, predictions) > majority - 0.05
+
+    def test_feature_subset_is_respected(self, mini_dataset):
+        full = loocv_nn(mini_dataset)
+        subset = loocv_nn(mini_dataset, np.array([1, 2, 4, 19]))
+        # Different feature views generally give different predictions.
+        assert full.shape == subset.shape
+
+    def test_svm_loocv_matches_naive_refit(self, mini_dataset):
+        from repro.ml.crossval import loocv_naive
+
+        limit = min(40, len(mini_dataset))
+        fast = loocv_svm(mini_dataset, C=10.0, sigma=0.3)[:limit]
+        naive = loocv_naive(
+            mini_dataset,
+            factory=lambda: OutputCodeClassifier(C=10.0, sigma=0.3),
+            limit=limit,
+        )
+        assert float(np.mean(fast == naive)) >= 0.9
+
+
+class TestLeaveOneBenchmarkOut:
+    def test_every_row_predicted(self, mini_dataset):
+        predictions = leave_one_benchmark_out(
+            mini_dataset, factory=lambda: NearNeighborClassifier()
+        )
+        assert predictions.shape == (len(mini_dataset),)
+        assert set(np.unique(predictions)) <= set(range(1, 9))
+
+    def test_training_never_sees_own_benchmark(self, mini_dataset):
+        """Poison one benchmark's labels; held-out predictions for that
+        benchmark must not echo the poison (they never saw it)."""
+        from dataclasses import replace
+
+        target = mini_dataset.benchmark_names()[0]
+        mask = mini_dataset.benchmarks == target
+        poisoned_labels = mini_dataset.labels.copy()
+        # Give the target benchmark's loops an otherwise-unused label.
+        unused = next(c for c in range(1, 9) if not np.any(mini_dataset.labels == c))
+        poisoned_labels[mask] = unused
+        poisoned = replace(mini_dataset, labels=poisoned_labels)
+        predictions = leave_one_benchmark_out(
+            poisoned, factory=lambda: NearNeighborClassifier()
+        )
+        assert not np.any(predictions[mask] == unused)
+
+
+class TestLDA:
+    def test_projection_shape(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(0, 1, (40, 6)), rng.normal(4, 1, (40, 6))])
+        y = np.array([0] * 40 + [1] * 40)
+        projection = fit_lda(X, y, n_components=1)
+        assert projection.transform(X).shape == (80, 1)
+
+    def test_separates_gaussian_classes(self):
+        rng = np.random.default_rng(1)
+        X = np.vstack([rng.normal(0, 1, (60, 5)), rng.normal(3, 1, (60, 5))])
+        y = np.array([0] * 60 + [1] * 60)
+        points = fit_lda(X, y, 1).transform(X)[:, 0]
+        threshold = points.mean()
+        split = (points > threshold).astype(int)
+        agreement = max((split == y).mean(), (split != y).mean())
+        assert agreement > 0.95
+
+    def test_component_count_bounded_by_classes(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(30, 8))
+        y = np.array([0, 1] * 15)
+        with pytest.raises(ValueError, match="discriminants"):
+            fit_lda(X, y, n_components=2)  # 2 classes -> 1 discriminant max
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError, match="two classes"):
+            fit_lda(np.ones((10, 3)), np.zeros(10), 1)
+
+    def test_collinear_features_tolerated(self):
+        rng = np.random.default_rng(3)
+        base = rng.normal(size=(50, 2))
+        X = np.hstack([base, base[:, :1] * 2.0])  # exactly collinear column
+        y = (base[:, 0] > 0).astype(int)
+        projection = fit_lda(X, y, 1)
+        assert np.isfinite(projection.transform(X)).all()
+
+    def test_mini_dataset_projection_orders_classes(self, mini_dataset):
+        X, y = mini_dataset.X, mini_dataset.labels
+        if len(np.unique(y)) < 3:
+            pytest.skip("mini dataset degenerate")
+        projection = fit_lda(X, y, 2)
+        points = projection.transform(X)
+        assert points.shape == (len(X), 2)
+        assert np.isfinite(points).all()

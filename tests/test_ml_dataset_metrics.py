@@ -1,0 +1,143 @@
+"""Unit tests for the dataset container and the Table 2 metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ir.types import MAX_UNROLL
+from repro.ml import (
+    LoopDataset,
+    accuracy,
+    concatenate,
+    mean_cost_ratio,
+    near_optimal_accuracy,
+    prediction_ranks,
+    rank_distribution,
+)
+
+
+def _toy_dataset(n=12, seed=0, swp=False):
+    rng = np.random.default_rng(seed)
+    cycles = rng.uniform(1_000.0, 2_000.0, size=(n, MAX_UNROLL))
+    labels = np.argmin(cycles, axis=1) + 1
+    return LoopDataset(
+        X=rng.normal(size=(n, 38)),
+        labels=labels.astype(np.int64),
+        cycles=cycles,
+        true_cycles=cycles * 1.01,
+        loop_names=np.array([f"bench{i % 3}/loop{i}" for i in range(n)]),
+        benchmarks=np.array([f"bench{i % 3}" for i in range(n)]),
+        suites=np.array(["s"] * n),
+        languages=np.array(["C"] * n),
+        swp=swp,
+    )
+
+
+class TestDataset:
+    def test_shape_validation(self):
+        ds = _toy_dataset()
+        with pytest.raises(ValueError):
+            LoopDataset(
+                X=ds.X[:, :10],
+                labels=ds.labels,
+                cycles=ds.cycles,
+                true_cycles=ds.true_cycles,
+                loop_names=ds.loop_names,
+                benchmarks=ds.benchmarks,
+                suites=ds.suites,
+                languages=ds.languages,
+                swp=False,
+            )
+
+    def test_label_range_validation(self):
+        ds = _toy_dataset()
+        bad = ds.labels.copy()
+        bad[0] = 9
+        with pytest.raises(ValueError):
+            LoopDataset(
+                X=ds.X, labels=bad, cycles=ds.cycles, true_cycles=ds.true_cycles,
+                loop_names=ds.loop_names, benchmarks=ds.benchmarks,
+                suites=ds.suites, languages=ds.languages, swp=False,
+            )
+
+    def test_exclude_benchmark(self):
+        ds = _toy_dataset()
+        rest = ds.exclude_benchmark("bench0")
+        assert "bench0" not in set(rest.benchmarks)
+        assert len(rest) + len(ds.only_benchmark("bench0")) == len(ds)
+
+    def test_benchmark_names_preserve_order(self):
+        ds = _toy_dataset()
+        assert ds.benchmark_names() == ("bench0", "bench1", "bench2")
+
+    def test_rank_and_cost_helpers(self):
+        ds = _toy_dataset()
+        for row in range(len(ds)):
+            best = int(ds.labels[row])
+            assert ds.rank_of_prediction(row, best) == 1
+            assert ds.cost_ratio(row, best) == pytest.approx(1.0)
+
+    def test_label_histogram_sums_to_one(self):
+        ds = _toy_dataset(n=50)
+        assert ds.label_histogram().sum() == pytest.approx(1.0)
+
+    def test_save_load_round_trip(self, tmp_path):
+        ds = _toy_dataset()
+        path = tmp_path / "ds.npz"
+        ds.save(path)
+        loaded = LoopDataset.load(path)
+        np.testing.assert_array_equal(loaded.X, ds.X)
+        np.testing.assert_array_equal(loaded.labels, ds.labels)
+        np.testing.assert_array_equal(loaded.loop_names, ds.loop_names)
+        assert loaded.swp == ds.swp
+
+    def test_concatenate(self):
+        a, b = _toy_dataset(seed=1), _toy_dataset(seed=2)
+        combined = concatenate([a, b])
+        assert len(combined) == len(a) + len(b)
+
+    def test_concatenate_rejects_mixed_regimes(self):
+        with pytest.raises(ValueError, match="regime"):
+            concatenate([_toy_dataset(swp=False), _toy_dataset(swp=True)])
+
+
+class TestMetrics:
+    def test_perfect_predictions(self):
+        ds = _toy_dataset()
+        assert accuracy(ds, ds.labels) == 1.0
+        assert near_optimal_accuracy(ds, ds.labels) == 1.0
+        assert mean_cost_ratio(ds, ds.labels) == pytest.approx(1.0)
+        distribution = rank_distribution(ds, ds.labels)
+        assert distribution.optimal == 1.0
+        assert distribution.fractions[1:].sum() == 0.0
+
+    def test_worst_predictions(self):
+        ds = _toy_dataset()
+        worst = np.argmax(ds.cycles, axis=1) + 1
+        ranks = prediction_ranks(ds, worst)
+        assert (ranks == MAX_UNROLL).all()
+        assert mean_cost_ratio(ds, worst) > 1.0
+
+    def test_cost_column_is_dataset_property(self):
+        """The Cost column depends only on the dataset, not the predictor."""
+        ds = _toy_dataset()
+        a = rank_distribution(ds, ds.labels)
+        b = rank_distribution(ds, np.full(len(ds), 1))
+        np.testing.assert_allclose(a.costs, b.costs)
+
+    def test_costs_monotone(self):
+        ds = _toy_dataset(n=40, seed=5)
+        costs = rank_distribution(ds, ds.labels).costs
+        assert np.all(np.diff(costs) >= -1e-12)
+        assert costs[0] == pytest.approx(1.0)
+
+    def test_prediction_length_checked(self):
+        ds = _toy_dataset()
+        with pytest.raises(ValueError):
+            prediction_ranks(ds, ds.labels[:-1])
+
+    def test_fractions_sum_to_one(self):
+        ds = _toy_dataset(n=30, seed=7)
+        rng = np.random.default_rng(0)
+        predictions = rng.integers(1, 9, size=len(ds))
+        distribution = rank_distribution(ds, predictions)
+        assert distribution.fractions.sum() == pytest.approx(1.0)

@@ -1,0 +1,143 @@
+"""Unit tests for the extension classifiers: trees, LSH, regression."""
+
+import numpy as np
+import pytest
+
+from repro.ml.lsh import LSHNearNeighbor
+from repro.ml.near_neighbor import NearNeighborClassifier
+from repro.ml.regression import KernelRidgeRegressor, loocv_regression_predictions
+from repro.ml.trees import BoostedTrees, DecisionTree, binary_unroll_labels
+
+
+def _axis_problem(n=200, seed=0):
+    """Labels determined by thresholds on two features."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0, 1, size=(n, 5))
+    y = 1 + (X[:, 1] > 0.5).astype(int) * 2 + (X[:, 3] > 0.3).astype(int)
+    return X, y
+
+
+class TestDecisionTree:
+    def test_fits_axis_aligned_structure(self):
+        X, y = _axis_problem()
+        tree = DecisionTree(max_depth=4, min_leaf=2).fit(X, y)
+        assert (tree.predict(X) == y).mean() > 0.95
+
+    def test_depth_limits_capacity(self):
+        X, y = _axis_problem()
+        stump = DecisionTree(max_depth=1, min_leaf=2).fit(X, y)
+        deep = DecisionTree(max_depth=5, min_leaf=2).fit(X, y)
+        assert (deep.predict(X) == y).mean() > (stump.predict(X) == y).mean()
+
+    def test_sample_weights_steer_the_tree(self):
+        X, y = _axis_problem(n=120, seed=1)
+        weight = np.where(X[:, 1] > 0.5, 10.0, 0.01)
+        weight /= weight.sum()
+        tree = DecisionTree(max_depth=2, min_leaf=2).fit(X, y, sample_weight=weight)
+        heavy = X[:, 1] > 0.5
+        acc_heavy = (tree.predict(X[heavy]) == y[heavy]).mean()
+        assert acc_heavy > 0.9
+
+    def test_predict_proba_is_distribution(self):
+        X, y = _axis_problem(n=80, seed=2)
+        tree = DecisionTree(max_depth=3).fit(X, y)
+        proba = tree.predict_proba(X[:7])
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+        assert (proba >= 0).all()
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTree().predict(np.zeros((1, 3)))
+
+
+class TestBoosting:
+    def test_boosting_beats_a_single_stump_binary(self):
+        # Binary target needing two thresholds: a single stump cannot
+        # express it, boosted stumps can (the Monsifrot-baseline setting).
+        rng = np.random.default_rng(3)
+        X = rng.uniform(0, 1, size=(300, 4))
+        y = np.where((X[:, 0] > 0.5) ^ (X[:, 2] > 0.5), 2, 1)
+        stump = DecisionTree(max_depth=1, min_leaf=2).fit(X, y)
+        boosted = BoostedTrees(n_rounds=40, max_depth=2, min_leaf=2).fit(X, y)
+        assert (boosted.predict(X) == y).mean() > (stump.predict(X) == y).mean()
+        assert boosted.n_stages > 1
+
+    def test_binary_unroll_labels(self):
+        labels = np.array([1, 2, 4, 8, 1, 3])
+        np.testing.assert_array_equal(binary_unroll_labels(labels), [1, 2, 2, 2, 1, 2])
+
+    def test_binary_boosting_on_dataset(self, mini_dataset):
+        X = mini_dataset.X
+        y = binary_unroll_labels(mini_dataset.labels)
+        if len(np.unique(y)) < 2:
+            pytest.skip("mini dataset has a single binary class")
+        model = BoostedTrees(n_rounds=10, max_depth=2).fit(X, y)
+        majority = max(np.mean(y == 1), np.mean(y == 2))
+        assert (model.predict(X) == y).mean() >= majority
+
+
+class TestLSH:
+    def test_matches_exact_nn_closely(self, mini_dataset):
+        X, y = mini_dataset.X, mini_dataset.labels
+        exact = NearNeighborClassifier().fit(X, y)
+        approx = LSHNearNeighbor(n_tables=12, n_bits=4).fit(X, y)
+        sample = X[:: max(1, len(X) // 60)]
+        agreement = float(np.mean(exact.predict(sample) == approx.predict(sample)))
+        assert agreement >= 0.8
+
+    def test_candidate_fraction_is_sublinear(self, mini_dataset):
+        X, y = mini_dataset.X, mini_dataset.labels
+        approx = LSHNearNeighbor(n_tables=6, n_bits=8).fit(X, y)
+        fraction = approx.mean_candidate_fraction(X[:40])
+        assert fraction < 0.9  # inspects a strict subset on average
+
+    def test_empty_database_rejected(self):
+        with pytest.raises(ValueError):
+            LSHNearNeighbor().fit(np.zeros((0, 3)), np.zeros(0))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LSHNearNeighbor().predict_one(np.zeros(3))
+
+
+class TestRegression:
+    def test_recovers_smooth_function(self):
+        rng = np.random.default_rng(4)
+        X = rng.uniform(0, 1, size=(150, 3))
+        y = 2.0 + 4.0 * X[:, 0]
+        reg = KernelRidgeRegressor(ridge=1e-4, sigma=0.3).fit(X, y)
+        predictions = reg.predict_value(X)
+        assert np.abs(predictions - y).mean() < 0.2
+
+    def test_predictions_clamped_into_factor_range(self):
+        rng = np.random.default_rng(5)
+        X = rng.uniform(0, 1, size=(60, 2))
+        y = rng.uniform(1, 8, size=60)
+        reg = KernelRidgeRegressor().fit(X, y)
+        factors = reg.predict(X)
+        assert factors.min() >= 1 and factors.max() <= 8
+
+    def test_raw_values_can_leave_label_range(self):
+        # The paper's extrapolation point: regression is not confined to
+        # the trained label range.
+        X = np.linspace(0, 1, 40)[:, None]
+        y = 1.0 + 7.0 * X[:, 0]  # labels 1..8 on the training interval
+        reg = KernelRidgeRegressor(ridge=1e-6, sigma=0.2, kernel="rbf").fit(X, y)
+        raw = reg.predict_value(np.array([[1.6]]))
+        # Outside the data the RBF prediction decays toward the mean: the
+        # important property is that it is *not* snapped to {1..8}.
+        assert raw.dtype == np.float64
+        assert not float(raw[0]).is_integer()
+
+    def test_loocv_regression_reasonable(self, mini_dataset):
+        predictions = loocv_regression_predictions(
+            mini_dataset.X, mini_dataset.labels
+        )
+        assert predictions.shape == (len(mini_dataset),)
+        assert set(np.unique(predictions)) <= set(range(1, 9))
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            KernelRidgeRegressor(ridge=0.0)
+        with pytest.raises(ValueError):
+            KernelRidgeRegressor(kernel="linear")

@@ -1,0 +1,126 @@
+"""Unit tests for output-code and pairwise multi-class wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.ml.multiclass import (
+    OutputCodeClassifier,
+    exhaustive_code,
+    identity_code,
+    random_code,
+)
+from repro.ml.pairwise import PairwiseLSSVM, make_tuned_pairwise_svm
+
+
+def _four_clusters(seed=0, n_per=30):
+    rng = np.random.default_rng(seed)
+    centers = {1: (0, 0), 2: (6, 0), 4: (0, 6), 8: (6, 6)}
+    X, y = [], []
+    for label, center in centers.items():
+        X.append(rng.normal(loc=center, scale=0.5, size=(n_per, 2)))
+        y.extend([label] * n_per)
+    return np.vstack(X), np.array(y)
+
+
+class TestCodeMatrices:
+    def test_identity_code_shape(self):
+        code = identity_code(8)
+        assert code.shape == (8, 8)
+        assert (code.sum(axis=1) == 1).all()
+
+    def test_exhaustive_code_properties(self):
+        code = exhaustive_code(5)
+        assert code.shape == (5, 2**4 - 1)
+        # Columns are distinct, non-constant splits.
+        columns = {tuple(code[:, b]) for b in range(code.shape[1])}
+        assert len(columns) == code.shape[1]
+        assert all(0 < code[:, b].sum() < 5 for b in range(code.shape[1]))
+        # Rows (codewords) are distinct.
+        assert len({tuple(row) for row in code}) == 5
+
+    def test_exhaustive_code_rejects_large_class_counts(self):
+        with pytest.raises(ValueError):
+            exhaustive_code(12)
+
+    def test_random_code_valid(self):
+        code = random_code(8, 15, seed=3)
+        assert code.shape == (8, 15)
+        assert len({tuple(row) for row in code}) == 8
+        assert all(0 < code[:, b].sum() < 8 for b in range(15))
+
+
+class TestOutputCodeClassifier:
+    @pytest.mark.parametrize("decode", ["hamming", "margin"])
+    def test_clusters_classified(self, decode):
+        X, y = _four_clusters()
+        model = OutputCodeClassifier(
+            classes=(1, 2, 4, 8), C=10.0, sigma=0.4, decode=decode
+        ).fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.97
+
+    def test_exhaustive_code_also_works(self):
+        X, y = _four_clusters(seed=2)
+        model = OutputCodeClassifier(
+            classes=(1, 2, 4, 8), code=exhaustive_code(4), C=10.0, sigma=0.4
+        ).fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.97
+
+    def test_labels_outside_classes_rejected(self):
+        X, y = _four_clusters()
+        model = OutputCodeClassifier(classes=(1, 2))
+        with pytest.raises(ValueError, match="outside"):
+            model.fit(X, y)
+
+    def test_mismatched_code_rejected(self):
+        with pytest.raises(ValueError, match="one row per class"):
+            OutputCodeClassifier(classes=(1, 2, 3), code=identity_code(8))
+
+    def test_unknown_decode_rejected(self):
+        with pytest.raises(ValueError):
+            OutputCodeClassifier(decode="bayes")
+
+    def test_loocv_predictions_reasonable(self):
+        X, y = _four_clusters(n_per=20)
+        model = OutputCodeClassifier(classes=(1, 2, 4, 8), C=10.0, sigma=0.4).fit(X, y)
+        assert (model.loocv_predictions() == y).mean() > 0.9
+
+
+class TestPairwiseLSSVM:
+    def test_clusters_classified(self):
+        X, y = _four_clusters(seed=5)
+        model = PairwiseLSSVM(classes=(1, 2, 4, 8), C=10.0, sigma=0.4).fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.97
+
+    def test_absent_classes_are_skipped(self):
+        X, y = _four_clusters(seed=6)
+        model = PairwiseLSSVM(classes=tuple(range(1, 9)), C=10.0, sigma=0.4).fit(X, y)
+        assert len(model._machines) == 6  # C(4, 2) pairs actually present
+        assert set(model.predict(X)) <= {1, 2, 4, 8}
+
+    def test_loocv_matches_naive_refit(self):
+        X, y = _four_clusters(n_per=10, seed=7)
+        params = dict(classes=(1, 2, 4, 8), C=5.0, sigma=0.5)
+        model = PairwiseLSSVM(**params).fit(X, y)
+        fast = model.loocv_predictions()
+        naive = np.empty_like(fast)
+        for i in range(len(y)):
+            mask = np.ones(len(y), dtype=bool)
+            mask[i] = False
+            refit = PairwiseLSSVM(**params).fit(X[mask], y[mask])
+            naive[i] = refit.predict(X[i : i + 1])[0]
+        # Normalisation differs microscopically between fast and naive
+        # (the held-out row no longer shapes min/max), so demand near-total
+        # rather than bitwise agreement.
+        assert (fast == naive).mean() >= 0.95
+
+    def test_tuned_factory_configuration(self):
+        from repro.ml.svm import TUNED_SVM_PARAMS
+
+        model = make_tuned_pairwise_svm()
+        assert model.kernel == TUNED_SVM_PARAMS["kernel"]
+        assert model.C == TUNED_SVM_PARAMS["C"]
+        assert model.sigma == TUNED_SVM_PARAMS["sigma"]
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            PairwiseLSSVM().predict(np.zeros((1, 2)))

@@ -1,0 +1,117 @@
+"""Unit tests for the near-neighbor classifier."""
+
+import numpy as np
+import pytest
+
+from repro.ml.near_neighbor import DEFAULT_RADIUS, NearNeighborClassifier
+
+
+def _clustered(seed=0):
+    rng = np.random.default_rng(seed)
+    centers = {1: (0.0, 0.0), 2: (10.0, 0.0), 4: (0.0, 10.0), 8: (10.0, 10.0)}
+    X, y = [], []
+    for label, center in centers.items():
+        points = rng.normal(loc=center, scale=0.6, size=(25, 2))
+        X.append(points)
+        y.extend([label] * 25)
+    return np.vstack(X), np.array(y)
+
+
+class TestBasics:
+    def test_default_radius_is_the_papers(self):
+        assert DEFAULT_RADIUS == 0.3
+
+    def test_fit_requires_data(self):
+        with pytest.raises(ValueError):
+            NearNeighborClassifier().fit(np.zeros((0, 3)), np.zeros(0))
+
+    def test_unfitted_prediction_raises(self):
+        with pytest.raises(RuntimeError):
+            NearNeighborClassifier().predict(np.zeros((1, 3)))
+
+    def test_invalid_radius_rejected(self):
+        with pytest.raises(ValueError):
+            NearNeighborClassifier(radius=0.0)
+
+    def test_clustered_data_classified(self):
+        X, y = _clustered()
+        model = NearNeighborClassifier().fit(X, y)
+        assert (model.predict(X) == y).mean() == 1.0
+
+
+class TestVotingSemantics:
+    def test_majority_vote_within_radius(self):
+        # Two class-2 points and one class-1 point near the query.
+        X = np.array([[0.0, 0.0], [0.02, 0.0], [0.04, 0.0], [1.0, 1.0]])
+        y = np.array([2, 2, 1, 8])
+        model = NearNeighborClassifier(radius=0.3).fit(X, y)
+        pred = model.predict_one(np.array([0.01, 0.0]))
+        assert pred.label == 2
+        assert pred.n_neighbors == 3
+        assert not pred.used_fallback
+
+    def test_no_neighbors_falls_back_to_nearest(self):
+        X = np.array([[0.0, 0.0], [1.0, 1.0]])
+        y = np.array([4, 8])
+        model = NearNeighborClassifier(radius=0.05).fit(X, y)
+        pred = model.predict_one(np.array([0.6, 0.6]))
+        assert pred.used_fallback
+        assert pred.n_neighbors == 0
+        assert pred.label == 8
+
+    def test_tie_falls_back_to_single_nearest(self):
+        X = np.array([[0.0, 0.0], [0.2, 0.0], [1.0, 0.0], [1.0, 0.2]])
+        y = np.array([2, 2, 4, 4])
+        model = NearNeighborClassifier(radius=2.0).fit(X, y)
+        pred = model.predict_one(np.array([0.05, 0.0]))
+        assert pred.used_fallback  # 2-2 vote tie
+        assert pred.label == 2  # nearest neighbor decides
+
+    def test_confidence_reflects_vote_share(self):
+        # After min-max normalisation the clusters sit at the unit square's
+        # corners (spread ~0.06), so radius 0.25 captures only same-cluster
+        # neighbors: votes should be unanimous.
+        X, y = _clustered()
+        model = NearNeighborClassifier(radius=0.25).fit(X, y)
+        confidences = model.confidences(X[:5])
+        assert (confidences > 0.9).all()
+
+
+class TestNormalization:
+    def test_large_scale_features_do_not_dominate(self):
+        # Feature 0 decides the class; feature 1 is huge random noise.
+        rng = np.random.default_rng(2)
+        n = 60
+        decisive = np.concatenate([np.zeros(n // 2), np.ones(n // 2)])
+        noise = rng.uniform(0, 1e6, size=n)
+        X = np.stack([decisive, noise], axis=1)
+        y = np.where(decisive > 0.5, 8, 1)
+        model = NearNeighborClassifier().fit(X, y)
+        queries = np.stack([[0.0, 5e5], [1.0, 5e5]], axis=0)
+        assert list(model.predict(queries)) == [1, 8]
+
+
+class TestLOOCV:
+    def test_fast_loocv_matches_naive(self, mini_dataset):
+        from repro.ml.crossval import loocv_naive, loocv_nn
+
+        limit = min(60, len(mini_dataset))
+        fast = loocv_nn(mini_dataset)[:limit]
+        naive = loocv_naive(
+            mini_dataset,
+            factory=lambda: NearNeighborClassifier(),
+            limit=limit,
+        )
+        # The naive path refits (normalisation changes slightly without the
+        # held-out row); agreement must still be nearly total.
+        agreement = float(np.mean(fast == naive))
+        assert agreement >= 0.9
+
+    def test_loocv_excludes_self(self):
+        # Duplicate points with conflicting labels: with self included the
+        # accuracy would be perfect; excluding self it cannot be.
+        X = np.repeat(np.array([[0.0, 0.0], [1.0, 1.0]]), 2, axis=0)
+        y = np.array([1, 2, 4, 8])
+        model = NearNeighborClassifier(radius=0.1).fit(X, y)
+        loo = model.loocv_predictions()
+        assert list(loo) == [2, 1, 8, 4]

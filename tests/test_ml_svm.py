@@ -1,0 +1,107 @@
+"""Unit tests for the LS-SVM and its exact leave-one-out shortcut."""
+
+import numpy as np
+import pytest
+
+from repro.ml.svm import LSSVM, multiscale_rbf_kernel, rbf_kernel
+
+
+def _blobs(n_per=40, gap=3.0, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(loc=(-gap / 2, 0), scale=0.5, size=(n_per, 2))
+    b = rng.normal(loc=(+gap / 2, 0), scale=0.5, size=(n_per, 2))
+    X = np.vstack([a, b])
+    y = np.array([1.0] * n_per + [-1.0] * n_per)
+    return X, y
+
+
+class TestKernels:
+    def test_rbf_diagonal_is_one(self):
+        X = np.random.default_rng(0).normal(size=(10, 3))
+        K = rbf_kernel(X, X, sigma=0.7)
+        np.testing.assert_allclose(np.diag(K), 1.0)
+
+    def test_rbf_symmetric_and_bounded(self):
+        X = np.random.default_rng(1).normal(size=(15, 4))
+        K = rbf_kernel(X, X, sigma=1.0)
+        np.testing.assert_allclose(K, K.T)
+        assert (K >= 0).all() and (K <= 1.0 + 1e-12).all()
+
+    def test_rbf_decays_with_distance(self):
+        A = np.array([[0.0], [1.0], [5.0]])
+        K = rbf_kernel(A, np.array([[0.0]]), sigma=1.0)
+        assert K[0, 0] > K[1, 0] > K[2, 0]
+
+    def test_multiscale_is_convex_combination(self):
+        X = np.random.default_rng(2).normal(size=(8, 3))
+        sharp = rbf_kernel(X, X, 0.1)
+        smooth = rbf_kernel(X, X, 3.0)
+        mixed = multiscale_rbf_kernel(X, X, 0.1, scale_ratio=30.0, mix=0.25)
+        np.testing.assert_allclose(mixed, 0.25 * sharp + 0.75 * smooth)
+
+    def test_multiscale_kernel_matrix_is_psd(self):
+        X = np.random.default_rng(3).normal(size=(20, 3))
+        K = multiscale_rbf_kernel(X, X, 0.2)
+        eigenvalues = np.linalg.eigvalsh(K)
+        assert eigenvalues.min() > -1e-9
+
+
+class TestBinaryLSSVM:
+    def test_separable_blobs_classified(self):
+        X, y = _blobs()
+        model = LSSVM(C=10.0, sigma=1.0).fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.98
+
+    def test_decision_values_sign_matches_predict(self):
+        X, y = _blobs(seed=3)
+        model = LSSVM(C=5.0, sigma=0.8).fit(X, y)
+        values = model.decision_values(X)
+        np.testing.assert_array_equal(np.sign(values) >= 0, model.predict(X) == 1)
+
+    def test_multi_rhs_trains_independent_machines(self):
+        X, y = _blobs(seed=4)
+        Y = np.stack([y, -y], axis=1)
+        model = LSSVM(C=10.0, sigma=1.0).fit(X, Y)
+        values = model.decision_values(X)
+        assert values.shape == (len(X), 2)
+        np.testing.assert_allclose(values[:, 0], -values[:, 1], atol=1e-8)
+
+    def test_invalid_hyperparameters_rejected(self):
+        with pytest.raises(ValueError):
+            LSSVM(C=0.0)
+        with pytest.raises(ValueError):
+            LSSVM(sigma=-1.0)
+        with pytest.raises(ValueError):
+            LSSVM(kernel="poly")
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            LSSVM().decision_values(np.zeros((1, 2)))
+
+
+class TestLeaveOneOutIdentity:
+    """The closed-form LOO decision values must match explicit refits."""
+
+    @pytest.mark.parametrize("kernel", ["rbf", "multiscale"])
+    def test_loo_matches_refit(self, kernel):
+        X, y = _blobs(n_per=15, gap=2.0, seed=5)
+        model = LSSVM(C=4.0, sigma=0.9, kernel=kernel).fit(X, y)
+        fast = model.loo_decision_values()
+        for i in range(len(X)):
+            mask = np.ones(len(X), dtype=bool)
+            mask[i] = False
+            refit = LSSVM(C=4.0, sigma=0.9, kernel=kernel).fit(X[mask], y[mask])
+            expected = float(np.asarray(refit.decision_values(X[i : i + 1])).ravel()[0])
+            assert fast[i] == pytest.approx(expected, rel=1e-6, abs=1e-8), i
+
+    def test_loo_matches_refit_multi_rhs(self):
+        X, y = _blobs(n_per=12, seed=6)
+        Y = np.stack([y, np.where(X[:, 1] > 0, 1.0, -1.0)], axis=1)
+        model = LSSVM(C=2.0, sigma=1.1).fit(X, Y)
+        fast = model.loo_decision_values()
+        for i in range(0, len(X), 3):
+            mask = np.ones(len(X), dtype=bool)
+            mask[i] = False
+            refit = LSSVM(C=2.0, sigma=1.1).fit(X[mask], Y[mask])
+            expected = np.asarray(refit.decision_values(X[i : i + 1])).ravel()
+            np.testing.assert_allclose(fast[i], expected, rtol=1e-6, atol=1e-8)

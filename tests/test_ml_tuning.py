@@ -1,0 +1,117 @@
+"""Unit tests for the hyperparameter search tooling."""
+
+import numpy as np
+import pytest
+
+from repro.ml.near_neighbor import NearNeighborClassifier
+from repro.ml.tuning import (
+    TuningResult,
+    cross_val_accuracy,
+    grid_search,
+    kfold_indices,
+    tune_nn_radius,
+)
+
+
+class TestKFold:
+    def test_folds_partition_the_data(self):
+        folds = kfold_indices(23, 5, seed=1)
+        combined = np.sort(np.concatenate(folds))
+        np.testing.assert_array_equal(combined, np.arange(23))
+
+    def test_fold_sizes_balanced(self):
+        folds = kfold_indices(20, 4, seed=0)
+        assert all(len(f) == 5 for f in folds)
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            kfold_indices(5, 1)
+        with pytest.raises(ValueError):
+            kfold_indices(5, 6)
+
+    def test_seed_controls_shuffle(self):
+        a = kfold_indices(30, 3, seed=1)
+        b = kfold_indices(30, 3, seed=2)
+        assert any(not np.array_equal(x, y) for x, y in zip(a, b))
+
+
+def _clustered(seed=0, n_per=30):
+    rng = np.random.default_rng(seed)
+    X, y = [], []
+    for label, center in ((1, (0, 0)), (4, (6, 0)), (8, (0, 6))):
+        X.append(rng.normal(loc=center, scale=0.5, size=(n_per, 2)))
+        y.extend([label] * n_per)
+    return np.vstack(X), np.array(y)
+
+
+class TestCrossVal:
+    def test_separable_data_scores_high(self):
+        X, y = _clustered()
+        score = cross_val_accuracy(lambda: NearNeighborClassifier(), X, y, k=5)
+        assert score > 0.9
+
+    def test_random_labels_score_low(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(90, 3))
+        y = rng.integers(1, 9, size=90)
+        score = cross_val_accuracy(lambda: NearNeighborClassifier(), X, y, k=5)
+        assert score < 0.4
+
+
+class TestGridSearch:
+    def test_finds_the_better_radius(self):
+        # Overlapping clusters with label noise: a tiny radius degenerates
+        # to 1-NN (memorises the noise), while a vote over a real
+        # neighborhood smooths it out — the search must notice.
+        rng = np.random.default_rng(5)
+        X = np.vstack(
+            [rng.normal((0, 0), 1.0, (80, 2)), rng.normal((3, 0), 1.0, (80, 2))]
+        )
+        y = np.array([1] * 80 + [8] * 80)
+        flip = rng.random(160) < 0.2
+        y[flip] = np.where(y[flip] == 1, 8, 1)
+        result = tune_nn_radius(X, y, radii=(0.001, 0.25), k=4)
+        assert isinstance(result, TuningResult)
+        assert result.best_params["radius"] == 0.25
+        scores = dict((p["radius"], s) for p, s in result.trials)
+        assert scores[0.25] > scores[0.001]
+
+    def test_all_grid_points_tried(self):
+        X, y = _clustered(seed=6)
+        result = grid_search(
+            lambda radius: NearNeighborClassifier(radius=radius),
+            {"radius": [0.1, 0.2, 0.4]},
+            X, y, k=3,
+        )
+        assert len(result.trials) == 3
+        assert result.top(2)[0][1] >= result.top(2)[1][1]
+
+    def test_subsample_limits_rows(self):
+        X, y = _clustered(seed=7, n_per=50)
+        result = grid_search(
+            lambda radius: NearNeighborClassifier(radius=radius),
+            {"radius": [0.2]},
+            X, y, k=3, subsample=45,
+        )
+        assert result.best_score >= 0.0
+
+    def test_multi_parameter_grid(self):
+        X, y = _clustered(seed=8)
+        result = grid_search(
+            lambda radius, normalization: NearNeighborClassifier(
+                radius=radius, normalization=normalization
+            ),
+            {"radius": [0.2, 0.4], "normalization": ["minmax", "zscore"]},
+            X, y, k=3,
+        )
+        assert len(result.trials) == 4
+        assert set(result.best_params) == {"radius", "normalization"}
+
+    def test_mini_dataset_tuning_runs(self, mini_dataset):
+        result = tune_nn_radius(
+            mini_dataset.X, mini_dataset.labels, radii=(0.2, 0.3), k=3
+        )
+        majority = np.bincount(mini_dataset.labels, minlength=9)[1:].max() / len(
+            mini_dataset
+        )
+        assert result.best_score > majority - 0.05

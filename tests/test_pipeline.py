@@ -1,0 +1,158 @@
+"""Unit tests for the measurement/labelling/evaluation pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.ir.program import Suite
+from repro.pipeline import (
+    EvaluationConfig,
+    LabelingConfig,
+    evaluate_speedups,
+    label_suite,
+    measure_suite,
+    stats_from_table,
+)
+from repro.pipeline.cache import build_artifacts, config_key
+from repro.simulate import NOISELESS, NoiseModel
+
+
+class TestMeasurementTable:
+    def test_table_covers_every_loop(self, mini_suite, mini_table):
+        assert len(mini_table) == mini_suite.n_loops
+        assert mini_table.X.shape == (len(mini_table), 38)
+        assert (mini_table.true_cycles > 0).all()
+
+    def test_measured_close_to_truth_under_light_noise(self, mini_table):
+        ratio = mini_table.measured / np.maximum(mini_table.true_cycles, 1.0)
+        assert np.median(ratio) < 1.1  # counter overhead + light jitter
+
+    def test_survivor_mask_filters(self, mini_table):
+        strict = mini_table.survivor_mask(min_cycles=1e12, min_benefit=1.0)
+        assert not strict.any()
+        lax = mini_table.survivor_mask(min_cycles=0.0, min_benefit=1.0)
+        assert lax.all()
+
+    def test_dataset_rows_match_mask(self, mini_table, mini_config):
+        mask = mini_table.survivor_mask(mini_config.min_cycles, mini_config.min_benefit)
+        dataset = mini_table.to_dataset(mini_config.min_cycles, mini_config.min_benefit)
+        assert len(dataset) == int(mask.sum())
+
+    def test_labels_are_measured_argmin(self, mini_dataset):
+        recomputed = np.argmin(mini_dataset.cycles, axis=1) + 1
+        np.testing.assert_array_equal(mini_dataset.labels, recomputed)
+
+    def test_table_round_trip(self, mini_table, tmp_path):
+        from repro.pipeline import MeasurementTable
+
+        path = tmp_path / "table.npz"
+        mini_table.save(path)
+        loaded = MeasurementTable.load(path)
+        np.testing.assert_array_equal(loaded.measured, mini_table.measured)
+        np.testing.assert_array_equal(loaded.loop_names, mini_table.loop_names)
+        assert loaded.swp == mini_table.swp
+
+    def test_rows_for_benchmark(self, mini_table, mini_suite):
+        bench = mini_suite.benchmarks[0]
+        rows = mini_table.rows_for_benchmark(bench.name)
+        assert len(rows) == bench.n_loops
+
+
+class TestLabelingProtocol:
+    def test_stats_partition_the_population(self, mini_table, mini_config):
+        stats = stats_from_table(mini_table, mini_config)
+        assert (
+            stats.n_below_cycle_floor + stats.n_flat + stats.n_labeled
+            == stats.n_loops_total
+        )
+        assert sum(stats.labels_histogram.values()) == stats.n_labeled
+        assert "labelled" in stats.summary()
+
+    def test_label_suite_end_to_end(self, mini_suite, mini_config):
+        dataset, stats = label_suite(mini_suite, mini_config)
+        assert len(dataset) == stats.n_labeled
+        assert dataset.swp == mini_config.swp
+
+    def test_measurements_reproducible_from_seed(self, mini_suite, mini_config):
+        a = measure_suite(mini_suite, mini_config)
+        b = measure_suite(mini_suite, mini_config)
+        np.testing.assert_array_equal(a.measured, b.measured)
+
+    def test_noiseless_labels_equal_true_argmin(self, mini_suite):
+        config = LabelingConfig(
+            swp=False, noise=NOISELESS, n_runs=1, min_cycles=0.0, min_benefit=1.0
+        )
+        dataset, _ = label_suite(mini_suite, config)
+        np.testing.assert_array_equal(
+            dataset.labels, np.argmin(dataset.true_cycles, axis=1) + 1
+        )
+
+    def test_noise_flips_some_labels(self, mini_suite):
+        noisy = LabelingConfig(
+            swp=False,
+            noise=NoiseModel(sigma=0.05, outlier_rate=0.05),
+            n_runs=3,
+            min_cycles=0.0,
+            min_benefit=1.0,
+        )
+        dataset, _ = label_suite(mini_suite, noisy)
+        true_best = np.argmin(dataset.true_cycles, axis=1) + 1
+        agreement = float(np.mean(dataset.labels == true_best))
+        assert 0.3 < agreement < 1.0
+
+
+class TestEvaluation:
+    def test_speedup_report_structure(self, mini_suite, mini_table, mini_dataset):
+        names = tuple(b.name for b in mini_suite.benchmarks[:3])
+        config = EvaluationConfig(swp=False, benchmarks=names)
+        report = evaluate_speedups(mini_suite, mini_table, mini_dataset, config)
+        assert len(report.results) == 3
+        for result in report.results:
+            assert set(result.improvements) == {"nn", "svm", "oracle"}
+            assert result.runtimes["orc"] > 0
+
+    def test_oracle_bounds_learners_in_noiseless_world(self, mini_suite):
+        config = LabelingConfig(
+            swp=False, noise=NOISELESS, n_runs=1, min_cycles=0.0, min_benefit=1.0
+        )
+        table = measure_suite(mini_suite, config)
+        dataset = table.to_dataset(0.0, 1.0)
+        names = tuple(b.name for b in mini_suite.benchmarks[:3])
+        report = evaluate_speedups(
+            mini_suite, table, dataset,
+            EvaluationConfig(swp=False, benchmarks=names, n_timing_runs=1),
+        )
+        for result in report.results:
+            # With noiseless labels the oracle is truly optimal per loop.
+            assert result.improvements["oracle"] >= result.improvements["svm"] - 0.01
+            assert result.improvements["oracle"] >= -0.01
+
+
+class TestCache:
+    def test_config_key_sensitivity(self):
+        base = LabelingConfig(swp=False)
+        swp = LabelingConfig(swp=True)
+        assert config_key(1, 1.0, base) != config_key(1, 1.0, swp)
+        assert config_key(1, 1.0, base) != config_key(2, 1.0, base)
+        assert config_key(1, 1.0, base) != config_key(1, 0.5, base)
+        assert config_key(1, 1.0, base) == config_key(1, 1.0, LabelingConfig(swp=False))
+
+    def test_build_artifacts_caches(self, tmp_path):
+        import time
+
+        config = LabelingConfig(
+            seed=5, swp=False, noise=NOISELESS, n_runs=1,
+            min_cycles=0.0, min_benefit=1.0,
+        )
+        t0 = time.time()
+        first = build_artifacts(
+            suite_seed=5, loops_scale=0.03, config=config, cache_dir=tmp_path
+        )
+        cold = time.time() - t0
+        t0 = time.time()
+        second = build_artifacts(
+            suite_seed=5, loops_scale=0.03, config=config, cache_dir=tmp_path
+        )
+        warm = time.time() - t0
+        np.testing.assert_array_equal(first.table.measured, second.table.measured)
+        assert warm < cold
+        assert any(tmp_path.glob("measurements_*.npz"))

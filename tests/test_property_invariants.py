@@ -1,0 +1,114 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+The heavyweight invariant: *any* loop the strategies can construct, unrolled
+by *any* factor, with or without the cleanup passes, computes the same
+observable results as the rolled original.  Plus structural invariants of
+schedules, spill estimates, and the dataset filters.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.dependence import analyze_dependences, edge_latency
+from repro.ir.interp import initial_state, run_loop, run_unrolled
+from repro.ir.validate import validate_loop
+from repro.machine import ITANIUM2
+from repro.sched.list_scheduler import list_schedule, steady_state_cycles
+from repro.transforms.pipeline import optimize_for_factor
+from repro.transforms.unroll import unroll
+
+from tests.strategies import random_loops
+
+
+class TestUnrollEquivalence:
+    @given(loop=random_loops(), factor=st.integers(1, 8), seed=st.integers(0, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_plain_unroll_preserves_observables(self, loop, factor, seed):
+        result = unroll(loop, factor)
+        rolled = initial_state(loop, seed=seed)
+        transformed = rolled.copy()
+        run_loop(loop, rolled)
+        run_unrolled(result, transformed)
+        for key, expected in rolled.observable(loop).items():
+            np.testing.assert_allclose(
+                transformed.observable(loop)[key], expected, rtol=1e-12
+            )
+
+    @given(loop=random_loops(), factor=st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_optimized_unroll_preserves_observables(self, loop, factor):
+        result = optimize_for_factor(loop, factor)
+        rolled = initial_state(loop, seed=1)
+        transformed = rolled.copy()
+        run_loop(loop, rolled)
+        run_unrolled(result, transformed)
+        for key, expected in rolled.observable(loop).items():
+            np.testing.assert_allclose(
+                transformed.observable(loop)[key], expected, rtol=1e-12
+            )
+
+    @given(loop=random_loops(), factor=st.integers(2, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_unrolled_parts_are_wellformed(self, loop, factor):
+        result = unroll(loop, factor)
+        if result.main is not None:
+            validate_loop(result.main)
+        if result.remainder is not None:
+            validate_loop(result.remainder)
+        # Iteration accounting: main covers factor-sized chunks, the
+        # remainder covers what's left.
+        total = loop.trip.runtime
+        covered = 0
+        if result.main is not None:
+            covered += result.main.trip.runtime * result.factor
+        if result.remainder is not None:
+            covered += result.remainder.trip.runtime
+        assert covered == total
+
+
+class TestSchedulerInvariants:
+    @given(loop=random_loops())
+    @settings(max_examples=40, deadline=None)
+    def test_schedule_respects_dependences_and_width(self, loop):
+        deps = analyze_dependences(loop)
+        schedule = list_schedule(deps, ITANIUM2)
+        for edge in deps.acyclic_edges():
+            lat = edge_latency(edge, deps.body, ITANIUM2)
+            assert schedule.start[edge.dst] >= schedule.start[edge.src] + lat
+        per_cycle = {}
+        for cycle in schedule.start:
+            per_cycle[cycle] = per_cycle.get(cycle, 0) + 1
+        assert max(per_cycle.values()) <= ITANIUM2.issue_width
+
+    @given(loop=random_loops(), factor=st.integers(1, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_steady_state_period_positive_and_bounded(self, loop, factor):
+        part = optimize_for_factor(loop, factor).main
+        if part is None:
+            return
+        deps = analyze_dependences(part)
+        schedule = list_schedule(deps, ITANIUM2)
+        period = steady_state_cycles(deps, schedule, ITANIUM2)
+        assert period >= 1
+        assert period <= schedule.issue_length + ITANIUM2.backedge_cycles + 64
+
+
+class TestCostModelInvariants:
+    @given(loop=random_loops(), factor=st.integers(1, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_costs_positive_and_deterministic(self, loop, factor):
+        from repro.simulate import CostModel
+
+        model = CostModel()
+        a = model.loop_cost(loop, factor).total_cycles
+        b = CostModel().loop_cost(loop, factor).total_cycles
+        assert a > 0
+        assert a == b
+
+    @given(loop=random_loops())
+    @settings(max_examples=20, deadline=None)
+    def test_feature_vector_finite(self, loop):
+        from repro.features import extract_features
+
+        vector = extract_features(loop)
+        assert np.isfinite(vector).all()

@@ -1,0 +1,149 @@
+"""Unit tests for the software pipeliner (modulo scheduling)."""
+
+import pytest
+
+from repro.ir.builder import LoopBuilder
+from repro.ir.dependence import analyze_dependences, edge_latency
+from repro.ir.loop import TripInfo
+from repro.ir.types import DType, FUKind, Opcode
+from repro.machine import ITANIUM2, NARROW
+from repro.sched.modulo import (
+    ModuloScheduleError,
+    modulo_schedule,
+    recurrence_mii,
+    resource_mii,
+    swp_register_pressure,
+)
+
+
+def assert_kernel_legal(loop, machine):
+    """A modulo schedule must honor dependences modulo II and the MRT."""
+    deps = analyze_dependences(loop)
+    kernel = modulo_schedule(deps, machine)
+    # Dependences: start(dst) + II*distance >= start(src) + latency.
+    for edge in deps.edges:
+        lat = edge_latency(edge, deps.body, machine)
+        assert (
+            kernel.start[edge.dst] + kernel.ii * edge.distance
+            >= kernel.start[edge.src] + lat
+        ), f"violated {edge} at II={kernel.ii}"
+    # Modulo reservation: per row, per kind, capacity respected (A-type ops
+    # may use INT or MEM, so check the joint capacity).
+    rows: dict[int, list] = {}
+    for pos, t in enumerate(kernel.start):
+        rows.setdefault(t % kernel.ii, []).append(deps.body[pos])
+    for row, members in rows.items():
+        fp = sum(1 for m in members if m.op.fu_kind is FUKind.FP and m.op.info.pipelined)
+        assert fp <= machine.fu_counts[FUKind.FP]
+        mem_like = sum(1 for m in members if m.op.fu_kind in (FUKind.MEM, FUKind.INT))
+        assert mem_like <= machine.fu_counts[FUKind.MEM] + machine.fu_counts[FUKind.INT]
+    return deps, kernel
+
+
+class TestResourceMII:
+    def test_memory_bound_loop_is_fractional(self, daxpy_loop):
+        deps = analyze_dependences(daxpy_loop)
+        # 3 memory ops on 2 ports -> 1.5.
+        assert resource_mii(deps, ITANIUM2) == pytest.approx(1.5)
+
+    def test_narrow_machine_raises_bound(self, daxpy_loop):
+        deps = analyze_dependences(daxpy_loop)
+        # 1 memory port -> 3 memory slots.
+        assert resource_mii(deps, NARROW) >= 3.0
+
+    def test_non_pipelined_ops_count_full_latency(self):
+        builder = LoopBuilder("t", TripInfo(runtime=64))
+        a = builder.load("a")
+        builder.store(builder.fp(Opcode.FDIV, a, builder.fconst(3.0)), "out")
+        deps = analyze_dependences(builder.build())
+        # The divide blocks an FP unit for its full 24 cycles.
+        assert resource_mii(deps, ITANIUM2) >= 12.0
+
+    def test_branches_cost_whole_cycles(self):
+        from repro.workloads.kernels import sentinel_search
+
+        deps = analyze_dependences(sentinel_search(trip=32, entries=1))
+        assert resource_mii(deps, ITANIUM2) >= 1.0
+
+
+class TestRecurrenceMII:
+    def test_dataflow_only_loop_has_unit_recmii(self, daxpy_loop):
+        deps = analyze_dependences(daxpy_loop)
+        assert recurrence_mii(deps, ITANIUM2) == 1
+
+    def test_reduction_recmii_is_add_latency(self, reduction_loop):
+        loop, _, _ = reduction_loop
+        deps = analyze_dependences(loop)
+        assert recurrence_mii(deps, ITANIUM2) == ITANIUM2.latencies[Opcode.FADD]
+
+    def test_memory_recurrence_divides_by_distance(self):
+        # a[i+3] = f(a[i]): latency of (load; fmul; store->load) over
+        # distance 3.
+        builder = LoopBuilder("t", TripInfo(runtime=64))
+        value = builder.load("a", offset=0)
+        scaled = builder.fp(Opcode.FMUL, value, builder.fconst(0.5))
+        builder.store(scaled, "a", offset=3)
+        deps = analyze_dependences(builder.build())
+        machine = ITANIUM2
+        chain = machine.load_latency + machine.latencies[Opcode.FMUL] + 1
+        expected = -(-chain // 3)
+        assert recurrence_mii(deps, machine) == expected
+
+    def test_longer_distance_lowers_recmii(self):
+        def rec_mii_for(distance):
+            builder = LoopBuilder("t", TripInfo(runtime=64))
+            value = builder.load("a", offset=0)
+            scaled = builder.fp(Opcode.FMUL, value, builder.fconst(0.5))
+            builder.store(scaled, "a", offset=distance)
+            return recurrence_mii(analyze_dependences(builder.build()), ITANIUM2)
+
+        assert rec_mii_for(1) > rec_mii_for(4)
+
+
+class TestKernelSchedules:
+    def test_daxpy_achieves_small_ii(self, daxpy_loop):
+        deps, kernel = assert_kernel_legal(daxpy_loop, ITANIUM2)
+        assert kernel.ii <= 3  # ceil(1.5) + slack
+
+    def test_reduction_ii_bounded_by_recurrence(self, reduction_loop):
+        loop, _, _ = reduction_loop
+        deps, kernel = assert_kernel_legal(loop, ITANIUM2)
+        assert kernel.ii >= ITANIUM2.latencies[Opcode.FADD]
+
+    def test_unrolled_body_fractional_ii_recovery(self, daxpy_loop):
+        """The paper's fractional-II effect: unrolling by 2 schedules two
+        iterations in ceil(2 * 1.5) = 3 cycles, 1.5/iteration."""
+        from repro.transforms.unroll import unroll
+
+        rolled = modulo_schedule(analyze_dependences(daxpy_loop), ITANIUM2)
+        unrolled_loop = unroll(daxpy_loop, 2).main
+        unrolled = modulo_schedule(analyze_dependences(unrolled_loop), ITANIUM2)
+        assert rolled.ii / 1 > unrolled.ii / 2
+
+    def test_stencil_kernel_legal(self, stencil_loop):
+        assert_kernel_legal(stencil_loop, ITANIUM2)
+
+    def test_narrow_machine_kernels_legal(self, daxpy_loop, stencil_loop):
+        assert_kernel_legal(daxpy_loop, NARROW)
+        assert_kernel_legal(stencil_loop, NARROW)
+
+    def test_infeasible_budget_raises(self, daxpy_loop):
+        deps = analyze_dependences(daxpy_loop)
+        with pytest.raises(ModuloScheduleError):
+            modulo_schedule(deps, ITANIUM2, ii_budget=0)
+
+
+class TestSWPPressure:
+    def test_pressure_counts_overlapping_lifetimes(self, daxpy_loop):
+        deps = analyze_dependences(daxpy_loop)
+        kernel = modulo_schedule(deps, ITANIUM2)
+        int_need, fp_need = swp_register_pressure(deps, kernel)
+        assert fp_need >= 3  # two loaded values + the fma result in flight
+        assert int_need == 0
+
+    def test_longer_lifetimes_need_more_rotating_registers(self, reduction_loop):
+        loop, _, _ = reduction_loop
+        deps = analyze_dependences(loop)
+        kernel = modulo_schedule(deps, ITANIUM2)
+        int_need, fp_need = swp_register_pressure(deps, kernel)
+        assert fp_need >= 2

@@ -1,0 +1,172 @@
+"""Unit tests for scalar replacement, coalescing, and DCE."""
+
+import pytest
+
+from repro.ir.builder import LoopBuilder
+from repro.ir.loop import TripInfo
+from repro.ir.types import CmpOp, DType, Opcode
+from repro.transforms.coalesce import coalesce_loads
+from repro.transforms.dce import eliminate_dead_code
+from repro.transforms.scalar_replacement import scalar_replace
+from repro.transforms.unroll import unroll
+
+
+def _count(loop, op):
+    return sum(1 for inst in loop.body if inst.op is op)
+
+
+class TestScalarReplacement:
+    def test_redundant_load_becomes_move(self, stencil_loop):
+        unrolled = unroll(stencil_loop, 2).main
+        # Copy 0 loads a[i], a[i+1], a[i+2]; copy 1 loads a[i+1], a[i+2],
+        # a[i+3]: two of copy 1's loads are redundant.
+        replaced = scalar_replace(unrolled)
+        assert _count(unrolled, Opcode.LOAD) == 6
+        assert _count(replaced, Opcode.LOAD) == 4
+        assert _count(replaced, Opcode.MOV) == 2
+
+    def test_store_to_load_forwarding(self):
+        builder = LoopBuilder("t", TripInfo(runtime=16))
+        value = builder.load("a")
+        builder.store(value, "b")
+        reloaded = builder.load("b")  # same address as the store
+        builder.store(reloaded, "c")
+        loop = builder.build()
+        replaced = scalar_replace(loop)
+        assert _count(replaced, Opcode.LOAD) == 1
+
+    def test_intervening_may_alias_store_blocks_forwarding(self):
+        builder = LoopBuilder("t", TripInfo(runtime=16))
+        first = builder.load("a", offset=0)
+        builder.store(first, "b")
+        # Indirect store to 'a' may hit any element: kills availability.
+        index = builder.mov(builder.iconst(3), dtype=DType.I64)
+        builder.store_indirect(first, "a", index)
+        second = builder.load("a", offset=0)
+        builder.store(second, "c")
+        loop = builder.build()
+        replaced = scalar_replace(loop)
+        assert _count(replaced, Opcode.LOAD) == 2  # nothing forwarded
+
+    def test_same_stride_distinct_offset_store_does_not_kill(self):
+        builder = LoopBuilder("t", TripInfo(runtime=16))
+        first = builder.load("a", offset=0)
+        builder.store(first, "a", offset=4)  # provably distinct element
+        second = builder.load("a", offset=0)
+        builder.store(second, "b")
+        loop = builder.build()
+        replaced = scalar_replace(loop)
+        assert _count(replaced, Opcode.LOAD) == 1
+
+    def test_predicated_loads_left_alone(self):
+        builder = LoopBuilder("t", TripInfo(runtime=16))
+        guard_val = builder.load("g")
+        pred = builder.cmp(CmpOp.GT, guard_val, builder.fconst(0.0), fp=True)
+        first = builder.load("a", pred=pred)
+        builder.store(first, "out", pred=pred)
+        second = builder.load("a")
+        builder.store(second, "out2")
+        loop = builder.build()
+        replaced = scalar_replace(loop)
+        # The predicated load neither provides nor consumes availability.
+        assert _count(replaced, Opcode.LOAD) == 3
+
+
+class TestCoalescing:
+    def test_even_stride_adjacent_pair_merges(self):
+        from repro.workloads.kernels import complex_multiply
+
+        loop = complex_multiply(trip=16, entries=1)
+        merged = coalesce_loads(loop)
+        assert _count(merged, Opcode.LOAD_PAIR) == 2  # (re, im) of a and b
+        assert _count(merged, Opcode.LOAD) == 0
+
+    def test_odd_stride_never_merges(self, stencil_loop):
+        # Rolled stencil: stride 1 (odd) — alignment cannot be guaranteed.
+        merged = coalesce_loads(stencil_loop)
+        assert _count(merged, Opcode.LOAD_PAIR) == 0
+
+    def test_unrolled_even_factor_merges(self, daxpy_loop):
+        unrolled = unroll(daxpy_loop, 4).main  # stride becomes 4
+        merged = coalesce_loads(unrolled)
+        # x and y each have offsets {0,1,2,3}: four pairs.
+        assert _count(merged, Opcode.LOAD_PAIR) == 4
+        assert _count(merged, Opcode.LOAD) == 0
+
+    def test_unrolled_odd_factor_does_not_merge(self, daxpy_loop):
+        unrolled = unroll(daxpy_loop, 3).main  # stride 3: odd
+        merged = coalesce_loads(unrolled)
+        assert _count(merged, Opcode.LOAD_PAIR) == 0
+
+    def test_store_to_later_element_blocks_merge(self):
+        builder = LoopBuilder("t", TripInfo(runtime=16))
+        lo = builder.load("a", stride=2, offset=0)
+        builder.store(lo, "a", stride=2, offset=1)  # clobbers the pair's 2nd elem
+        hi = builder.load("a", stride=2, offset=1)
+        builder.store(hi, "out")
+        loop = builder.build()
+        merged = coalesce_loads(loop)
+        assert _count(merged, Opcode.LOAD_PAIR) == 0
+
+    def test_store_to_earlier_element_does_not_block(self):
+        # The pair issues at the earlier load's position, before the store,
+        # exactly like the original first load did — merging stays legal.
+        builder = LoopBuilder("t", TripInfo(runtime=16))
+        lo = builder.load("a", stride=2, offset=0)
+        builder.store(lo, "a", stride=2, offset=0)
+        hi = builder.load("a", stride=2, offset=1)
+        builder.store(hi, "out")
+        loop = builder.build()
+        merged = coalesce_loads(loop)
+        assert _count(merged, Opcode.LOAD_PAIR) == 1
+
+    def test_pair_must_start_even(self):
+        builder = LoopBuilder("t", TripInfo(runtime=16))
+        a = builder.load("a", stride=4, offset=1)
+        b = builder.load("a", stride=4, offset=2)
+        builder.store(builder.fp(Opcode.FADD, a, b), "out")
+        loop = builder.build()
+        merged = coalesce_loads(loop)
+        # Offsets 1,2 are adjacent but start odd: no merge.
+        assert _count(merged, Opcode.LOAD_PAIR) == 0
+
+
+class TestDeadCodeElimination:
+    def test_unused_computation_removed(self):
+        builder = LoopBuilder("t", TripInfo(runtime=8))
+        value = builder.load("a")
+        builder.fp(Opcode.FMUL, value, builder.fconst(2.0))  # dead
+        builder.store(value, "out")
+        loop = builder.build()
+        cleaned = eliminate_dead_code(loop)
+        assert cleaned.size == 2
+
+    def test_transitively_dead_chain_removed(self):
+        builder = LoopBuilder("t", TripInfo(runtime=8))
+        value = builder.load("a")
+        t1 = builder.fp(Opcode.FMUL, value, builder.fconst(2.0))
+        builder.fp(Opcode.FADD, t1, builder.fconst(1.0))  # dead, kills t1 too
+        builder.store(value, "out")
+        loop = builder.build()
+        cleaned = eliminate_dead_code(loop)
+        assert cleaned.size == 2
+
+    def test_carried_values_are_never_dead(self, reduction_loop):
+        loop, _, _ = reduction_loop
+        cleaned = eliminate_dead_code(loop)
+        assert cleaned.size == loop.size
+
+    def test_stores_and_branches_kept(self):
+        from repro.workloads.kernels import sentinel_search
+
+        loop = sentinel_search(trip=16, entries=1)
+        cleaned = eliminate_dead_code(loop)
+        assert _count(cleaned, Opcode.BR_EXIT) == 1
+
+    def test_all_dead_body_raises(self):
+        builder = LoopBuilder("t", TripInfo(runtime=8))
+        value = builder.load("a")
+        builder.fp(Opcode.FMUL, value, builder.fconst(2.0))
+        loop = builder.build()
+        with pytest.raises(ValueError, match="entire body"):
+            eliminate_dead_code(loop)

@@ -1,0 +1,142 @@
+"""Semantic equivalence: rolled versus transformed loops.
+
+These are the load-bearing correctness tests of the compiler substrate: a
+loop run rolled and run unrolled (with or without the cleanup passes) on
+identical initial state must leave identical observable results — final
+array contents and final values of loop-carried scalars.  Hypothesis drives
+randomised variants in ``test_property_invariants.py``; the cases here pin
+down each mechanism individually.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ir.builder import LoopBuilder
+from repro.ir.interp import initial_state, run_loop, run_unrolled
+from repro.ir.loop import TripInfo
+from repro.ir.types import CmpOp, DType, Opcode
+from repro.transforms.pipeline import OptimizationPlan, optimize_for_factor
+from repro.transforms.unroll import unroll
+from repro.workloads import kernels
+
+ALL_FACTORS = list(range(1, 9))
+
+
+def assert_equivalent(loop, factor, carried_inits=None, seed=0, optimized=False, strict_exit=False):
+    """Run rolled vs unrolled on identical state; observables must match."""
+    if optimized:
+        result = optimize_for_factor(loop, factor)
+    else:
+        result = unroll(loop, factor)
+    rolled_state = initial_state(loop, seed=seed, carried_inits=carried_inits)
+    unrolled_state = rolled_state.copy()
+    run_loop(loop, rolled_state, strict_exit=strict_exit)
+    run_unrolled(result, unrolled_state, strict_exit=strict_exit)
+    rolled_obs = rolled_state.observable(loop)
+    unrolled_obs = unrolled_state.observable(loop)
+    assert rolled_obs.keys() == unrolled_obs.keys()
+    for key in rolled_obs:
+        np.testing.assert_allclose(
+            unrolled_obs[key],
+            rolled_obs[key],
+            rtol=1e-12,
+            err_msg=f"{loop.name} factor={factor} key={key}",
+        )
+
+
+@pytest.mark.parametrize("factor", ALL_FACTORS)
+class TestKernelEquivalence:
+    def test_daxpy(self, factor):
+        assert_equivalent(kernels.daxpy(trip=53, entries=1), factor)
+
+    def test_dot_product(self, factor):
+        assert_equivalent(kernels.dot_product(trip=41, entries=1), factor)
+
+    def test_stencil(self, factor):
+        assert_equivalent(kernels.stencil3(trip=37, entries=1), factor)
+
+    def test_strided(self, factor):
+        assert_equivalent(kernels.strided_copy(stride=3, trip=29, entries=1), factor)
+
+    def test_gather(self, factor):
+        assert_equivalent(kernels.gather_accumulate(trip=33, entries=1), factor)
+
+    def test_linear_recurrence(self, factor):
+        assert_equivalent(kernels.linear_recurrence(trip=26, entries=1), factor)
+
+    def test_int_hash(self, factor):
+        assert_equivalent(kernels.int_hash(trip=45, entries=1), factor)
+
+    def test_conditional_update(self, factor):
+        assert_equivalent(kernels.conditional_update(trip=31, entries=1), factor)
+
+    def test_complex_multiply(self, factor):
+        assert_equivalent(kernels.complex_multiply(trip=27, entries=1), factor)
+
+    def test_scatter(self, factor):
+        assert_equivalent(kernels.scatter_increment(trip=23, entries=1), factor)
+
+    def test_max_reduction(self, factor):
+        assert_equivalent(kernels.max_reduction(trip=39, entries=1), factor)
+
+
+@pytest.mark.parametrize("factor", ALL_FACTORS)
+class TestOptimizedEquivalence:
+    """The full pipeline (scalar replacement + coalescing + DCE) must also
+    preserve semantics."""
+
+    def test_daxpy(self, factor):
+        assert_equivalent(kernels.daxpy(trip=53, entries=1), factor, optimized=True)
+
+    def test_stencil(self, factor):
+        assert_equivalent(kernels.stencil3(trip=37, entries=1), factor, optimized=True)
+
+    def test_fir(self, factor):
+        assert_equivalent(kernels.fir_filter(taps=5, trip=44, entries=1), factor, optimized=True)
+
+    def test_complex_multiply(self, factor):
+        assert_equivalent(kernels.complex_multiply(trip=30, entries=1), factor, optimized=True)
+
+    def test_cross_iteration_store(self, factor):
+        builder = LoopBuilder("t", TripInfo(runtime=35))
+        value = builder.load("a", offset=0)
+        doubled = builder.fp(Opcode.FMUL, value, builder.fconst(1.25))
+        builder.store(doubled, "a", offset=3)
+        assert_equivalent(builder.build(), factor, optimized=True)
+
+
+@pytest.mark.parametrize("factor", ALL_FACTORS)
+@pytest.mark.parametrize("exit_at", [0, 1, 6, 19, 39])
+class TestEarlyExitEquivalence:
+    def test_sentinel_search(self, factor, exit_at):
+        """The exit may fire at any iteration, including mid-body."""
+        loop = kernels.sentinel_search(trip=40, entries=1)
+        key_reg = next(iter(loop.invariant_regs() - {r for r in loop.invariant_regs() if r.dtype is not DType.F64}))
+        result = unroll(loop, factor)
+        rolled = initial_state(loop, seed=9)
+        rolled.arrays["a"][:] = 0.0
+        rolled.arrays["a"][exit_at] = rolled.regs[key_reg]
+        unrolled = rolled.copy()
+        r1 = run_loop(loop, rolled, strict_exit=True)
+        r2 = run_unrolled(result, unrolled, strict_exit=True)
+        assert r1.exited_early and r2.exited_early
+        for key, value in rolled.observable(loop).items():
+            np.testing.assert_allclose(unrolled.observable(loop)[key], value)
+
+
+@pytest.mark.parametrize("factor", [2, 3, 5, 8])
+@pytest.mark.parametrize("trip", [1, 2, 3, 7, 8, 9, 64, 65])
+class TestAwkwardTripCounts:
+    def test_unknown_trip(self, factor, trip):
+        builder = LoopBuilder("t", TripInfo(runtime=trip))
+        acc = builder.carried(DType.F64, init=0.0)
+        value = builder.load("a")
+        builder.fp(Opcode.FADD, acc, value, dest=acc)
+        builder.store(acc, "out")
+        assert_equivalent(builder.build(), factor, carried_inits=builder.carried_inits)
+
+    def test_known_trip(self, factor, trip):
+        builder = LoopBuilder("t", TripInfo(runtime=trip, compile_time=trip))
+        value = builder.load("a")
+        builder.store(builder.fp(Opcode.FMUL, value, builder.fconst(3.0)), "out")
+        assert_equivalent(builder.build(), factor)

@@ -1,0 +1,148 @@
+"""Structural tests for the unroller."""
+
+import pytest
+
+from repro.ir.builder import LoopBuilder
+from repro.ir.loop import TripInfo
+from repro.ir.types import DType, Opcode
+from repro.ir.validate import validate_loop
+from repro.transforms.unroll import unroll, unroll_all_factors
+from repro.workloads.kernels import sentinel_search
+
+
+class TestFactorHandling:
+    def test_factor_one_is_identity(self, daxpy_loop):
+        result = unroll(daxpy_loop, 1)
+        assert result.main is daxpy_loop
+        assert result.remainder is None
+        assert result.factor == 1
+
+    def test_invalid_factors_rejected(self, daxpy_loop):
+        with pytest.raises(ValueError):
+            unroll(daxpy_loop, 0)
+        with pytest.raises(ValueError):
+            unroll(daxpy_loop, 9)
+
+    def test_already_unrolled_loop_rejected(self, daxpy_loop):
+        result = unroll(daxpy_loop, 2)
+        with pytest.raises(ValueError, match="already unrolled"):
+            unroll(result.main, 2)
+
+    def test_factor_clamped_to_known_trip(self):
+        builder = LoopBuilder("t", TripInfo(runtime=3, compile_time=3))
+        builder.store(builder.load("a"), "out")
+        loop = builder.build()
+        result = unroll(loop, 8)
+        assert result.factor == 3  # full unroll
+        assert result.main.trip.runtime == 1
+        assert result.remainder is None
+
+
+class TestCountedUnroll:
+    def test_trip_split_exact_division(self, daxpy_loop):
+        # runtime trip 96, factor 4 -> 24 main trips, no remainder runs.
+        result = unroll(daxpy_loop, 4)
+        assert result.main.trip.runtime == 24
+        assert result.main.unroll_factor == 4
+        assert result.main.size == daxpy_loop.size * 4
+        assert result.remainder is None
+        # Unknown trip count: remainder code is still emitted.
+        assert result.remainder_emitted
+        assert result.needs_precondition
+
+    def test_trip_split_with_leftover(self, daxpy_loop):
+        result = unroll(daxpy_loop, 5)
+        assert result.main.trip.runtime == 19
+        assert result.remainder.trip.runtime == 1
+        # Remainder starts where the main loop stopped: 95 iterations done.
+        rem_load = result.remainder.body[0]
+        assert rem_load.mem.index.offset == 95
+        assert rem_load.mem.index.coeff == 1
+
+    def test_known_trip_no_precondition(self):
+        builder = LoopBuilder("t", TripInfo(runtime=10, compile_time=10))
+        builder.store(builder.load("a"), "out")
+        loop = builder.build()
+        result = unroll(loop, 4)
+        assert not result.needs_precondition
+        assert result.remainder.trip.compile_time == 2
+        assert result.remainder_emitted
+
+    def test_known_trip_exact_division_emits_no_remainder(self):
+        builder = LoopBuilder("t", TripInfo(runtime=8, compile_time=8))
+        builder.store(builder.load("a"), "out")
+        loop = builder.build()
+        result = unroll(loop, 4)
+        assert result.remainder is None
+        assert not result.remainder_emitted
+        assert result.emitted_size == result.main.size
+
+    def test_memrefs_rescaled_per_copy(self, daxpy_loop):
+        result = unroll(daxpy_loop, 4)
+        loads_x = [i for i in result.main.body if i.mem is not None and i.mem.array == "x"]
+        offsets = sorted(i.mem.index.offset for i in loads_x)
+        assert offsets == [0, 1, 2, 3]
+        assert all(i.mem.index.coeff == 4 for i in loads_x)
+
+    def test_unrolled_body_is_valid(self, daxpy_loop):
+        for factor in range(2, 9):
+            result = unroll(daxpy_loop, factor)
+            validate_loop(result.main)
+            if result.remainder is not None:
+                validate_loop(result.remainder)
+
+
+class TestRecurrenceChaining:
+    def test_carried_register_chains_through_copies(self, reduction_loop):
+        loop, acc, _ = reduction_loop
+        result = unroll(loop, 4)
+        main = result.main
+        # The unrolled loop still carries exactly one recurrence, under the
+        # original register name (so the backedge and remainder see it).
+        assert main.carried_regs() == {acc}
+        # The adds form a serial chain: each copy's add reads the previous
+        # copy's result.
+        adds = [inst for inst in main.body if inst.op is Opcode.FADD]
+        assert len(adds) == 4
+        for earlier, later in zip(adds, adds[1:]):
+            assert earlier.dest in set(later.reg_srcs())
+        assert adds[-1].dest == acc
+
+    def test_remainder_reads_main_loops_final_accumulator(self):
+        builder = LoopBuilder("t", TripInfo(runtime=10, compile_time=10))
+        acc = builder.carried(DType.F64, init=0.0)
+        value = builder.load("a")
+        builder.fp(Opcode.FADD, acc, value, dest=acc)
+        loop = builder.build()
+        result = unroll(loop, 4)
+        assert acc in result.remainder.carried_regs()
+
+
+class TestWhileUnroll:
+    def test_exit_branch_duplicated_per_copy(self):
+        loop = sentinel_search(trip=40, entries=1)
+        result = unroll(loop, 4)
+        exits = [i for i in result.main.body if i.op is Opcode.BR_EXIT]
+        assert len(exits) == 4
+        assert result.remainder is None
+        assert not result.needs_precondition
+
+    def test_while_bound_is_ceiling(self):
+        loop = sentinel_search(trip=10, entries=1)
+        result = unroll(loop, 4)
+        assert result.main.trip.runtime == 3  # ceil(10 / 4)
+        assert not result.main.trip.counted
+
+    def test_non_counted_loop_without_exit_rejected(self, daxpy_loop):
+        from dataclasses import replace
+
+        broken = replace(daxpy_loop, trip=TripInfo(runtime=10, counted=False))
+        with pytest.raises(ValueError, match="no exit branch"):
+            unroll(broken, 2)
+
+
+class TestSweep:
+    def test_unroll_all_factors_covers_label_space(self, daxpy_loop):
+        results = unroll_all_factors(daxpy_loop)
+        assert sorted(results) == list(range(1, 9))
+        assert all(results[u].requested_factor == u for u in results)

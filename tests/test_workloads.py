@@ -1,0 +1,149 @@
+"""Unit tests for kernels, patterns, and the suite generator."""
+
+import numpy as np
+import pytest
+
+from repro.ir.types import MAX_UNROLL, Language
+from repro.ir.validate import validate_loop
+from repro.workloads import (
+    ARCHETYPES,
+    PATTERNS,
+    ROSTER,
+    SPEC2000_FP_NAMES,
+    SPEC2000_NAMES,
+    generate_benchmark,
+    generate_loop,
+    generate_suite,
+)
+from repro.workloads.kernels import KERNELS
+
+
+class TestKernels:
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_every_kernel_is_valid(self, name):
+        loop = KERNELS[name]()
+        validate_loop(loop)
+        assert loop.size >= 1
+
+    def test_kernels_are_parameterised(self):
+        small = KERNELS["daxpy"](trip=32, entries=2)
+        large = KERNELS["daxpy"](trip=4096, entries=2)
+        assert small.trip.runtime == 32 and large.trip.runtime == 4096
+
+    def test_search_kernel_is_while_style(self):
+        loop = KERNELS["search"](trip=64)
+        assert not loop.trip.counted
+        assert loop.has_early_exit
+
+    def test_gather_kernel_has_indirect_ref(self):
+        loop = KERNELS["gather"]()
+        assert any(i.mem is not None and i.mem.indirect for i in loop.body)
+
+
+class TestPatterns:
+    @pytest.mark.parametrize("name", sorted(PATTERNS))
+    def test_every_pattern_emits_valid_ir(self, name):
+        from repro.ir.builder import LoopBuilder
+        from repro.ir.loop import TripInfo
+
+        rng = np.random.default_rng(5)
+        for trial in range(5):
+            builder = LoopBuilder(f"t{trial}", TripInfo(runtime=64, counted=name != "search_exit"))
+            if name == "search_exit":
+                PATTERNS[name](builder, rng, tag="p0")
+                PATTERNS["stream_map"](builder, rng, tag="p1")
+            else:
+                PATTERNS[name](builder, rng, tag="p0")
+            validate_loop(builder.build(validate=False))
+
+
+class TestRoster:
+    def test_roster_has_72_benchmarks(self):
+        assert len(ROSTER) == 72
+
+    def test_spec2000_names_match_the_paper(self):
+        assert len(SPEC2000_NAMES) == 24
+        assert SPEC2000_NAMES[0] == "164.gzip"
+        assert SPEC2000_NAMES[-1] == "301.apsi"
+        assert "252.eon" not in SPEC2000_NAMES  # C++, excluded by the paper
+        assert "191.fma3d" not in SPEC2000_NAMES  # miscompiled, excluded
+        assert len(SPEC2000_FP_NAMES) == 13
+
+    def test_roster_names_unique(self):
+        names = [info.name for info in ROSTER]
+        assert len(set(names)) == len(names)
+
+    def test_three_languages_present(self):
+        langs = {info.language for info in ROSTER}
+        assert langs == {Language.C, Language.FORTRAN, Language.FORTRAN90}
+
+    def test_every_archetype_known(self):
+        assert {info.archetype for info in ROSTER} <= set(ARCHETYPES)
+
+
+class TestGenerator:
+    def test_suite_is_deterministic(self):
+        a = generate_suite(seed=9, loops_scale=0.05)
+        b = generate_suite(seed=9, loops_scale=0.05)
+        assert a.n_loops == b.n_loops
+        for loop_a, loop_b in zip(a.all_loops(), b.all_loops()):
+            assert loop_a.name == loop_b.name
+            assert loop_a.size == loop_b.size
+            assert loop_a.trip.runtime == loop_b.trip.runtime
+
+    def test_different_seeds_differ(self):
+        a = generate_suite(seed=9, loops_scale=0.05)
+        b = generate_suite(seed=10, loops_scale=0.05)
+        sizes_a = [l.size for l in a.all_loops()[:50]]
+        sizes_b = [l.size for l in b.all_loops()[:50]]
+        assert sizes_a != sizes_b
+
+    def test_all_generated_loops_valid(self):
+        suite = generate_suite(seed=3, loops_scale=0.05)
+        for loop in suite.all_loops():
+            validate_loop(loop)
+
+    def test_loops_scale_controls_size(self):
+        small = generate_suite(seed=1, loops_scale=0.05)
+        large = generate_suite(seed=1, loops_scale=0.2)
+        assert large.n_loops > small.n_loops
+
+    def test_while_loops_have_exits(self):
+        suite = generate_suite(seed=4, loops_scale=0.1)
+        for loop in suite.all_loops():
+            if not loop.trip.counted:
+                assert loop.has_early_exit
+
+    def test_unrollable_at_every_factor(self):
+        from repro.transforms import unroll
+
+        suite = generate_suite(seed=2, loops_scale=0.05)
+        for loop in list(suite.all_loops())[:40]:
+            for factor in range(1, MAX_UNROLL + 1):
+                result = unroll(loop, factor)
+                if result.main is not None:
+                    validate_loop(result.main)
+
+    def test_benchmark_generation_metadata(self):
+        rng = np.random.default_rng(0)
+        bench = generate_benchmark(ROSTER[0], rng, loops_scale=0.2)
+        assert bench.name == ROSTER[0].name
+        assert 0.0 < bench.loop_fraction <= 1.0
+        assert all(l.benchmark == bench.name for l in bench.loops)
+
+    def test_archetypes_shape_their_loops(self):
+        rng = np.random.default_rng(1)
+        fp_loops = [
+            generate_loop(rng, ARCHETYPES["spec-fp"], f"a{i}", "b", Language.FORTRAN)
+            for i in range(60)
+        ]
+        int_loops = [
+            generate_loop(rng, ARCHETYPES["spec-int"], f"c{i}", "d", Language.C)
+            for i in range(60)
+        ]
+        fp_exit_rate = np.mean([l.has_early_exit for l in fp_loops])
+        int_exit_rate = np.mean([l.has_early_exit for l in int_loops])
+        assert int_exit_rate > fp_exit_rate
+        fp_trip = np.median([l.trip.runtime for l in fp_loops])
+        int_trip = np.median([l.trip.runtime for l in int_loops])
+        assert fp_trip > int_trip
