@@ -7,6 +7,11 @@ ever run pays the simulation cost.
 
 Every bench both *prints* its table (visible with ``pytest -s``) and writes
 it under ``benchmarks/results/`` so the artefacts survive output capture.
+
+Cold-cache runs are the expensive case: the measurement fan-out honours
+``REPRO_JOBS`` (e.g. ``REPRO_JOBS=8 pytest benchmarks/``), and results are
+bit-identical to a serial build, so parallelism is purely a wall-clock
+lever.  The per-worker timing rollup is printed after a cold build.
 """
 
 from __future__ import annotations
@@ -17,8 +22,9 @@ import numpy as np
 import pytest
 
 from repro.heuristics import ORCHeuristic
+from repro.instrument import MeasurementRollup
 from repro.ml import selected_feature_union
-from repro.pipeline import build_artifacts
+from repro.pipeline import build_artifacts, resolve_jobs
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -27,16 +33,30 @@ SCALE = 1.0
 SEED = 20050320
 
 
+def _build(swp: bool):
+    rollup = MeasurementRollup()
+    artifacts = build_artifacts(
+        suite_seed=SEED,
+        loops_scale=SCALE,
+        swp=swp,
+        jobs=resolve_jobs(),  # honours REPRO_JOBS; serial by default
+        rollup=rollup,
+    )
+    if rollup.n_units:  # cold build: show where the time went
+        print(f"\n[measure swp={swp}] {rollup.summary()}")
+    return artifacts
+
+
 @pytest.fixture(scope="session")
 def artifacts_noswp():
     """Suite + measurements + dataset with software pipelining disabled."""
-    return build_artifacts(suite_seed=SEED, loops_scale=SCALE, swp=False)
+    return _build(swp=False)
 
 
 @pytest.fixture(scope="session")
 def artifacts_swp():
     """Suite + measurements + dataset with software pipelining enabled."""
-    return build_artifacts(suite_seed=SEED, loops_scale=SCALE, swp=True)
+    return _build(swp=True)
 
 
 @pytest.fixture(scope="session")

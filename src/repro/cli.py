@@ -10,6 +10,10 @@ Subcommands map one-to-one onto the paper's artefacts:
 * ``predict`` — train on the cached dataset and predict a factor for a
   named library kernel (the compile-time deployment path).
 * ``export`` — dump the raw loop data in the release format.
+* ``cache`` — inspect or prune the measurement cache (stats/gc/clear).
+
+Measurement fans out over ``--jobs`` worker processes (or ``$REPRO_JOBS``);
+results are bit-identical to a serial run at any parallelism.
 """
 
 from __future__ import annotations
@@ -18,6 +22,13 @@ import argparse
 import sys
 
 import numpy as np
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -29,22 +40,54 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="fraction of the full per-benchmark loop counts to generate",
     )
     parser.add_argument("--swp", action="store_true", help="enable software pipelining")
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        help="measurement worker processes (default: $REPRO_JOBS, else serial)",
+    )
 
 
-def _artifacts(args):
+def _artifacts(args, rollup=None):
     from repro.pipeline import build_artifacts
 
-    return build_artifacts(suite_seed=args.seed, loops_scale=args.scale, swp=args.swp)
+    return build_artifacts(
+        suite_seed=args.seed,
+        loops_scale=args.scale,
+        swp=args.swp,
+        jobs=args.jobs,
+        rollup=rollup,
+    )
 
 
 def cmd_build_data(args) -> int:
     """Measure + label the suite (cache-aware) and report the filters."""
+    from repro.instrument import MeasurementRollup
     from repro.pipeline import stats_from_table
 
-    artifacts = _artifacts(args)
+    rollup = MeasurementRollup()
+    artifacts = _artifacts(args, rollup=rollup)
     stats = stats_from_table(artifacts.table, artifacts.config)
     print(stats.summary())
     print(f"dataset rows: {len(artifacts.dataset)} (swp={artifacts.dataset.swp})")
+    if rollup.n_units:
+        print(rollup.summary())
+    return 0
+
+
+def cmd_cache(args) -> int:
+    """Inspect or prune the measurement cache (stats / gc / clear)."""
+    from repro.pipeline import CacheStore
+
+    store = CacheStore(args.cache_dir)
+    if args.action == "stats":
+        print(store.stats().summary())
+    elif args.action == "gc":
+        removed = store.gc()
+        print(f"removed {len(removed)} unreadable file(s) from {store.root}")
+    else:  # clear
+        count = store.clear()
+        print(f"removed {count} file(s) from {store.root}")
     return 0
 
 
@@ -287,6 +330,15 @@ def main(argv=None) -> int:
             p.add_argument("--classifier", choices=("nn", "svm"), default="svm")
         elif extra == "export":
             p.add_argument("output", help="output path for the raw loop data")
+
+    cache_parser = sub.add_parser("cache", help="inspect or prune the measurement cache")
+    cache_parser.add_argument("action", choices=("stats", "gc", "clear"))
+    cache_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR, else the repo-local .cache/)",
+    )
+    cache_parser.set_defaults(handler=cmd_cache)
 
     args = parser.parse_args(argv)
     return args.handler(args)

@@ -1,6 +1,13 @@
 """Loop instrumentation: timers, measurement protocol, raw-data export."""
 
-from repro.instrument.report import FORMAT_VERSION, LoopRecord, read_records, write_records
+from repro.instrument.report import (
+    FORMAT_VERSION,
+    LoopRecord,
+    MeasurementRollup,
+    UnitTiming,
+    read_records,
+    write_records,
+)
 from repro.instrument.timers import (
     LoopMeasurement,
     LoopTimerBank,
@@ -13,6 +20,8 @@ __all__ = [
     "LoopMeasurement",
     "LoopRecord",
     "LoopTimerBank",
+    "MeasurementRollup",
+    "UnitTiming",
     "measure_benchmark",
     "measure_loop",
     "read_records",

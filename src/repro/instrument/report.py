@@ -10,7 +10,7 @@ and provenance (benchmark, suite, language).  Datasets round-trip exactly.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
@@ -19,6 +19,64 @@ from repro.features.catalog import FEATURE_NAMES
 
 #: Format version written into every export.
 FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class UnitTiming:
+    """Wall-clock accounting for one measurement work unit.
+
+    A unit is one (benchmark, unroll factor) configuration — the paper's
+    "compile one binary, time all its loops" granularity — executed by one
+    worker process.
+    """
+
+    benchmark: str
+    factor: int
+    worker: int  # process id of the worker that ran the unit
+    n_loops: int
+    seconds: float
+
+
+@dataclass
+class MeasurementRollup:
+    """Aggregates :class:`UnitTiming` records across a measurement run.
+
+    The parallel pipeline hands every finished unit to the rollup; the CLI
+    prints the per-worker summary so load imbalance (one worker stuck on a
+    giant benchmark) is visible rather than inferred.
+    """
+
+    timings: list[UnitTiming] = field(default_factory=list)
+
+    def record(self, timing: UnitTiming) -> None:
+        self.timings.append(timing)
+
+    @property
+    def n_units(self) -> int:
+        return len(self.timings)
+
+    def total_seconds(self) -> float:
+        """Cumulative busy time across all workers (not wall clock)."""
+        return sum(t.seconds for t in self.timings)
+
+    def per_worker(self) -> dict[int, float]:
+        """Busy seconds keyed by worker process id."""
+        busy: dict[int, float] = {}
+        for t in self.timings:
+            busy[t.worker] = busy.get(t.worker, 0.0) + t.seconds
+        return busy
+
+    def summary(self) -> str:
+        if not self.timings:
+            return "no measurement units executed (cache hit)"
+        busy = self.per_worker()
+        slowest = max(self.timings, key=lambda t: t.seconds)
+        return (
+            f"{self.n_units} units over {len(busy)} worker(s), "
+            f"{self.total_seconds():.2f}s busy total; "
+            f"slowest unit {slowest.benchmark} u={slowest.factor} "
+            f"({slowest.seconds:.2f}s, {slowest.n_loops} loops)"
+        )
 
 
 @dataclass(frozen=True)

@@ -106,6 +106,24 @@ class MachineModel:
                 raise ValueError(f"machine needs at least one {kind.value} unit")
 
     # ------------------------------------------------------------------
+    # Pickling (mappingproxy fields are not picklable by default; the
+    # parallel measurement pipeline ships machine descriptions to worker
+    # processes).
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["fu_counts"] = dict(self.fu_counts)
+        state["latencies"] = dict(self.latencies)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+        object.__setattr__(self, "fu_counts", MappingProxyType(dict(self.fu_counts)))
+        object.__setattr__(self, "latencies", MappingProxyType(dict(self.latencies)))
+
+    # ------------------------------------------------------------------
     # Instruction properties.
     # ------------------------------------------------------------------
 

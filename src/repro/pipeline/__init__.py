@@ -1,6 +1,15 @@
 """End-to-end pipeline: measure -> filter/label -> train -> evaluate."""
 
-from repro.pipeline.cache import Artifacts, build_artifacts, cached_measurements, config_key
+from repro.pipeline.cache import (
+    SCHEMA_VERSION,
+    Artifacts,
+    CacheStats,
+    CacheStore,
+    build_artifacts,
+    cached_measurements,
+    config_key,
+    default_cache_dir,
+)
 from repro.pipeline.evaluation import (
     BenchmarkResult,
     EvaluationConfig,
@@ -10,27 +19,38 @@ from repro.pipeline.evaluation import (
 from repro.pipeline.labeling import (
     LabelingConfig,
     LabelingStats,
+    UnitResult,
     label_suite,
+    measure_benchmark_factor,
     measure_loop_cycles,
     measure_suite,
+    resolve_jobs,
     stats_from_table,
 )
-from repro.pipeline.measurements import MeasurementTable
+from repro.pipeline.measurements import CorruptTableError, MeasurementTable
 
 __all__ = [
     "Artifacts",
     "BenchmarkResult",
+    "CacheStats",
+    "CacheStore",
+    "CorruptTableError",
     "EvaluationConfig",
     "LabelingConfig",
     "LabelingStats",
     "MeasurementTable",
+    "SCHEMA_VERSION",
     "SpeedupReport",
+    "UnitResult",
     "build_artifacts",
     "cached_measurements",
     "config_key",
+    "default_cache_dir",
     "evaluate_speedups",
     "label_suite",
+    "measure_benchmark_factor",
     "measure_loop_cycles",
     "measure_suite",
+    "resolve_jobs",
     "stats_from_table",
 ]

@@ -15,23 +15,39 @@ Reproduces the paper's data-collection protocol (Sections 4.4-4.6):
 
 :func:`measure_suite` produces the *unfiltered* :class:`MeasurementTable`
 (steps 1-2 for every loop); :func:`label_suite` applies steps 3-5 on top.
+
+Measurement decomposes into independent **work units** — one (benchmark,
+unroll factor) configuration per unit, mirroring the paper's one-binary-
+per-factor protocol — so the suite can fan out over a process pool
+(``jobs > 1``) while staying bit-identical to a serial run: every unit
+derives its RNG from its own :class:`numpy.random.SeedSequence` child, and
+the merge assembles results by (benchmark, factor) index, never by
+completion order.
 """
 
 from __future__ import annotations
 
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.features.extract import extract_features
+from repro.instrument.report import MeasurementRollup, UnitTiming
 from repro.ir.loop import Loop
-from repro.ir.program import Suite
+from repro.ir.program import Benchmark, Suite
 from repro.ir.types import MAX_UNROLL
 from repro.machine.itanium2 import ITANIUM2
 from repro.machine.model import MachineModel
 from repro.ml.dataset import LoopDataset
 from repro.pipeline.measurements import MeasurementTable
-from repro.simulate.executor import CostModel
+from repro.simulate.executor import (
+    CostModel,
+    reset_shared_cost_models,
+    shared_cost_model,
+)
 from repro.simulate.noise import DEFAULT_NOISE, NoiseModel
 
 
@@ -85,10 +101,103 @@ def measure_loop_cycles(
     return measured, true
 
 
-def measure_suite(suite: Suite, config: LabelingConfig = LabelingConfig()) -> MeasurementTable:
-    """Steps 1-2 of the protocol over every loop in the suite."""
-    cost_model = CostModel(machine=config.machine, swp=config.swp)
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Degree of measurement parallelism.
+
+    ``None`` consults the ``REPRO_JOBS`` environment variable and falls
+    back to serial (1), so tests and library callers stay reproducible by
+    default while the CLI and benches can opt in fleet-wide.
+    """
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if not env:
+            return 1
+        try:
+            jobs = int(env)
+        except ValueError:
+            raise ValueError(f"REPRO_JOBS must be an integer, got {env!r}") from None
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+@dataclass(frozen=True)
+class UnitResult:
+    """Output of one measurement work unit: every loop of one benchmark at
+    one unroll factor, plus worker-attribution for the timing rollup."""
+
+    bench_index: int
+    factor: int
+    measured: np.ndarray  # (n_loops,) median measured cycles
+    true_cycles: np.ndarray  # (n_loops,) noise-free cycles
+    worker: int
+    seconds: float
+
+
+def measure_benchmark_factor(
+    benchmark: Benchmark,
+    bench_index: int,
+    factor: int,
+    config: LabelingConfig,
+    seed: np.random.SeedSequence,
+    cost_model: CostModel | None = None,
+) -> UnitResult:
+    """Execute one work unit (the parallel pipeline's worker entry point).
+
+    Mirrors the paper's protocol at its natural granularity: one binary —
+    every loop of ``benchmark`` compiled at ``factor`` — timed over
+    ``config.n_runs`` runs.  The unit owns an RNG derived from its own seed
+    child, so results are independent of which worker runs it and of the
+    order units complete in.
+    """
+    start = time.perf_counter()
+    if cost_model is None:
+        cost_model = shared_cost_model(config.machine, config.swp)
+    rng = np.random.default_rng(seed)
+    n = benchmark.n_loops
+    measured = np.empty(n)
+    true = np.empty(n)
+    for i, loop in enumerate(benchmark.loops):
+        true_cycles = cost_model.loop_cost(loop, factor).total_cycles
+        true[i] = true_cycles
+        measured[i] = config.noise.median_measurement(
+            true_cycles, loop.entry_count, rng, n=config.n_runs
+        )
+    return UnitResult(
+        bench_index=bench_index,
+        factor=factor,
+        measured=measured,
+        true_cycles=true,
+        worker=os.getpid(),
+        seconds=time.perf_counter() - start,
+    )
+
+
+def _unit_seeds(seed: int, n_benchmarks: int) -> list[list[np.random.SeedSequence]]:
+    """One SeedSequence child per (benchmark, factor) work unit."""
+    root = np.random.SeedSequence(seed)
+    return [bench_seq.spawn(MAX_UNROLL) for bench_seq in root.spawn(n_benchmarks)]
+
+
+def measure_suite(
+    suite: Suite,
+    config: LabelingConfig = LabelingConfig(),
+    jobs: int | None = None,
+    rollup: MeasurementRollup | None = None,
+) -> MeasurementTable:
+    """Steps 1-2 of the protocol over every loop in the suite.
+
+    Args:
+        suite: the benchmark suite to measure.
+        config: labelling protocol knobs.
+        jobs: worker processes to fan the work units over; ``None`` reads
+            ``REPRO_JOBS`` and defaults to serial.  Results are
+            bit-identical for every value of ``jobs``.
+        rollup: optional sink for per-unit worker timings.
+    """
+    jobs = resolve_jobs(jobs)
     n = suite.n_loops
+    benchmarks = suite.benchmarks
     X = np.empty((n, 38))
     measured = np.empty((n, MAX_UNROLL))
     true = np.empty((n, MAX_UNROLL))
@@ -98,14 +207,13 @@ def measure_suite(suite: Suite, config: LabelingConfig = LabelingConfig()) -> Me
     langs: list[str] = []
     entries = np.empty(n, dtype=np.int64)
 
+    # Static (factor-independent) columns are extracted in the parent; only
+    # the per-factor timing work fans out.
+    row_starts: list[int] = []
     row = 0
-    seeds = np.random.SeedSequence(config.seed).spawn(len(suite.benchmarks))
-    for benchmark, seed in zip(suite.benchmarks, seeds):
-        rng = np.random.default_rng(seed)
+    for benchmark in benchmarks:
+        row_starts.append(row)
         for loop in benchmark.loops:
-            measured[row], true[row] = measure_loop_cycles(
-                loop, cost_model, config.noise, rng, config.n_runs
-            )
             X[row] = extract_features(loop, config.machine)
             names.append(loop.name)
             benchs.append(benchmark.name)
@@ -113,6 +221,53 @@ def measure_suite(suite: Suite, config: LabelingConfig = LabelingConfig()) -> Me
             langs.append(loop.language.name)
             entries[row] = loop.entry_count
             row += 1
+
+    seeds = _unit_seeds(config.seed, len(benchmarks))
+    results: dict[tuple[int, int], UnitResult] = {}
+    if jobs == 1:
+        # Serial: one private cost model for the whole suite (cross-factor
+        # analysis caches, no cross-call state).
+        cost_model = CostModel(machine=config.machine, swp=config.swp)
+        for bi, benchmark in enumerate(benchmarks):
+            for factor in range(1, MAX_UNROLL + 1):
+                results[(bi, factor)] = measure_benchmark_factor(
+                    benchmark, bi, factor, config, seeds[bi][factor - 1], cost_model
+                )
+    else:
+        with ProcessPoolExecutor(
+            max_workers=jobs, initializer=reset_shared_cost_models
+        ) as pool:
+            futures = [
+                pool.submit(
+                    measure_benchmark_factor,
+                    benchmark, bi, factor, config, seeds[bi][factor - 1],
+                )
+                for bi, benchmark in enumerate(benchmarks)
+                for factor in range(1, MAX_UNROLL + 1)
+            ]
+            for future in futures:
+                unit = future.result()
+                results[(unit.bench_index, unit.factor)] = unit
+
+    # Deterministic merge: results land by (benchmark, factor) index, so
+    # the table is bit-identical however the units were scheduled.
+    for bi, benchmark in enumerate(benchmarks):
+        lo = row_starts[bi]
+        hi = lo + benchmark.n_loops
+        for factor in range(1, MAX_UNROLL + 1):
+            unit = results[(bi, factor)]
+            measured[lo:hi, factor - 1] = unit.measured
+            true[lo:hi, factor - 1] = unit.true_cycles
+            if rollup is not None:
+                rollup.record(
+                    UnitTiming(
+                        benchmark=benchmark.name,
+                        factor=factor,
+                        worker=unit.worker,
+                        n_loops=benchmark.n_loops,
+                        seconds=unit.seconds,
+                    )
+                )
 
     return MeasurementTable(
         X=X,

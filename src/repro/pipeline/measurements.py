@@ -10,6 +10,8 @@ truth per factor.  The labelled dataset is a filtered view of it.
 
 from __future__ import annotations
 
+import os
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -18,6 +20,17 @@ import numpy as np
 from repro.features.catalog import N_FEATURES
 from repro.ir.types import MAX_UNROLL
 from repro.ml.dataset import LoopDataset
+
+
+class CorruptTableError(RuntimeError):
+    """A measurement table on disk is corrupt, truncated, or incomplete.
+
+    The cache layer treats this as a miss: the offending file is
+    quarantined and the table is re-measured.  Anything that can go wrong
+    while deserialising — a bad zip container, missing arrays, wrong
+    shapes — maps onto this one exception so callers need a single
+    ``except``.
+    """
 
 
 @dataclass(frozen=True)
@@ -85,32 +98,53 @@ class MeasurementTable:
     # ------------------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
+        """Atomically persist the table.
+
+        The arrays are written to a same-directory temp file and moved into
+        place with :func:`os.replace`, so a reader can never observe a
+        half-written table — a crashed or killed writer leaves the previous
+        version (or nothing) behind, never a truncated zip.
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        np.savez_compressed(
-            path,
-            X=self.X,
-            measured=self.measured,
-            true_cycles=self.true_cycles,
-            loop_names=self.loop_names.astype(str),
-            benchmarks=self.benchmarks.astype(str),
-            suites=self.suites.astype(str),
-            languages=self.languages.astype(str),
-            entry_counts=self.entry_counts,
-            swp=np.array([self.swp]),
-        )
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        try:
+            with open(tmp, "wb") as handle:
+                np.savez_compressed(
+                    handle,
+                    X=self.X,
+                    measured=self.measured,
+                    true_cycles=self.true_cycles,
+                    loop_names=self.loop_names.astype(str),
+                    benchmarks=self.benchmarks.astype(str),
+                    suites=self.suites.astype(str),
+                    languages=self.languages.astype(str),
+                    entry_counts=self.entry_counts,
+                    swp=np.array([self.swp]),
+                )
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
 
     @classmethod
     def load(cls, path: str | Path) -> "MeasurementTable":
-        with np.load(Path(path), allow_pickle=False) as data:
-            return cls(
-                X=data["X"],
-                measured=data["measured"],
-                true_cycles=data["true_cycles"],
-                loop_names=data["loop_names"],
-                benchmarks=data["benchmarks"],
-                suites=data["suites"],
-                languages=data["languages"],
-                entry_counts=data["entry_counts"],
-                swp=bool(data["swp"][0]),
-            )
+        """Load a saved table; raise :class:`CorruptTableError` if the file
+        is unreadable, missing arrays, or shape-inconsistent."""
+        path = Path(path)
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                return cls(
+                    X=data["X"],
+                    measured=data["measured"],
+                    true_cycles=data["true_cycles"],
+                    loop_names=data["loop_names"],
+                    benchmarks=data["benchmarks"],
+                    suites=data["suites"],
+                    languages=data["languages"],
+                    entry_counts=data["entry_counts"],
+                    swp=bool(data["swp"][0]),
+                )
+        except FileNotFoundError:
+            raise
+        except (zipfile.BadZipFile, KeyError, ValueError, OSError, EOFError, IndexError) as error:
+            raise CorruptTableError(f"unreadable measurement table {path}: {error}") from error

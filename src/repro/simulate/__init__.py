@@ -5,7 +5,14 @@ from repro.simulate.cache import (
     effective_load_latency,
     icache_entry_penalty,
 )
-from repro.simulate.executor import ENTRY_OVERHEAD, SWP_SETUP, CostModel, LoopCost
+from repro.simulate.executor import (
+    ENTRY_OVERHEAD,
+    SWP_SETUP,
+    CostModel,
+    LoopCost,
+    reset_shared_cost_models,
+    shared_cost_model,
+)
 from repro.simulate.noise import DEFAULT_NOISE, NOISELESS, NoiseModel
 
 __all__ = [
@@ -19,4 +26,6 @@ __all__ = [
     "SWP_SETUP",
     "effective_load_latency",
     "icache_entry_penalty",
+    "reset_shared_cost_models",
+    "shared_cost_model",
 ]

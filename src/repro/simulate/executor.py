@@ -37,6 +37,36 @@ from repro.transforms.unroll import UnrollResult
 #: Fixed cycles to enter a loop (live-in setup, first-bundle fetch).
 ENTRY_OVERHEAD = 3
 
+#: Process-local cost-model registry, keyed by (machine name, swp).
+#: See :func:`shared_cost_model`.
+_SHARED_MODELS: dict[tuple[str, bool], "CostModel"] = {}
+
+
+def shared_cost_model(machine: MachineModel, swp: bool) -> "CostModel":
+    """Process-local memoised :class:`CostModel` — the worker-safe entry
+    point for the parallel measurement pipeline.
+
+    Each worker process reuses one model per (machine, swp) regime across
+    all the work units it executes, so the per-loop analysis caches
+    (effective load latency, bandwidth floor) amortise across the eight
+    unroll factors of a benchmark just as they do in a serial run.  The
+    caches are keyed by loop name, which is unique within a generated
+    suite; callers measuring hand-built suites with colliding loop names
+    should construct their own :class:`CostModel`.
+    """
+    key = (machine.name, swp)
+    model = _SHARED_MODELS.get(key)
+    if model is None or model.machine != machine:
+        model = CostModel(machine=machine, swp=swp)
+        _SHARED_MODELS[key] = model
+    return model
+
+
+def reset_shared_cost_models() -> None:
+    """Drop all process-local shared cost models (pool initializer: forked
+    workers must not inherit the parent's analysis caches)."""
+    _SHARED_MODELS.clear()
+
 #: Fixed cycles to set up a software-pipelined kernel (rotating-register
 #: initialisation, predicate staging).
 SWP_SETUP = 6

@@ -8,6 +8,8 @@ pipeline belong in the benchmarks/ harness, not here.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -19,6 +21,25 @@ from repro.pipeline.labeling import LabelingConfig, measure_suite
 from repro.simulate.noise import NoiseModel
 from repro.workloads.generator import generate_benchmark
 from repro.workloads.spec_names import ROSTER
+
+
+@pytest.fixture(scope="session", autouse=True)
+def isolated_cache_dir(tmp_path_factory):
+    """Point every cache-aware code path (CLI tests included) at a
+    per-session temp directory instead of the repo-level ``.cache/``.
+
+    Commands within one session still share warm artefacts, but nothing
+    leaks between test runs and no test can be broken by (or corrupt) the
+    developer's working cache.
+    """
+    cache_dir = tmp_path_factory.mktemp("measurement-cache")
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    yield cache_dir
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 @pytest.fixture

@@ -1,16 +1,70 @@
 """Shared hypothesis strategies for the property-based suites."""
 
+import numpy as np
 from hypothesis import strategies as st
 
+from repro.features.catalog import N_FEATURES
 from repro.ir.builder import LoopBuilder
 from repro.ir.loop import TripInfo
-from repro.ir.types import CmpOp, DType, Opcode
-
-from hypothesis import strategies as st
-
-from repro.ir.types import CmpOp, Opcode
+from repro.ir.types import MAX_UNROLL, CmpOp, DType, Opcode
+from repro.pipeline.measurements import MeasurementTable
 
 FP_OPS = [Opcode.FADD, Opcode.FSUB, Opcode.FMUL]
+
+#: Names as they appear on disk: any unicode except surrogates and NUL
+#: (numpy's fixed-width unicode arrays cannot represent either faithfully).
+_NAME_ALPHABET = st.characters(
+    blacklist_categories=("Cs",), blacklist_characters="\x00"
+)
+_NAMES = st.text(alphabet=_NAME_ALPHABET, min_size=1, max_size=16)
+
+_CYCLES = st.floats(
+    min_value=0.0, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def measurement_tables(draw):
+    """An arbitrary (but shape-consistent) :class:`MeasurementTable`:
+    any number of rows, unicode provenance strings, either SWP regime."""
+    n = draw(st.integers(min_value=1, max_value=6))
+
+    def names():
+        return np.array(
+            draw(st.lists(_NAMES, min_size=n, max_size=n)), dtype=str
+        )
+
+    def cycles_matrix():
+        rows = draw(
+            st.lists(
+                st.lists(_CYCLES, min_size=MAX_UNROLL, max_size=MAX_UNROLL),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        return np.array(rows, dtype=np.float64)
+
+    features = draw(
+        st.lists(
+            st.lists(_CYCLES, min_size=N_FEATURES, max_size=N_FEATURES),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return MeasurementTable(
+        X=np.array(features, dtype=np.float64),
+        measured=cycles_matrix(),
+        true_cycles=cycles_matrix(),
+        loop_names=names(),
+        benchmarks=names(),
+        suites=names(),
+        languages=names(),
+        entry_counts=np.array(
+            draw(st.lists(st.integers(1, 10**9), min_size=n, max_size=n)),
+            dtype=np.int64,
+        ),
+        swp=draw(st.booleans()),
+    )
 
 
 @st.composite

@@ -26,6 +26,16 @@ class TestCommands:
         assert "loops measured" in out
         assert "dataset rows" in out
 
+    def test_build_data_accepts_jobs_flag(self, capsys):
+        assert main(["build-data", *SCALE, "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "dataset rows" in out
+
+    def test_cache_stats_on_active_cache(self, capsys):
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out
+
     def test_histogram(self, capsys):
         assert main(["histogram", *SCALE]) == 0
         out = capsys.readouterr().out

@@ -63,7 +63,7 @@ class TestCLICoverage:
     @pytest.mark.parametrize(
         "command",
         ["build-data", "histogram", "table2", "speedups", "features",
-         "predict", "predict-file", "export"],
+         "predict", "predict-file", "export", "cache"],
     )
     def test_subcommand_registered(self, command, capsys):
         from repro.cli import main
