@@ -11,6 +11,8 @@ Subcommands map one-to-one onto the paper's artefacts:
   named library kernel (the compile-time deployment path).
 * ``export`` — dump the raw loop data in the release format.
 * ``cache`` — inspect or prune the measurement cache (stats/gc/clear).
+* ``bench`` — time the measure/label/select stages against the reference
+  implementations and write a ``BENCH_<date>.json`` perf report.
 
 Measurement fans out over ``--jobs`` worker processes (or ``$REPRO_JOBS``);
 results are bit-identical to a serial run at any parallelism.
@@ -278,6 +280,27 @@ def cmd_suite_stats(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Time measure/label/select against the reference implementations and
+    write the BENCH_<date>.json perf report."""
+    from repro.perf import BenchConfig, run_bench, write_report
+
+    import dataclasses
+
+    config = BenchConfig.quick_config() if args.quick else BenchConfig()
+    if args.scale is not None:
+        config = dataclasses.replace(config, loops_scale=args.scale)
+    config = dataclasses.replace(config, suite_seed=args.seed)
+    report = run_bench(config)
+    print(report.summary())
+    select = report.stage("select").detail
+    if not select.get("picks_match", True):
+        print("WARNING: fast and reference feature selection disagree")
+    path = write_report(report, args.out)
+    print(f"wrote {path}")
+    return 0
+
+
 def cmd_export(args) -> int:
     """Dump the labelled dataset in the raw-loop-data release format."""
     from repro.instrument import LoopRecord, write_records
@@ -330,6 +353,21 @@ def main(argv=None) -> int:
             p.add_argument("--classifier", choices=("nn", "svm"), default="svm")
         elif extra == "export":
             p.add_argument("output", help="output path for the raw loop data")
+
+    bench_parser = sub.add_parser(
+        "bench", help="time the pipeline stages and write BENCH_<date>.json"
+    )
+    bench_parser.add_argument("--seed", type=int, default=20050320, help="suite root seed")
+    bench_parser.add_argument(
+        "--scale", type=float, default=None, help="override the bench suite scale"
+    )
+    bench_parser.add_argument(
+        "--quick", action="store_true", help="CI-smoke sizing (small suite and subsample)"
+    )
+    bench_parser.add_argument(
+        "--out", default=".", help="directory for the BENCH_<date>.json report"
+    )
+    bench_parser.set_defaults(handler=cmd_bench)
 
     cache_parser = sub.add_parser("cache", help="inspect or prune the measurement cache")
     cache_parser.add_argument("action", choices=("stats", "gc", "clear"))

@@ -35,6 +35,8 @@ class UnitTiming:
     worker: int  # process id of the worker that ran the unit
     n_loops: int
     seconds: float
+    analysis_hits: int = 0  # loop analyses served from the shared cache
+    analysis_misses: int = 0  # loop analyses computed from scratch
 
 
 @dataclass
@@ -66,17 +68,38 @@ class MeasurementRollup:
             busy[t.worker] = busy.get(t.worker, 0.0) + t.seconds
         return busy
 
+    def analysis_hits(self) -> int:
+        """Loop analyses served from the shared analysis cache."""
+        return sum(t.analysis_hits for t in self.timings)
+
+    def analysis_misses(self) -> int:
+        """Loop analyses computed from scratch."""
+        return sum(t.analysis_misses for t in self.timings)
+
+    def analysis_hit_rate(self) -> float:
+        """Fraction of loop analyses served from cache (0.0 when nothing
+        was looked up)."""
+        total = self.analysis_hits() + self.analysis_misses()
+        return self.analysis_hits() / total if total else 0.0
+
     def summary(self) -> str:
         if not self.timings:
             return "no measurement units executed (cache hit)"
         busy = self.per_worker()
         slowest = max(self.timings, key=lambda t: t.seconds)
-        return (
+        text = (
             f"{self.n_units} units over {len(busy)} worker(s), "
             f"{self.total_seconds():.2f}s busy total; "
             f"slowest unit {slowest.benchmark} u={slowest.factor} "
             f"({slowest.seconds:.2f}s, {slowest.n_loops} loops)"
         )
+        lookups = self.analysis_hits() + self.analysis_misses()
+        if lookups:
+            text += (
+                f"; analysis cache {self.analysis_hits()}/{lookups} hits "
+                f"({100.0 * self.analysis_hit_rate():.0f}%)"
+            )
+        return text
 
 
 @dataclass(frozen=True)

@@ -10,7 +10,7 @@ new instructions rather than mutating shared state.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.ir.types import CmpOp, DType, Opcode
@@ -52,6 +52,31 @@ class Instruction:
     dest2: Reg | None = None
     implicit: bool = False
     uid: int = field(default_factory=_next_uid)
+
+    def __hash__(self) -> int:
+        # Instructions key schedules, dependence adjacency, and liveness
+        # sets; hashing the full field tuple (with nested registers and
+        # memory references) dominates those lookups.  The value is the
+        # dataclass-generated hash of the same tuple — identical, so set
+        # iteration order is unchanged — computed once per instance.
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash(
+                (
+                    self.op,
+                    self.dest,
+                    self.srcs,
+                    self.mem,
+                    self.pred,
+                    self.cmp_op,
+                    self.dest2,
+                    self.implicit,
+                    self.uid,
+                )
+            )
+            object.__setattr__(self, "_hash", value)
+            return value
 
     def __post_init__(self) -> None:
         info = self.op.info
@@ -103,6 +128,35 @@ class Instruction:
     # Rewriting helpers used by transformation passes.
     # ------------------------------------------------------------------
 
+    def _rebuilt(
+        self,
+        dest: Reg | None,
+        srcs: tuple[Operand, ...],
+        mem: MemRef | None,
+        pred: Reg | None,
+        dest2: Reg | None,
+    ) -> "Instruction":
+        """A copy with the given operand fields and a fresh ``uid``.
+
+        Rewrites only rename operands or retarget memory, so the
+        opcode-shape invariants checked in ``__post_init__`` cannot change;
+        the copy is built directly rather than through
+        ``dataclasses.replace``, which would re-validate every instruction
+        of every unrolled body.
+        """
+        new = object.__new__(Instruction)
+        set_field = object.__setattr__
+        set_field(new, "op", self.op)
+        set_field(new, "dest", dest)
+        set_field(new, "srcs", srcs)
+        set_field(new, "mem", mem)
+        set_field(new, "pred", pred)
+        set_field(new, "cmp_op", self.cmp_op)
+        set_field(new, "dest2", dest2)
+        set_field(new, "implicit", self.implicit)
+        set_field(new, "uid", next(_uid_counter))
+        return new
+
     def with_renamed_regs(self, mapping: dict[Reg, Reg]) -> "Instruction":
         """A copy with every register operand renamed through ``mapping``.
 
@@ -115,15 +169,15 @@ class Instruction:
         )
         new_mem = self.mem
         if new_mem is not None and new_mem.indirect and new_mem.index_reg is not None:
-            new_mem = replace(new_mem, index_reg=mapping.get(new_mem.index_reg, new_mem.index_reg))
-        return replace(
-            self,
+            new_mem = new_mem.with_index_reg(
+                mapping.get(new_mem.index_reg, new_mem.index_reg)
+            )
+        return self._rebuilt(
             dest=mapping.get(self.dest, self.dest) if self.dest else None,
-            dest2=mapping.get(self.dest2, self.dest2) if self.dest2 else None,
             srcs=new_srcs,
             mem=new_mem,
             pred=mapping.get(self.pred, self.pred) if self.pred else None,
-            uid=_next_uid(),
+            dest2=mapping.get(self.dest2, self.dest2) if self.dest2 else None,
         )
 
     def rewritten(self, src_map: dict[Reg, Reg], dest_map: dict[Reg, Reg]) -> "Instruction":
@@ -139,15 +193,15 @@ class Instruction:
         )
         new_mem = self.mem
         if new_mem is not None and new_mem.indirect and new_mem.index_reg is not None:
-            new_mem = replace(new_mem, index_reg=src_map.get(new_mem.index_reg, new_mem.index_reg))
-        return replace(
-            self,
+            new_mem = new_mem.with_index_reg(
+                src_map.get(new_mem.index_reg, new_mem.index_reg)
+            )
+        return self._rebuilt(
             dest=dest_map.get(self.dest, self.dest) if self.dest else None,
-            dest2=dest_map.get(self.dest2, self.dest2) if self.dest2 else None,
             srcs=new_srcs,
             mem=new_mem,
             pred=src_map.get(self.pred, self.pred) if self.pred else None,
-            uid=_next_uid(),
+            dest2=dest_map.get(self.dest2, self.dest2) if self.dest2 else None,
         )
 
     def with_unrolled_mem(self, u: int, k: int, base: int = 0) -> "Instruction":
@@ -159,11 +213,19 @@ class Instruction:
         """
         if self.mem is None or (u == 1 and k == 0 and base == 0):
             return self
-        return replace(self, mem=self.mem.unrolled(u, k, base), uid=_next_uid())
+        return self._rebuilt(
+            dest=self.dest,
+            srcs=self.srcs,
+            mem=self.mem.unrolled(u, k, base),
+            pred=self.pred,
+            dest2=self.dest2,
+        )
 
     def clone(self) -> "Instruction":
         """A structural copy with a fresh ``uid``."""
-        return replace(self, uid=_next_uid())
+        return self._rebuilt(
+            dest=self.dest, srcs=self.srcs, mem=self.mem, pred=self.pred, dest2=self.dest2
+        )
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         from repro.ir.printer import format_instruction

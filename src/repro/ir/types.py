@@ -114,46 +114,13 @@ class Opcode(enum.Enum):
     # Control.
     BR_EXIT = "br.exit"
 
-    @property
-    def info(self) -> "OpInfo":
-        """Static metadata for this opcode (category, unit class, flags)."""
-        return _OPCODE_TABLE[self]
-
-    @property
-    def category(self) -> OpCategory:
-        return self.info.category
-
-    @property
-    def fu_kind(self) -> FUKind:
-        return self.info.fu_kind
-
-    @property
-    def is_memory(self) -> bool:
-        return self.info.category in (OpCategory.LOAD, OpCategory.STORE)
-
-    @property
-    def is_load(self) -> bool:
-        return self.info.category is OpCategory.LOAD
-
-    @property
-    def is_store(self) -> bool:
-        return self.info.category is OpCategory.STORE
-
-    @property
-    def is_branch(self) -> bool:
-        return self.info.category is OpCategory.BRANCH
-
-    @property
-    def is_fp(self) -> bool:
-        return self.info.category in (
-            OpCategory.FP_ALU,
-            OpCategory.FP_MUL,
-            OpCategory.FP_DIV,
-        )
-
-    @property
-    def is_compare(self) -> bool:
-        return self.info.category is OpCategory.COMPARE
+    # Static metadata accessors (``info``, ``category``, ``fu_kind``,
+    # ``is_memory``, ``is_load``, ``is_store``, ``is_branch``, ``is_fp``,
+    # ``is_compare``) are installed as plain member attributes right after
+    # ``_OPCODE_TABLE`` below: the schedulers and transform passes query
+    # them millions of times per labelling sweep, and a property plus a
+    # dict lookup (which re-hashes the enum) costs several times more than
+    # an instance-dict read.
 
 
 @dataclass(frozen=True)
@@ -206,6 +173,22 @@ _OPCODE_TABLE: dict[Opcode, OpInfo] = {
     Opcode.PREFETCH: OpInfo(OpCategory.LOAD, FUKind.MEM, 0, has_dest=False),
     Opcode.BR_EXIT: OpInfo(OpCategory.BRANCH, FUKind.BR, 0, has_dest=False),
 }
+
+for _op, _info in _OPCODE_TABLE.items():
+    _op.info = _info
+    _op.category = _info.category
+    _op.fu_kind = _info.fu_kind
+    _op.is_memory = _info.category in (OpCategory.LOAD, OpCategory.STORE)
+    _op.is_load = _info.category is OpCategory.LOAD
+    _op.is_store = _info.category is OpCategory.STORE
+    _op.is_branch = _info.category is OpCategory.BRANCH
+    _op.is_fp = _info.category in (
+        OpCategory.FP_ALU,
+        OpCategory.FP_MUL,
+        OpCategory.FP_DIV,
+    )
+    _op.is_compare = _info.category is OpCategory.COMPARE
+del _op, _info
 
 
 class CmpOp(enum.Enum):

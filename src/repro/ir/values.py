@@ -11,7 +11,7 @@ The address computation the real compiler would emit is accounted for by the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Union
 
 from repro.ir.types import DType
@@ -28,6 +28,18 @@ class Reg:
 
     name: str
     dtype: DType
+
+    def __hash__(self) -> int:
+        # Registers key the renaming maps and dependence dicts, so they are
+        # hashed millions of times per labelling sweep.  The value is the
+        # dataclass-generated hash of the same field tuple — identical, so
+        # set iteration order is unchanged — computed once per instance.
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash((self.name, self.dtype))
+            object.__setattr__(self, "_hash", value)
+            return value
 
     def __str__(self) -> str:
         return f"%{self.name}"
@@ -121,7 +133,9 @@ class MemRef:
         """The reference after substituting ``i -> i + k``."""
         if self.indirect:
             return self
-        return replace(self, index=self.index.shifted(k))
+        return MemRef(
+            self.array, self.index.shifted(k), self.indirect, self.index_reg, self.width
+        )
 
     def unrolled(self, u: int, k: int, base: int = 0) -> "MemRef":
         """The reference made by copy ``k`` of a body unrolled by ``u``.
@@ -131,7 +145,17 @@ class MemRef:
         """
         if self.indirect:
             return self
-        return replace(self, index=self.index.unrolled(u, k, base))
+        return MemRef(
+            self.array,
+            self.index.unrolled(u, k, base),
+            self.indirect,
+            self.index_reg,
+            self.width,
+        )
+
+    def with_index_reg(self, index_reg: Reg | None) -> "MemRef":
+        """The reference with its runtime index register replaced."""
+        return MemRef(self.array, self.index, self.indirect, index_reg, self.width)
 
     @property
     def stride(self) -> int:

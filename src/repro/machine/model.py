@@ -115,6 +115,7 @@ class MachineModel:
         state = dict(self.__dict__)
         state["fu_counts"] = dict(self.fu_counts)
         state["latencies"] = dict(self.latencies)
+        state.pop("_sched_op_rows", None)  # scheduler cache; rebuilt on use
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -129,11 +130,15 @@ class MachineModel:
 
     def latency(self, inst: Instruction) -> int:
         """Result latency of an instruction on this machine."""
-        if inst.op is Opcode.LOAD:
+        return self.op_latency(inst.op)
+
+    def op_latency(self, op: Opcode) -> int:
+        """Result latency of an opcode (latency depends only on the op)."""
+        if op is Opcode.LOAD:
             return self.load_latency
-        if inst.op is Opcode.LOAD_PAIR:
+        if op is Opcode.LOAD_PAIR:
             return self.load_latency + 1
-        return self.latencies[inst.op]
+        return self.latencies[op]
 
     def fu_options(self, inst: Instruction) -> tuple[FUKind, ...]:
         """Functional units the instruction may issue on.
@@ -141,8 +146,12 @@ class MachineModel:
         Simple integer/compare/misc operations are "A-type": they issue on
         either an integer or a memory unit, as on Itanium.
         """
-        kind = inst.op.fu_kind
-        if kind is FUKind.INT and inst.op.category in (
+        return self.op_fu_options(inst.op)
+
+    def op_fu_options(self, op: Opcode) -> tuple[FUKind, ...]:
+        """Unit options of an opcode (options depend only on the op)."""
+        kind = op.fu_kind
+        if kind is FUKind.INT and op.category in (
             OpCategory.INT_ALU,
             OpCategory.COMPARE,
             OpCategory.MISC,

@@ -13,6 +13,7 @@ from repro.ml.feature_selection import (
     ScoredFeature,
     greedy_forward_selection,
     mutual_information_score,
+    mutual_information_score_reference,
     rank_by_mutual_information,
     selected_feature_union,
 )
@@ -27,6 +28,8 @@ from repro.ml.metrics import (
 )
 from repro.ml.multiclass import (
     OutputCodeClassifier,
+    code_targets,
+    decode_output_codes,
     exhaustive_code,
     identity_code,
     random_code,
@@ -82,8 +85,11 @@ __all__ = [
     "kfold_indices",
     "tune_nn_radius",
     "tune_svm",
+    "code_targets",
+    "decode_output_codes",
     "mean_cost_ratio",
     "mutual_information_score",
+    "mutual_information_score_reference",
     "near_optimal_accuracy",
     "prediction_ranks",
     "random_code",

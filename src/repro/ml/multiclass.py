@@ -57,6 +57,40 @@ def random_code(n_classes: int, n_bits: int, seed: int = 0) -> np.ndarray:
     raise RuntimeError("failed to sample a valid random code")
 
 
+def code_targets(y: np.ndarray, code: np.ndarray, classes: np.ndarray) -> np.ndarray:
+    """Per-bit ``+/-1`` targets induced by the codewords for labels ``y``."""
+    classes = np.asarray(classes, dtype=np.int64)
+    class_index = np.searchsorted(classes, y)
+    class_index = np.clip(class_index, 0, len(classes) - 1)
+    if not np.all(classes[class_index] == y):
+        raise ValueError("labels outside the configured class set")
+    bits = code[class_index]  # (n, n_bits) in {0, 1}
+    return bits.astype(np.float64) * 2.0 - 1.0
+
+
+def decode_output_codes(
+    values: np.ndarray,
+    code: np.ndarray,
+    classes: np.ndarray,
+    decode: str = "hamming",
+) -> np.ndarray:
+    """Decision values ``(n, n_bits)`` -> class labels."""
+    values = np.atleast_2d(values)
+    classes = np.asarray(classes, dtype=np.int64)
+    signed_code = code.astype(np.float64) * 2.0 - 1.0
+    if decode == "hamming":
+        bits = (values >= 0.0).astype(np.int8)
+        hamming = (bits[:, None, :] != code[None, :, :]).sum(axis=2)
+        best = hamming.min(axis=1, keepdims=True)
+        # Tie-break among nearest codewords by total margin agreement.
+        margin = values @ signed_code.T
+        margin_masked = np.where(hamming == best, margin, -np.inf)
+        return classes[np.argmax(margin_masked, axis=1)]
+    if decode == "margin":
+        return classes[np.argmax(values @ signed_code.T, axis=1)]
+    raise ValueError(f"unknown decoding {decode!r}")
+
+
 class OutputCodeClassifier:
     """Multi-class wrapper: one binary LS-SVM per output-code bit.
 
@@ -99,12 +133,7 @@ class OutputCodeClassifier:
 
     def _bit_targets(self, y: np.ndarray) -> np.ndarray:
         """Per-bit +/-1 targets induced by the codewords."""
-        class_index = np.searchsorted(self.classes, y)
-        class_index = np.clip(class_index, 0, len(self.classes) - 1)
-        if not np.all(self.classes[class_index] == y):
-            raise ValueError("labels outside the configured class set")
-        bits = self.code[class_index]  # (n, n_bits) in {0, 1}
-        return bits.astype(np.float64) * 2.0 - 1.0
+        return code_targets(y, self.code, self.classes)
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "OutputCodeClassifier":
         """Train all bit machines (one shared factorisation)."""
@@ -120,17 +149,7 @@ class OutputCodeClassifier:
 
     def _decode(self, values: np.ndarray) -> np.ndarray:
         """Decision values (n, n_bits) -> class labels."""
-        bits = (values >= 0.0).astype(np.int8)
-        if self.decode == "hamming":
-            hamming = (bits[:, None, :] != self.code[None, :, :]).sum(axis=2)
-            best = hamming.min(axis=1, keepdims=True)
-            # Tie-break among nearest codewords by total margin agreement.
-            signed_code = self.code.astype(np.float64) * 2.0 - 1.0
-            margin = values @ signed_code.T
-            margin_masked = np.where(hamming == best, margin, -np.inf)
-            return self.classes[np.argmax(margin_masked, axis=1)]
-        signed_code = self.code.astype(np.float64) * 2.0 - 1.0
-        return self.classes[np.argmax(values @ signed_code.T, axis=1)]
+        return decode_output_codes(values, self.code, self.classes, self.decode)
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         if self._normalizer is None:

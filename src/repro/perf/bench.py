@@ -1,0 +1,265 @@
+"""The ``repro bench`` harness: time measure -> label -> select, twice.
+
+Every stage is timed through two implementations:
+
+* **reference** — the seed's code paths, kept verbatim behind
+  ``engine="reference"`` switches (from-scratch loop analysis per regime,
+  per-loop scalar noise draws, from-scratch NN/SVM refits per candidate
+  feature subset);
+* **optimized** — the current defaults (two-stage cost model with the
+  shared analysis cache, batched noise, incremental Gram/distance
+  workspaces).
+
+The report is written as ``BENCH_<date>.json`` (schema below, versioned by
+:data:`BENCH_SCHEMA_VERSION`) so the repository accumulates a perf
+trajectory one data point per PR.  See ``docs/architecture.md`` for the
+schema documentation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+#: Version of the BENCH_<date>.json schema; bump on layout changes.
+BENCH_SCHEMA_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchConfig:
+    """What the bench runs.
+
+    ``loops_scale`` controls suite size (the default is large enough that
+    stage times dwarf timer noise); ``subsample`` bounds the greedy
+    selection rows exactly like ``selected_feature_union`` does.
+    """
+
+    suite_seed: int = 20050320
+    loops_scale: float = 0.35
+    subsample: int = 600
+    n_greedy: int = 5
+    quick: bool = False
+
+    @classmethod
+    def quick_config(cls) -> "BenchConfig":
+        """A CI-smoke-sized bench (small suite, small subsample)."""
+        return cls(loops_scale=0.08, subsample=200, quick=True)
+
+
+@dataclasses.dataclass(frozen=True)
+class StageTiming:
+    """One stage's reference-vs-optimized wall-clock comparison."""
+
+    stage: str
+    reference_seconds: float
+    optimized_seconds: float
+    detail: dict
+
+    @property
+    def speedup(self) -> float:
+        if self.optimized_seconds <= 0.0:
+            return float("inf")
+        return self.reference_seconds / self.optimized_seconds
+
+    def to_json(self) -> dict:
+        return {
+            "stage": self.stage,
+            "reference_seconds": round(self.reference_seconds, 4),
+            "optimized_seconds": round(self.optimized_seconds, 4),
+            "speedup": round(self.speedup, 3),
+            "detail": self.detail,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchReport:
+    """The full bench result: config, environment, per-stage timings."""
+
+    config: BenchConfig
+    date: str
+    stages: tuple[StageTiming, ...]
+
+    def stage(self, name: str) -> StageTiming:
+        for timing in self.stages:
+            if timing.stage == name:
+                return timing
+        raise KeyError(name)
+
+    def to_json(self) -> dict:
+        return {
+            "bench_schema_version": BENCH_SCHEMA_VERSION,
+            "date": self.date,
+            "config": dataclasses.asdict(self.config),
+            "environment": {
+                "python": platform.python_version(),
+                "numpy": np.__version__,
+                "machine": platform.machine(),
+            },
+            "stages": [timing.to_json() for timing in self.stages],
+        }
+
+    def summary(self) -> str:
+        lines = [f"bench {self.date} (scale={self.config.loops_scale}, "
+                 f"subsample={self.config.subsample})"]
+        for timing in self.stages:
+            lines.append(
+                f"  {timing.stage:8s} reference {timing.reference_seconds:8.2f}s"
+                f"  optimized {timing.optimized_seconds:8.2f}s"
+                f"  speedup {timing.speedup:5.2f}x"
+            )
+        return "\n".join(lines)
+
+
+def _bench_measure(suite, config: BenchConfig) -> tuple[StageTiming, object]:
+    """Time serial suite measurement, both SWP regimes combined.
+
+    Reference: two standalone :func:`measure_suite` runs through the
+    seed's cost model and per-loop scalar noise.  Optimized: one
+    :func:`measure_suite_pair` run sharing loop analyses across regimes.
+    Returns the timing and the optimized SWP-off table (reused downstream).
+    """
+    from repro.instrument import MeasurementRollup
+    from repro.pipeline import LabelingConfig, measure_suite, measure_suite_pair
+
+    reference_off = LabelingConfig(
+        seed=config.suite_seed, swp=False, engine="reference", batched_noise=False
+    )
+    reference_on = dataclasses.replace(reference_off, swp=True)
+    start = time.perf_counter()
+    measure_suite(suite, reference_off)
+    measure_suite(suite, reference_on)
+    reference_seconds = time.perf_counter() - start
+
+    optimized = LabelingConfig(seed=config.suite_seed)
+    rollup_off, rollup_on = MeasurementRollup(), MeasurementRollup()
+    start = time.perf_counter()
+    table_off, _ = measure_suite_pair(
+        suite, optimized, rollup_off=rollup_off, rollup_on=rollup_on
+    )
+    optimized_seconds = time.perf_counter() - start
+
+    hits = rollup_off.analysis_hits() + rollup_on.analysis_hits()
+    misses = rollup_off.analysis_misses() + rollup_on.analysis_misses()
+    timing = StageTiming(
+        stage="measure",
+        reference_seconds=reference_seconds,
+        optimized_seconds=optimized_seconds,
+        detail={
+            "n_benchmarks": len(suite.benchmarks),
+            "n_loops": suite.n_loops,
+            "analysis_hits": hits,
+            "analysis_misses": misses,
+            "analysis_hit_rate": round(hits / (hits + misses), 4) if hits + misses else 0.0,
+        },
+    )
+    return timing, table_off
+
+
+def _bench_label(table, config: BenchConfig) -> tuple[StageTiming, object]:
+    """Time dataset construction (filter + label).  No fast/reference
+    duality exists here; the stage is reported for trajectory only."""
+    from repro.pipeline import LabelingConfig
+
+    defaults = LabelingConfig()
+    start = time.perf_counter()
+    dataset = table.to_dataset(defaults.min_cycles, defaults.min_benefit)
+    seconds = time.perf_counter() - start
+    timing = StageTiming(
+        stage="label",
+        reference_seconds=seconds,
+        optimized_seconds=seconds,
+        detail={"rows": len(dataset)},
+    )
+    return timing, dataset
+
+
+def _bench_select(dataset, config: BenchConfig) -> StageTiming:
+    """Time feature selection: MIS ranking plus greedy forward selection
+    for both classifiers, fast engines vs the seed's from-scratch refits."""
+    from repro.ml import (
+        greedy_forward_selection,
+        mutual_information_score_reference,
+        rank_by_mutual_information,
+    )
+
+    X, y = dataset.X, dataset.labels
+    detail: dict = {"rows": int(min(len(y), config.subsample))}
+    picks_match = True
+
+    start = time.perf_counter()
+    ranked = rank_by_mutual_information(X, y)
+    mis_fast = time.perf_counter() - start
+    start = time.perf_counter()
+    reference_scores = [
+        mutual_information_score_reference(X[:, j], y) for j in range(X.shape[1])
+    ]
+    mis_reference = time.perf_counter() - start
+    detail["mis"] = {
+        "reference_seconds": round(mis_reference, 4),
+        "optimized_seconds": round(mis_fast, 4),
+    }
+    by_index = sorted(ranked, key=lambda s: s.index)
+    picks_match &= all(
+        abs(by_index[j].score - reference_scores[j]) < 1e-9 for j in range(X.shape[1])
+    )
+
+    fast_total, reference_total = mis_fast, mis_reference
+    for classifier in ("nn", "svm"):
+        start = time.perf_counter()
+        fast = greedy_forward_selection(
+            X, y, classifier, config.n_greedy, config.subsample, engine="fast"
+        )
+        fast_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        reference = greedy_forward_selection(
+            X, y, classifier, config.n_greedy, config.subsample, engine="reference"
+        )
+        reference_seconds = time.perf_counter() - start
+        picks_match &= [s.index for s in fast] == [s.index for s in reference]
+        detail[f"greedy_{classifier}"] = {
+            "reference_seconds": round(reference_seconds, 4),
+            "optimized_seconds": round(fast_seconds, 4),
+            "speedup": round(reference_seconds / fast_seconds, 3),
+            "picks": [s.index for s in fast],
+        }
+        fast_total += fast_seconds
+        reference_total += reference_seconds
+
+    detail["picks_match"] = bool(picks_match)
+    return StageTiming(
+        stage="select",
+        reference_seconds=reference_total,
+        optimized_seconds=fast_total,
+        detail=detail,
+    )
+
+
+def run_bench(config: BenchConfig | None = None) -> BenchReport:
+    """Run the full measure -> label -> select bench, serially."""
+    from repro.workloads import generate_suite
+
+    config = config or BenchConfig()
+    suite = generate_suite(seed=config.suite_seed, loops_scale=config.loops_scale)
+    measure_timing, table = _bench_measure(suite, config)
+    label_timing, dataset = _bench_label(table, config)
+    select_timing = _bench_select(dataset, config)
+    return BenchReport(
+        config=config,
+        date=datetime.date.today().isoformat(),
+        stages=(measure_timing, label_timing, select_timing),
+    )
+
+
+def write_report(report: BenchReport, directory: str | Path = ".") -> Path:
+    """Write ``BENCH_<date>.json`` into ``directory``; returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{report.date}.json"
+    path.write_text(json.dumps(report.to_json(), indent=2) + "\n")
+    return path

@@ -22,8 +22,10 @@ from repro.pipeline.labeling import (
     UnitResult,
     label_suite,
     measure_benchmark_factor,
+    measure_benchmark_factor_pair,
     measure_loop_cycles,
     measure_suite,
+    measure_suite_pair,
     resolve_jobs,
     stats_from_table,
 )
@@ -49,8 +51,10 @@ __all__ = [
     "evaluate_speedups",
     "label_suite",
     "measure_benchmark_factor",
+    "measure_benchmark_factor_pair",
     "measure_loop_cycles",
     "measure_suite",
+    "measure_suite_pair",
     "resolve_jobs",
     "stats_from_table",
 ]

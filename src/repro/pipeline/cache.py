@@ -44,7 +44,9 @@ logger = logging.getLogger(__name__)
 
 #: Version of the on-disk measurement-table schema.  Mixed into every cache
 #: key, so bumping it orphans (never misreads) existing entries.
-SCHEMA_VERSION = 4
+#: v5: batched noise-stream contract (one block draw per work unit) changed
+#: measured medians relative to the per-loop scalar draws of v4.
+SCHEMA_VERSION = 5
 
 #: Default cache directory (repository-local, ignored by packaging).
 DEFAULT_CACHE_DIR = Path(__file__).resolve().parents[3] / ".cache"
@@ -79,6 +81,10 @@ def config_key(suite_seed: int, loops_scale: float, config: LabelingConfig) -> s
         "swp": config.swp,
         "n_runs": config.n_runs,
         "noise": dataclasses.asdict(config.noise),
+        # The noise stream contract changes the medians; the cost-model
+        # engine does not (fast and reference are bit-identical), so only
+        # the former participates in the key.
+        "batched_noise": config.batched_noise,
         "machine": _machine_fingerprint(config.machine),
         "workloads_version": WORKLOADS_VERSION,
         "schema": SCHEMA_VERSION,

@@ -27,6 +27,7 @@ completion order.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -44,6 +45,7 @@ from repro.machine.model import MachineModel
 from repro.ml.dataset import LoopDataset
 from repro.pipeline.measurements import MeasurementTable
 from repro.simulate.executor import (
+    AnalysisCache,
     CostModel,
     reset_shared_cost_models,
     shared_cost_model,
@@ -53,7 +55,16 @@ from repro.simulate.noise import DEFAULT_NOISE, NoiseModel
 
 @dataclass(frozen=True)
 class LabelingConfig:
-    """Knobs of the labelling protocol (paper defaults)."""
+    """Knobs of the labelling protocol (paper defaults).
+
+    ``engine`` selects the cost-model implementation (``"fast"`` is
+    bit-identical to ``"reference"``; the latter exists as the bench
+    baseline).  ``batched_noise`` selects the noise stream contract: one
+    ``(n_loops, n_runs)`` block draw per work unit (the default) versus the
+    legacy per-loop scalar draws.  The two contracts consume the generator
+    in different orders, so ``batched_noise`` changes measured medians and
+    participates in the measurement cache key; ``engine`` does not.
+    """
 
     seed: int = 20050320
     swp: bool = False
@@ -62,6 +73,8 @@ class LabelingConfig:
     n_runs: int = 30
     min_cycles: float = 50_000.0
     min_benefit: float = 1.05
+    engine: str = "fast"
+    batched_noise: bool = True
 
 
 @dataclass
@@ -124,7 +137,8 @@ def resolve_jobs(jobs: int | None = None) -> int:
 @dataclass(frozen=True)
 class UnitResult:
     """Output of one measurement work unit: every loop of one benchmark at
-    one unroll factor, plus worker-attribution for the timing rollup."""
+    one unroll factor, plus worker-attribution and analysis-cache traffic
+    for the timing rollup."""
 
     bench_index: int
     factor: int
@@ -132,6 +146,15 @@ class UnitResult:
     true_cycles: np.ndarray  # (n_loops,) noise-free cycles
     worker: int
     seconds: float
+    analysis_hits: int = 0
+    analysis_misses: int = 0
+
+
+def _unit_cost_model(config: LabelingConfig) -> CostModel:
+    """The cost model a work unit uses when the caller supplies none."""
+    if config.engine == "reference":
+        return CostModel(machine=config.machine, swp=config.swp, engine="reference")
+    return shared_cost_model(config.machine, config.swp)
 
 
 def measure_benchmark_factor(
@@ -149,20 +172,31 @@ def measure_benchmark_factor(
     ``config.n_runs`` runs.  The unit owns an RNG derived from its own seed
     child, so results are independent of which worker runs it and of the
     order units complete in.
+
+    With ``config.batched_noise`` (the default) the unit draws one
+    ``(n_loops, n_runs)`` sample batch per the noise module's stream
+    contract; otherwise it replays the legacy per-loop scalar draws.
     """
     start = time.perf_counter()
     if cost_model is None:
-        cost_model = shared_cost_model(config.machine, config.swp)
+        cost_model = _unit_cost_model(config)
+    cache = cost_model.analysis
+    hits0, misses0 = cache.hits, cache.misses
     rng = np.random.default_rng(seed)
     n = benchmark.n_loops
-    measured = np.empty(n)
     true = np.empty(n)
+    entry_counts = np.empty(n, dtype=np.int64)
     for i, loop in enumerate(benchmark.loops):
-        true_cycles = cost_model.loop_cost(loop, factor).total_cycles
-        true[i] = true_cycles
-        measured[i] = config.noise.median_measurement(
-            true_cycles, loop.entry_count, rng, n=config.n_runs
-        )
+        true[i] = cost_model.loop_cost(loop, factor).total_cycles
+        entry_counts[i] = loop.entry_count
+    if config.batched_noise:
+        measured = config.noise.batch_medians(true, entry_counts, rng, n=config.n_runs)
+    else:
+        measured = np.empty(n)
+        for i in range(n):
+            measured[i] = config.noise.median_measurement(
+                true[i], int(entry_counts[i]), rng, n=config.n_runs
+            )
     return UnitResult(
         bench_index=bench_index,
         factor=factor,
@@ -170,13 +204,114 @@ def measure_benchmark_factor(
         true_cycles=true,
         worker=os.getpid(),
         seconds=time.perf_counter() - start,
+        analysis_hits=cache.hits - hits0,
+        analysis_misses=cache.misses - misses0,
     )
+
+
+def measure_benchmark_factor_pair(
+    benchmark: Benchmark,
+    bench_index: int,
+    factor: int,
+    config_off: LabelingConfig,
+    config_on: LabelingConfig,
+    seed: np.random.SeedSequence,
+    cost_models: tuple[CostModel, CostModel] | None = None,
+) -> tuple[UnitResult, UnitResult]:
+    """One work unit measured in both scheduling regimes back to back.
+
+    The SWP-off and SWP-on regimes share every analysis (unroll, cleanup,
+    dependences, scheduler tables): running them in one unit keeps the
+    shared :class:`~repro.simulate.executor.AnalysisCache` working set down
+    to a single benchmark's loops, so the second regime's analyses are all
+    hits.  Each regime's RNG is rebuilt from the same seed child, making
+    the pair bit-identical to two independent single-regime runs.
+    """
+    if cost_models is None:
+        cost_models = (_unit_cost_model(config_off), _unit_cost_model(config_on))
+    off = measure_benchmark_factor(
+        benchmark, bench_index, factor, config_off, seed, cost_models[0]
+    )
+    on = measure_benchmark_factor(
+        benchmark, bench_index, factor, config_on, seed, cost_models[1]
+    )
+    return off, on
 
 
 def _unit_seeds(seed: int, n_benchmarks: int) -> list[list[np.random.SeedSequence]]:
     """One SeedSequence child per (benchmark, factor) work unit."""
     root = np.random.SeedSequence(seed)
     return [bench_seq.spawn(MAX_UNROLL) for bench_seq in root.spawn(n_benchmarks)]
+
+
+class _TableAssembly:
+    """Static (factor-independent) columns plus the deterministic merge.
+
+    The parent process extracts features and provenance once; work units
+    only produce per-factor timings, which :meth:`merge` lands by
+    (benchmark, factor) index — so the assembled table is bit-identical
+    however the units were scheduled."""
+
+    def __init__(self, suite: Suite, config: LabelingConfig):
+        n = suite.n_loops
+        self.benchmarks = suite.benchmarks
+        self.X = np.empty((n, 38))
+        self.measured = np.empty((n, MAX_UNROLL))
+        self.true = np.empty((n, MAX_UNROLL))
+        self.names: list[str] = []
+        self.benchs: list[str] = []
+        self.suites: list[str] = []
+        self.langs: list[str] = []
+        self.entries = np.empty(n, dtype=np.int64)
+        self.row_starts: list[int] = []
+        row = 0
+        for benchmark in self.benchmarks:
+            self.row_starts.append(row)
+            for loop in benchmark.loops:
+                self.X[row] = extract_features(loop, config.machine)
+                self.names.append(loop.name)
+                self.benchs.append(benchmark.name)
+                self.suites.append(benchmark.suite)
+                self.langs.append(loop.language.name)
+                self.entries[row] = loop.entry_count
+                row += 1
+
+    def merge(
+        self,
+        results: dict[tuple[int, int], UnitResult],
+        rollup: MeasurementRollup | None,
+        swp: bool,
+    ) -> MeasurementTable:
+        for bi, benchmark in enumerate(self.benchmarks):
+            lo = self.row_starts[bi]
+            hi = lo + benchmark.n_loops
+            for factor in range(1, MAX_UNROLL + 1):
+                unit = results[(bi, factor)]
+                self.measured[lo:hi, factor - 1] = unit.measured
+                self.true[lo:hi, factor - 1] = unit.true_cycles
+                if rollup is not None:
+                    rollup.record(
+                        UnitTiming(
+                            benchmark=benchmark.name,
+                            factor=factor,
+                            worker=unit.worker,
+                            n_loops=benchmark.n_loops,
+                            seconds=unit.seconds,
+                            analysis_hits=unit.analysis_hits,
+                            analysis_misses=unit.analysis_misses,
+                        )
+                    )
+        return MeasurementTable(
+            X=self.X,
+            measured=self.measured,
+            true_cycles=self.true,
+            loop_names=np.array(self.names),
+            benchmarks=np.array(self.benchs),
+            suites=np.array(self.suites),
+            languages=np.array(self.langs),
+            entry_counts=self.entries,
+            swp=swp,
+        )
 
 
 def measure_suite(
@@ -196,38 +331,16 @@ def measure_suite(
         rollup: optional sink for per-unit worker timings.
     """
     jobs = resolve_jobs(jobs)
-    n = suite.n_loops
     benchmarks = suite.benchmarks
-    X = np.empty((n, 38))
-    measured = np.empty((n, MAX_UNROLL))
-    true = np.empty((n, MAX_UNROLL))
-    names: list[str] = []
-    benchs: list[str] = []
-    suites: list[str] = []
-    langs: list[str] = []
-    entries = np.empty(n, dtype=np.int64)
-
-    # Static (factor-independent) columns are extracted in the parent; only
-    # the per-factor timing work fans out.
-    row_starts: list[int] = []
-    row = 0
-    for benchmark in benchmarks:
-        row_starts.append(row)
-        for loop in benchmark.loops:
-            X[row] = extract_features(loop, config.machine)
-            names.append(loop.name)
-            benchs.append(benchmark.name)
-            suites.append(benchmark.suite)
-            langs.append(loop.language.name)
-            entries[row] = loop.entry_count
-            row += 1
-
+    assembly = _TableAssembly(suite, config)
     seeds = _unit_seeds(config.seed, len(benchmarks))
     results: dict[tuple[int, int], UnitResult] = {}
     if jobs == 1:
         # Serial: one private cost model for the whole suite (cross-factor
         # analysis caches, no cross-call state).
-        cost_model = CostModel(machine=config.machine, swp=config.swp)
+        cost_model = CostModel(
+            machine=config.machine, swp=config.swp, engine=config.engine
+        )
         for bi, benchmark in enumerate(benchmarks):
             for factor in range(1, MAX_UNROLL + 1):
                 results[(bi, factor)] = measure_benchmark_factor(
@@ -249,36 +362,72 @@ def measure_suite(
                 unit = future.result()
                 results[(unit.bench_index, unit.factor)] = unit
 
-    # Deterministic merge: results land by (benchmark, factor) index, so
-    # the table is bit-identical however the units were scheduled.
-    for bi, benchmark in enumerate(benchmarks):
-        lo = row_starts[bi]
-        hi = lo + benchmark.n_loops
-        for factor in range(1, MAX_UNROLL + 1):
-            unit = results[(bi, factor)]
-            measured[lo:hi, factor - 1] = unit.measured
-            true[lo:hi, factor - 1] = unit.true_cycles
-            if rollup is not None:
-                rollup.record(
-                    UnitTiming(
-                        benchmark=benchmark.name,
-                        factor=factor,
-                        worker=unit.worker,
-                        n_loops=benchmark.n_loops,
-                        seconds=unit.seconds,
-                    )
-                )
+    return assembly.merge(results, rollup, config.swp)
 
-    return MeasurementTable(
-        X=X,
-        measured=measured,
-        true_cycles=true,
-        loop_names=np.array(names),
-        benchmarks=np.array(benchs),
-        suites=np.array(suites),
-        languages=np.array(langs),
-        entry_counts=entries,
-        swp=config.swp,
+
+def measure_suite_pair(
+    suite: Suite,
+    config: LabelingConfig = LabelingConfig(),
+    jobs: int | None = None,
+    rollup_off: MeasurementRollup | None = None,
+    rollup_on: MeasurementRollup | None = None,
+) -> tuple[MeasurementTable, MeasurementTable]:
+    """Measure both scheduling regimes, sharing the analysis stage.
+
+    Returns ``(swp_off_table, swp_on_table)``, each bit-identical to a
+    standalone :func:`measure_suite` run with the corresponding
+    ``config.swp`` — but roughly twice as cheap, because each work unit
+    runs the two regimes back to back against one shared
+    :class:`~repro.simulate.executor.AnalysisCache`, and unrolling,
+    cleanup, dependence analysis, and scheduler-table construction are all
+    regime-independent.
+    """
+    jobs = resolve_jobs(jobs)
+    benchmarks = suite.benchmarks
+    config_off = dataclasses.replace(config, swp=False)
+    config_on = dataclasses.replace(config, swp=True)
+    assembly_off = _TableAssembly(suite, config_off)
+    assembly_on = _TableAssembly(suite, config_on)
+    seeds = _unit_seeds(config.seed, len(benchmarks))
+    results_off: dict[tuple[int, int], UnitResult] = {}
+    results_on: dict[tuple[int, int], UnitResult] = {}
+    if jobs == 1:
+        shared = AnalysisCache()
+        cost_models = (
+            CostModel(machine=config.machine, swp=False, analysis=shared,
+                      engine=config.engine),
+            CostModel(machine=config.machine, swp=True, analysis=shared,
+                      engine=config.engine),
+        )
+        for bi, benchmark in enumerate(benchmarks):
+            for factor in range(1, MAX_UNROLL + 1):
+                off, on = measure_benchmark_factor_pair(
+                    benchmark, bi, factor, config_off, config_on,
+                    seeds[bi][factor - 1], cost_models,
+                )
+                results_off[(bi, factor)] = off
+                results_on[(bi, factor)] = on
+    else:
+        with ProcessPoolExecutor(
+            max_workers=jobs, initializer=reset_shared_cost_models
+        ) as pool:
+            futures = [
+                pool.submit(
+                    measure_benchmark_factor_pair,
+                    benchmark, bi, factor, config_off, config_on,
+                    seeds[bi][factor - 1],
+                )
+                for bi, benchmark in enumerate(benchmarks)
+                for factor in range(1, MAX_UNROLL + 1)
+            ]
+            for future in futures:
+                off, on = future.result()
+                results_off[(off.bench_index, off.factor)] = off
+                results_on[(on.bench_index, on.factor)] = on
+
+    return (
+        assembly_off.merge(results_off, rollup_off, False),
+        assembly_on.merge(results_on, rollup_on, True),
     )
 
 

@@ -1,14 +1,24 @@
 """Schedulers: acyclic list scheduling, modulo scheduling, register pressure."""
 
-from repro.sched.list_scheduler import ListSchedule, list_schedule, steady_state_cycles
+from repro.sched.list_scheduler import (
+    ListSchedule,
+    list_schedule,
+    list_schedule_reference,
+    steady_state_cycles,
+    steady_state_cycles_reference,
+)
 from repro.sched.modulo import (
     ModuloSchedule,
     ModuloScheduleError,
     modulo_schedule,
+    modulo_schedule_reference,
     recurrence_mii,
+    recurrence_mii_reference,
     resource_mii,
+    resource_mii_reference,
     swp_register_pressure,
 )
+from repro.sched.precompute import SchedPrecomp
 from repro.sched.regpressure import PressureEstimate, max_live, spill_cycles
 
 __all__ = [
@@ -16,12 +26,18 @@ __all__ = [
     "ModuloSchedule",
     "ModuloScheduleError",
     "PressureEstimate",
+    "SchedPrecomp",
     "list_schedule",
+    "list_schedule_reference",
     "max_live",
     "modulo_schedule",
+    "modulo_schedule_reference",
     "recurrence_mii",
+    "recurrence_mii_reference",
     "resource_mii",
+    "resource_mii_reference",
     "spill_cycles",
     "steady_state_cycles",
+    "steady_state_cycles_reference",
     "swp_register_pressure",
 ]

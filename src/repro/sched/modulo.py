@@ -15,15 +15,30 @@ experimental regime ("SWP enabled") its character:
   connected component by parametric binary search (Lawler).
 * **IMS** — iterative modulo scheduling with ejection and a scheduling
   budget, falling back to a higher II when placement fails.
+
+Two implementations coexist.  The public entry points run on
+:class:`~repro.sched.precompute.SchedPrecomp` integer tables (built on the
+fly when the caller does not supply one) and avoid all per-query enum
+hashing and IR attribute chains in the hot placement loop.  The original
+table-free code is retained verbatim as ``*_reference`` functions: the
+equivalence tests assert the two produce bit-identical schedules, and
+``repro-unroll bench`` uses the reference path as its honest baseline.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 from repro.ir.dependence import DependenceGraph, edge_latency
-from repro.ir.types import DType, FUKind, OpCategory
+from repro.ir.types import DType, FUKind
 from repro.machine.model import MachineModel
+from repro.sched.precompute import FU_INDEX, N_FU_KINDS, SchedPrecomp
+
+_MEM = FU_INDEX[FUKind.MEM]
+_INT = FU_INDEX[FUKind.INT]
+_FP = FU_INDEX[FUKind.FP]
+_BR = FU_INDEX[FUKind.BR]
 
 
 @dataclass(frozen=True)
@@ -46,11 +61,374 @@ class ModuloScheduleError(RuntimeError):
 
 
 # ----------------------------------------------------------------------
-# Lower bounds.
+# Lower bounds (fast path on precomputed tables).
 # ----------------------------------------------------------------------
 
 
-def resource_mii(deps: DependenceGraph, machine: MachineModel) -> float:
+def resource_mii(
+    deps: DependenceGraph, machine: MachineModel, pre: SchedPrecomp | None = None
+) -> float:
+    """Fractional resource-constrained minimum initiation interval."""
+    if pre is None:
+        pre = SchedPrecomp.build(deps, machine)
+    usage = [0.0] * N_FU_KINDS
+    atype = 0.0  # flexible ops that may issue on INT or MEM units
+    total_slots = 0.0
+    for i in range(pre.n):
+        occ = float(pre.occ[i])
+        total_slots += 1.0
+        options = pre.fu_opts[i]
+        if len(options) > 1:
+            atype += occ
+        else:
+            usage[options[0]] += occ
+
+    counts = pre.fu_capacity
+    n_branches = pre.n_branches
+    bounds = [
+        usage[_MEM] / counts[_MEM],
+        usage[_FP] / counts[_FP],
+        usage[_BR] / counts[_BR],
+        # A-type ops share the INT and MEM files with the dedicated users.
+        (usage[_INT] + usage[_MEM] + atype) / (counts[_INT] + counts[_MEM]),
+        # Each branch closes its issue group, so it effectively costs a
+        # whole cycle on top of the non-branch issue bandwidth.
+        n_branches + (total_slots - n_branches) / pre.issue_width,
+    ]
+    return max(bounds)
+
+
+def recurrence_mii(
+    deps: DependenceGraph, machine: MachineModel, pre: SchedPrecomp | None = None
+) -> int:
+    """Recurrence-constrained minimum II: the ceiling of the maximum cycle
+    ratio (sum of latencies / sum of distances) over dependence cycles."""
+    if pre is None:
+        pre = SchedPrecomp.build(deps, machine)
+    n = pre.n
+    if n == 0:
+        return 1
+    succs = pre.succs
+    best = 1
+    for component in _sccs(n, succs):
+        if len(component) == 1:
+            node = next(iter(component))
+            # Self-loop?
+            ratios = [
+                -(-lat // dist)
+                for t, lat, dist in succs[node]
+                if t == node and dist >= 1
+            ]
+            if ratios:
+                best = max(best, max(ratios))
+            continue
+        best = max(best, _max_cycle_ratio_tables(succs, component))
+    return best
+
+
+def _sccs(n: int, succs) -> list[set[int]]:
+    """Iterative Tarjan SCC over the precomputed adjacency tables."""
+    index = [0] * n
+    lowlink = [0] * n
+    on_stack = [False] * n
+    visited = [False] * n
+    stack: list[int] = []
+    components: list[set[int]] = []
+    counter = [1]
+
+    for root in range(n):
+        if visited[root]:
+            continue
+        work = [(root, iter([t for t, _, _ in succs[root]]))]
+        visited[root] = True
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if not visited[succ]:
+                    visited[succ] = True
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack[succ] = True
+                    work.append((succ, iter([t for t, _, _ in succs[succ]])))
+                    advanced = True
+                    break
+                if on_stack[succ] and index[succ] < lowlink[node]:
+                    lowlink[node] = index[succ]
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                if lowlink[node] < lowlink[parent]:
+                    lowlink[parent] = lowlink[node]
+            if lowlink[node] == index[node]:
+                component: set[int] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def _max_cycle_ratio_tables(succs, component: set[int]) -> int:
+    """Smallest integer II admitting no positive cycle with edge weights
+    ``latency - II * distance`` inside ``component`` (Lawler's method)."""
+    edges = []
+    total_lat = 0
+    for node in component:
+        for succ, lat, dist in succs[node]:
+            if succ in component:
+                edges.append((node, succ, lat, dist))
+                total_lat += lat
+    lo, hi = 1, max(total_lat, 1)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if _has_positive_cycle(component, edges, mid):
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def _has_positive_cycle(component: set[int], edges: list, ii: int) -> bool:
+    """Bellman-Ford positive-cycle detection with weights lat - ii*dist."""
+    dist = dict.fromkeys(component, 0)
+    nodes = len(component)
+    for round_no in range(nodes):
+        changed = False
+        for src, dst, lat, distance in edges:
+            weight = lat - ii * distance
+            if dist[src] + weight > dist[dst]:
+                dist[dst] = dist[src] + weight
+                changed = True
+        if not changed:
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Iterative modulo scheduling (fast path on precomputed tables).
+# ----------------------------------------------------------------------
+
+
+def modulo_schedule(
+    deps: DependenceGraph,
+    machine: MachineModel,
+    ii_budget: int = 48,
+    pre: SchedPrecomp | None = None,
+) -> ModuloSchedule:
+    """Find a kernel schedule, searching IIs upward from MII."""
+    if pre is None:
+        pre = SchedPrecomp.build(deps, machine)
+    res = resource_mii(deps, machine, pre)
+    rec = recurrence_mii(deps, machine, pre)
+    mii = max(-(-int(res * 1_000_000) // 1_000_000), rec, 1)
+    n = pre.n
+    for ii in range(mii, mii + ii_budget):
+        start = _try_ii_tables(pre, ii, budget=max(64, n * 10))
+        if start is not None:
+            horizon = max(start) if start else 0
+            stages = horizon // ii + 1
+            return ModuloSchedule(ii, stages, tuple(start), res, rec)
+    raise ModuloScheduleError(
+        f"no feasible II within [{mii}, {mii + ii_budget}) for a {n}-op body"
+    )
+
+
+def _try_ii_tables(pre: SchedPrecomp, ii: int, budget: int):
+    """One IMS attempt at a fixed II on integer tables.
+
+    Decision-for-decision identical to the reference :func:`_try_ii`:
+    same scheduling order, same time-slot search, same unit-option order,
+    same ejection scans.  Only the data representation differs (flat lists
+    and FU indices instead of enum-keyed dicts and IR lookups).
+    """
+    n = pre.n
+    occ_t = pre.occ
+    fu_opts = pre.fu_opts
+    capacity = pre.fu_capacity
+    succs = pre.succs
+    preds = pre.preds
+
+    start: list[int | None] = [None] * n
+    last_tried = [-1] * n
+    # Modulo reservation table: per unit kind index, per row, occupied count.
+    mrt = [[0] * ii for _ in range(N_FU_KINDS)]
+    placed_kind = [-1] * n  # -1 = not placed
+
+    worklist = deque(pre.order)
+    pop = worklist.popleft
+    push = worklist.append
+    while worklist:
+        if budget <= 0:
+            return None
+        budget -= 1
+        i = pop()
+        lo = 0
+        for j, lat, dist in preds[i]:
+            sj = start[j]
+            if sj is None:
+                continue
+            candidate = sj + lat - ii * dist
+            if candidate > lo:
+                lo = candidate
+        t0 = max(lo, last_tried[i] + 1)
+        occ = occ_t[i]
+        if occ > ii:
+            occ = ii
+        placed = False
+        opts = fu_opts[i]
+        if occ == 1:
+            # Single-row reservations (every pipelined op) collapse the
+            # row scans to one table probe; same slot/option visit order.
+            row = t0 % ii
+            if len(opts) == 1:
+                k0 = opts[0]
+                rows0 = mrt[k0]
+                cap0 = capacity[k0]
+                for t in range(t0, t0 + ii):
+                    if rows0[row] < cap0:
+                        rows0[row] += 1
+                        start[i] = t
+                        placed_kind[i] = k0
+                        last_tried[i] = t
+                        placed = True
+                        break
+                    row += 1
+                    if row == ii:
+                        row = 0
+            else:
+                for t in range(t0, t0 + ii):
+                    kind = -1
+                    for k in opts:
+                        rows = mrt[k]
+                        if rows[row] < capacity[k]:
+                            rows[row] += 1
+                            kind = k
+                            break
+                    if kind >= 0:
+                        start[i] = t
+                        placed_kind[i] = kind
+                        last_tried[i] = t
+                        placed = True
+                        break
+                    row += 1
+                    if row == ii:
+                        row = 0
+        else:
+            for t in range(t0, t0 + ii):
+                kind = -1
+                for k in opts:
+                    cap = capacity[k]
+                    rows = mrt[k]
+                    free = True
+                    for r in range(occ):
+                        if rows[(t + r) % ii] >= cap:
+                            free = False
+                            break
+                    if free:
+                        for r in range(occ):
+                            rows[(t + r) % ii] += 1
+                        kind = k
+                        break
+                if kind >= 0:
+                    start[i] = t
+                    placed_kind[i] = kind
+                    last_tried[i] = t
+                    placed = True
+                    break
+        if not placed:
+            # Force placement and eject resource conflicts at that slot.
+            t = t0
+            target_rows = {(t + r) % ii for r in range(occ)}
+            ejected = []
+            for j in range(n):
+                kind_j = placed_kind[j]
+                if j == i or kind_j < 0 or kind_j not in opts:
+                    continue
+                sj = start[j]
+                occ_j = occ_t[j]
+                if occ_j == 1:
+                    row_j = sj % ii
+                    if row_j in target_rows:
+                        mrt[kind_j][row_j] -= 1
+                        start[j] = None
+                        placed_kind[j] = -1
+                        ejected.append(j)
+                    continue
+                if occ_j > ii:
+                    occ_j = ii
+                rows_j = {(sj + r) % ii for r in range(occ_j)}
+                if rows_j & target_rows:
+                    rows = mrt[kind_j]
+                    for r in range(occ_j):
+                        rows[(sj + r) % ii] -= 1
+                    start[j] = None
+                    placed_kind[j] = -1
+                    ejected.append(j)
+            kind = -1
+            for k in opts:
+                cap = capacity[k]
+                rows = mrt[k]
+                free = True
+                for r in range(occ):
+                    if rows[(t + r) % ii] >= cap:
+                        free = False
+                        break
+                if free:
+                    for r in range(occ):
+                        rows[(t + r) % ii] += 1
+                    kind = k
+                    break
+            if kind < 0:
+                return None
+            start[i] = t
+            placed_kind[i] = kind
+            last_tried[i] = t
+            worklist.extend(ejected)
+        # Eject scheduled successors whose dependence constraints broke.
+        si = start[i]
+        for j, lat, dist in succs[i]:
+            sj = start[j]
+            if sj is None:
+                continue
+            if si + lat - ii * dist > sj:
+                k = placed_kind[j]
+                if k >= 0:
+                    occ_j = occ_t[j]
+                    if occ_j == 1:
+                        mrt[k][sj % ii] -= 1
+                    else:
+                        if occ_j > ii:
+                            occ_j = ii
+                        rows = mrt[k]
+                        for r in range(occ_j):
+                            rows[(sj + r) % ii] -= 1
+                start[j] = None
+                placed_kind[j] = -1
+                push(j)
+
+    return [int(s) for s in start]
+
+
+# ----------------------------------------------------------------------
+# Reference implementation (pre-SchedPrecomp, retained verbatim).
+#
+# The equivalence tests assert `modulo_schedule` matches this bit for bit,
+# and `repro-unroll bench` runs it as the baseline labeling engine.
+# ----------------------------------------------------------------------
+
+
+def resource_mii_reference(deps: DependenceGraph, machine: MachineModel) -> float:
     """Fractional resource-constrained minimum initiation interval."""
     usage: dict[FUKind, float] = {kind: 0.0 for kind in FUKind}
     atype = 0.0  # flexible ops that may issue on INT or MEM units
@@ -80,7 +458,7 @@ def resource_mii(deps: DependenceGraph, machine: MachineModel) -> float:
     return max(bounds)
 
 
-def recurrence_mii(deps: DependenceGraph, machine: MachineModel) -> int:
+def recurrence_mii_reference(deps: DependenceGraph, machine: MachineModel) -> int:
     """Recurrence-constrained minimum II: the ceiling of the maximum cycle
     ratio (sum of latencies / sum of distances) over dependence cycles."""
     n = len(deps.body)
@@ -178,35 +556,14 @@ def _max_cycle_ratio(deps: DependenceGraph, component: set[int], machine: Machin
     return lo
 
 
-def _has_positive_cycle(component: set[int], edges: list, ii: int) -> bool:
-    """Bellman-Ford positive-cycle detection with weights lat - ii*dist."""
-    dist = dict.fromkeys(component, 0)
-    nodes = len(component)
-    for round_no in range(nodes):
-        changed = False
-        for src, dst, lat, distance in edges:
-            weight = lat - ii * distance
-            if dist[src] + weight > dist[dst]:
-                dist[dst] = dist[src] + weight
-                changed = True
-        if not changed:
-            return False
-    return True
-
-
-# ----------------------------------------------------------------------
-# Iterative modulo scheduling.
-# ----------------------------------------------------------------------
-
-
-def modulo_schedule(
+def modulo_schedule_reference(
     deps: DependenceGraph,
     machine: MachineModel,
     ii_budget: int = 48,
 ) -> ModuloSchedule:
     """Find a kernel schedule, searching IIs upward from MII."""
-    res = resource_mii(deps, machine)
-    rec = recurrence_mii(deps, machine)
+    res = resource_mii_reference(deps, machine)
+    rec = recurrence_mii_reference(deps, machine)
     mii = max(-(-int(res * 1_000_000) // 1_000_000), rec, 1)
     n = len(deps.body)
     for ii in range(mii, mii + ii_budget):

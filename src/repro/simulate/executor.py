@@ -13,18 +13,48 @@ Because every term comes from the same IR the feature extractor reads, the
 optimal unroll factor is a learnable (but noisy and non-obvious) function of
 the loop's static characteristics — the property all of the paper's
 experiments rest on.
+
+Costing splits into two stages:
+
+* **Analysis** — unroll + cleanup (:func:`optimize_for_factor`), dependence
+  analysis, and the scheduler's precomputed tables, none of which depend on
+  whether software pipelining is enabled.  The stage is memoised in a
+  bounded :class:`AnalysisCache` keyed by ``(loop name, factor, plan)`` (the
+  plan *must* participate: ablations change the unrolled body), so the
+  SWP-on and SWP-off regimes — and repeated queries within one regime —
+  share one analysis per configuration.
+* **Scheduling** — the per-regime part: list scheduling plus steady-state
+  and spill terms, or modulo scheduling when SWP is on and the part is
+  eligible.  Cheap relative to analysis, and never cached.
+
+``engine="reference"`` bypasses both the cache and the table-driven
+schedulers, running the original single-stage path — the baseline that
+``repro-unroll bench`` compares against, and the oracle the equivalence
+tests pin the fast path to.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
-from repro.ir.dependence import analyze_dependences
+from repro.ir.dependence import DependenceGraph, analyze_dependences
 from repro.ir.loop import Loop
 from repro.machine.itanium2 import ITANIUM2
 from repro.machine.model import MachineModel
-from repro.sched.list_scheduler import list_schedule, steady_state_cycles
-from repro.sched.modulo import ModuloScheduleError, modulo_schedule, swp_register_pressure
+from repro.sched.list_scheduler import (
+    list_schedule,
+    list_schedule_reference,
+    steady_state_cycles,
+    steady_state_cycles_reference,
+)
+from repro.sched.modulo import (
+    ModuloScheduleError,
+    modulo_schedule,
+    modulo_schedule_reference,
+    swp_register_pressure,
+)
+from repro.sched.precompute import SchedPrecomp
 from repro.sched.regpressure import max_live, spill_cycles
 from repro.simulate.cache import (
     bandwidth_floor_per_iteration,
@@ -36,36 +66,6 @@ from repro.transforms.unroll import UnrollResult
 
 #: Fixed cycles to enter a loop (live-in setup, first-bundle fetch).
 ENTRY_OVERHEAD = 3
-
-#: Process-local cost-model registry, keyed by (machine name, swp).
-#: See :func:`shared_cost_model`.
-_SHARED_MODELS: dict[tuple[str, bool], "CostModel"] = {}
-
-
-def shared_cost_model(machine: MachineModel, swp: bool) -> "CostModel":
-    """Process-local memoised :class:`CostModel` — the worker-safe entry
-    point for the parallel measurement pipeline.
-
-    Each worker process reuses one model per (machine, swp) regime across
-    all the work units it executes, so the per-loop analysis caches
-    (effective load latency, bandwidth floor) amortise across the eight
-    unroll factors of a benchmark just as they do in a serial run.  The
-    caches are keyed by loop name, which is unique within a generated
-    suite; callers measuring hand-built suites with colliding loop names
-    should construct their own :class:`CostModel`.
-    """
-    key = (machine.name, swp)
-    model = _SHARED_MODELS.get(key)
-    if model is None or model.machine != machine:
-        model = CostModel(machine=machine, swp=swp)
-        _SHARED_MODELS[key] = model
-    return model
-
-
-def reset_shared_cost_models() -> None:
-    """Drop all process-local shared cost models (pool initializer: forked
-    workers must not inherit the parent's analysis caches)."""
-    _SHARED_MODELS.clear()
 
 #: Fixed cycles to set up a software-pipelined kernel (rotating-register
 #: initialisation, predicate staging).
@@ -91,6 +91,128 @@ class LoopCost:
     emitted_instructions: int
 
 
+@dataclass(frozen=True)
+class LoopAnalysis:
+    """The regime-independent half of costing one (loop, factor, plan).
+
+    Everything here is a pure function of the source loop, the unroll
+    factor, the cleanup plan, and the *base* machine — software pipelining
+    plays no part, so one analysis serves both scheduling regimes.
+    """
+
+    loop: Loop  # retained for structural verification on cache hits
+    base_machine: MachineModel
+    machine: MachineModel  # base machine with the loop's effective load latency
+    bw_floor: float
+    result: UnrollResult
+    main_deps: DependenceGraph | None
+    main_pre: SchedPrecomp | None
+    rem_deps: DependenceGraph | None
+    rem_pre: SchedPrecomp | None
+
+
+class AnalysisCache:
+    """Bounded LRU cache of :class:`LoopAnalysis` entries.
+
+    Keys are ``(loop name, factor, plan)`` — loop names are unique within a
+    generated suite, but hand-built suites may collide, so a hit is only
+    honoured after verifying the stored loop is structurally equal to the
+    queried one and was analysed under the same base machine (``Loop`` holds
+    a dict field and cannot itself be a dict key).  A mismatch counts as a
+    miss and the entry is replaced.
+
+    One cache may be shared by several :class:`CostModel` instances — that
+    sharing is the point: the SWP-on and SWP-off models of a measurement
+    pair hit each other's analyses.  ``hits``/``misses`` counters feed the
+    measurement rollup.
+    """
+
+    def __init__(self, maxsize: int = 512):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[tuple, LoopAnalysis]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(
+        self, key: tuple, loop: Loop, base_machine: MachineModel
+    ) -> LoopAnalysis | None:
+        entry = self._entries.get(key)
+        if (
+            entry is not None
+            and entry.loop == loop
+            and entry.base_machine == base_machine
+        ):
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def put(self, key: tuple, entry: LoopAnalysis) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop all entries (counters are preserved: they describe the
+        lifetime of the cache, not its current contents)."""
+        self._entries.clear()
+
+
+#: Process-local cost-model registry, keyed by (machine name, swp).
+#: See :func:`shared_cost_model`.
+_SHARED_MODELS: dict[tuple[str, bool], "CostModel"] = {}
+
+#: Process-local analysis caches shared by both regimes of one machine.
+_SHARED_ANALYSIS: dict[str, AnalysisCache] = {}
+
+
+def shared_analysis_cache(machine: MachineModel) -> AnalysisCache:
+    """The process-local :class:`AnalysisCache` for ``machine`` — one per
+    machine, shared by the SWP-on and SWP-off shared cost models so a work
+    unit measured in both regimes analyses each loop once."""
+    cache = _SHARED_ANALYSIS.get(machine.name)
+    if cache is None:
+        cache = AnalysisCache()
+        _SHARED_ANALYSIS[machine.name] = cache
+    return cache
+
+
+def shared_cost_model(machine: MachineModel, swp: bool) -> "CostModel":
+    """Process-local memoised :class:`CostModel` — the worker-safe entry
+    point for the parallel measurement pipeline.
+
+    Each worker process reuses one model per (machine, swp) regime across
+    all the work units it executes, so the per-loop analysis caches
+    (effective load latency, bandwidth floor) amortise across the eight
+    unroll factors of a benchmark just as they do in a serial run; the two
+    regimes additionally share one :class:`AnalysisCache` via
+    :func:`shared_analysis_cache`.  The caches are keyed by loop name,
+    which is unique within a generated suite; callers measuring hand-built
+    suites with colliding loop names should construct their own
+    :class:`CostModel`.
+    """
+    key = (machine.name, swp)
+    model = _SHARED_MODELS.get(key)
+    if model is None or model.machine != machine:
+        model = CostModel(machine=machine, swp=swp, analysis=shared_analysis_cache(machine))
+        _SHARED_MODELS[key] = model
+    return model
+
+
+def reset_shared_cost_models() -> None:
+    """Drop all process-local shared cost models and analysis caches (pool
+    initializer: forked workers must not inherit the parent's caches)."""
+    _SHARED_MODELS.clear()
+    _SHARED_ANALYSIS.clear()
+
+
 class CostModel:
     """Times loops on a machine description.
 
@@ -99,6 +221,12 @@ class CostModel:
         swp: whether software pipelining is enabled (the paper's two
             regimes).
         plan: post-unroll cleanup switches (ablations toggle these).
+        analysis: the analysis cache to use; pass a shared instance to let
+            several models (typically the two SWP regimes) reuse each
+            other's analyses.  ``None`` creates a private cache.
+        engine: ``"fast"`` (two-stage, cached, table-driven schedulers) or
+            ``"reference"`` (the original single-stage path; bit-identical
+            results, used as the bench baseline).
     """
 
     def __init__(
@@ -106,21 +234,80 @@ class CostModel:
         machine: MachineModel = ITANIUM2,
         swp: bool = False,
         plan: OptimizationPlan | None = None,
+        analysis: AnalysisCache | None = None,
+        engine: str = "fast",
     ):
+        if engine not in ("fast", "reference"):
+            raise ValueError(f"engine must be 'fast' or 'reference', got {engine!r}")
         self.machine = machine
         self.swp = swp
         self.plan = plan or OptimizationPlan()
+        self.engine = engine
+        self.analysis = analysis if analysis is not None else AnalysisCache()
         self._latency_cache: dict[str, int] = {}
         self._floor_cache: dict[str, float] = {}
+        self._machine_variants: dict[int, MachineModel] = {}
 
     # ------------------------------------------------------------------
 
     def loop_cost(self, loop: Loop, factor: int) -> LoopCost:
         """Cycles per program run for ``loop`` unrolled by ``factor``."""
-        eff_latency = self._effective_latency(loop)
-        machine = self.machine.with_load_latency(eff_latency)
+        if self.engine == "reference":
+            return self._loop_cost_reference(loop, factor)
+        analysis = self.analyze(loop, factor)
+        return self._cost_from_analysis(loop, analysis)
+
+    def sweep(self, loop: Loop) -> dict[int, LoopCost]:
+        """Costs at every unroll factor in the label space."""
+        from repro.ir.types import UNROLL_FACTORS
+
+        return {factor: self.loop_cost(loop, factor) for factor in UNROLL_FACTORS}
+
+    # ------------------------------------------------------------------
+    # Stage 1: regime-independent analysis (cached).
+    # ------------------------------------------------------------------
+
+    def analyze(self, loop: Loop, factor: int) -> LoopAnalysis:
+        """The cached analysis stage for ``(loop, factor)`` under this
+        model's plan and base machine."""
+        key = (loop.name, factor, self.plan)
+        entry = self.analysis.get(key, loop, self.machine)
+        if entry is None:
+            entry = self._build_analysis(loop, factor)
+            self.analysis.put(key, entry)
+        return entry
+
+    def _build_analysis(self, loop: Loop, factor: int) -> LoopAnalysis:
+        machine = self._machine_for(loop)
         bw_floor = self._bandwidth_floor(loop)
         result = optimize_for_factor(loop, factor, self.plan)
+        main_deps = main_pre = rem_deps = rem_pre = None
+        if result.main is not None:
+            main_deps = analyze_dependences(result.main)
+            main_pre = SchedPrecomp.build(main_deps, machine)
+        if result.remainder is not None:
+            rem_deps = analyze_dependences(result.remainder)
+            rem_pre = SchedPrecomp.build(rem_deps, machine)
+        return LoopAnalysis(
+            loop=loop,
+            base_machine=self.machine,
+            machine=machine,
+            bw_floor=bw_floor,
+            result=result,
+            main_deps=main_deps,
+            main_pre=main_pre,
+            rem_deps=rem_deps,
+            rem_pre=rem_pre,
+        )
+
+    # ------------------------------------------------------------------
+    # Stage 2: per-regime scheduling and cost assembly.
+    # ------------------------------------------------------------------
+
+    def _cost_from_analysis(self, loop: Loop, analysis: LoopAnalysis) -> LoopCost:
+        result = analysis.result
+        machine = analysis.machine
+        bw_floor = analysis.bw_floor
 
         main_cycles = 0.0
         main_period = 0.0
@@ -136,12 +323,24 @@ class CostModel:
                 stages,
                 spill,
                 swp_used,
-            ) = self._part_cycles(result.main, machine, bw_floor, allow_swp=True)
+            ) = self._part_cycles(
+                result.main,
+                analysis.main_deps,
+                analysis.main_pre,
+                machine,
+                bw_floor,
+                allow_swp=True,
+            )
 
         rem_cycles = 0.0
         if result.remainder is not None:
             rem_cycles, _, _, _, rem_spill, _ = self._part_cycles(
-                result.remainder, machine, bw_floor, allow_swp=False
+                result.remainder,
+                analysis.rem_deps,
+                analysis.rem_pre,
+                machine,
+                bw_floor,
+                allow_swp=False,
             )
             spill += rem_spill
 
@@ -176,7 +375,7 @@ class CostModel:
         total = per_entry * loop.entry_count
         return LoopCost(
             loop_name=loop.name,
-            factor=factor,
+            factor=result.requested_factor,
             swp_requested=self.swp,
             swp_used=swp_used,
             total_cycles=total,
@@ -190,30 +389,14 @@ class CostModel:
             emitted_instructions=result.emitted_size,
         )
 
-    def sweep(self, loop: Loop) -> dict[int, LoopCost]:
-        """Costs at every unroll factor in the label space."""
-        from repro.ir.types import UNROLL_FACTORS
-
-        return {factor: self.loop_cost(loop, factor) for factor in UNROLL_FACTORS}
-
-    # ------------------------------------------------------------------
-
-    def _effective_latency(self, loop: Loop) -> int:
-        cached = self._latency_cache.get(loop.name)
-        if cached is None:
-            cached = effective_load_latency(loop, self.machine)
-            self._latency_cache[loop.name] = cached
-        return cached
-
-    def _bandwidth_floor(self, loop: Loop) -> float:
-        cached = self._floor_cache.get(loop.name)
-        if cached is None:
-            cached = bandwidth_floor_per_iteration(loop, self.machine)
-            self._floor_cache[loop.name] = cached
-        return cached
-
     def _part_cycles(
-        self, part: Loop, machine: MachineModel, bw_floor: float, allow_swp: bool
+        self,
+        part: Loop,
+        deps: DependenceGraph,
+        pre: SchedPrecomp,
+        machine: MachineModel,
+        bw_floor: float,
+        allow_swp: bool,
     ) -> tuple[float, float, int | None, int | None, float, bool]:
         """Cycles per entry for one loop part (main or remainder).
 
@@ -223,13 +406,12 @@ class CostModel:
 
         Returns ``(cycles, period, ii, stages, spill, swp_used)``.
         """
-        deps = analyze_dependences(part)
         trips = part.trip.runtime
         body_floor = bw_floor * part.unroll_factor
 
         if allow_swp and self.swp and part.swp_eligible:
             try:
-                kernel = modulo_schedule(deps, machine)
+                kernel = modulo_schedule(deps, machine, pre=pre)
             except ModuloScheduleError:
                 kernel = None
             if kernel is not None and trips > kernel.stages:
@@ -248,9 +430,9 @@ class CostModel:
                     True,
                 )
 
-        schedule = list_schedule(deps, machine)
+        schedule = list_schedule(deps, machine, pre=pre)
         pressure = max_live(deps, schedule)
-        base_period = max(steady_state_cycles(deps, schedule, machine), body_floor)
+        base_period = max(steady_state_cycles(deps, schedule, machine, pre=pre), body_floor)
         # Spill cost is bounded relative to the loop itself: the allocator
         # spills cheapest-first, so over-unrolling degrades, never explodes.
         spill = min(
@@ -261,6 +443,152 @@ class CostModel:
         # but spill traffic and the backedge update group ride *on top* of
         # it: spills add memory traffic of their own, and the induction
         # update issues in its own group at the backedge.
+        period = base_period + spill
+        if part.unroll_factor & (part.unroll_factor - 1):
+            period += machine.nonpow2_body_cycles
+        return float(trips * period), float(period), None, None, spill * trips, False
+
+    # ------------------------------------------------------------------
+    # Shared per-loop memory analyses (regime- and factor-independent).
+    # ------------------------------------------------------------------
+
+    def _effective_latency(self, loop: Loop) -> int:
+        cached = self._latency_cache.get(loop.name)
+        if cached is None:
+            cached = effective_load_latency(loop, self.machine)
+            self._latency_cache[loop.name] = cached
+        return cached
+
+    def _machine_for(self, loop: Loop) -> MachineModel:
+        """The base machine with ``loop``'s effective load latency.
+
+        Variants are memoised per latency so loops with the same cache
+        behaviour share one machine instance (and therefore one scheduler
+        opcode-row cache) instead of rebuilding the description per loop.
+        """
+        eff_latency = self._effective_latency(loop)
+        machine = self._machine_variants.get(eff_latency)
+        if machine is None:
+            machine = self.machine.with_load_latency(eff_latency)
+            self._machine_variants[eff_latency] = machine
+        return machine
+
+    def _bandwidth_floor(self, loop: Loop) -> float:
+        cached = self._floor_cache.get(loop.name)
+        if cached is None:
+            cached = bandwidth_floor_per_iteration(loop, self.machine)
+            self._floor_cache[loop.name] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Reference engine: the original single-stage path, retained as the
+    # bench baseline and equivalence oracle.
+    # ------------------------------------------------------------------
+
+    def _loop_cost_reference(self, loop: Loop, factor: int) -> LoopCost:
+        machine = self._machine_for(loop)
+        bw_floor = self._bandwidth_floor(loop)
+        result = optimize_for_factor(loop, factor, self.plan)
+
+        main_cycles = 0.0
+        main_period = 0.0
+        ii = stages = None
+        spill = 0.0
+        swp_used = False
+
+        if result.main is not None:
+            (
+                main_cycles,
+                main_period,
+                ii,
+                stages,
+                spill,
+                swp_used,
+            ) = self._part_cycles_reference(result.main, machine, bw_floor, allow_swp=True)
+
+        rem_cycles = 0.0
+        if result.remainder is not None:
+            rem_cycles, _, _, _, rem_spill, _ = self._part_cycles_reference(
+                result.remainder, machine, bw_floor, allow_swp=False
+            )
+            spill += rem_spill
+
+        icache = icache_entry_penalty(result.emitted_size, machine)
+        precondition = 0
+        if result.needs_precondition:
+            precondition = machine.precondition_cycles
+            if result.factor & (result.factor - 1):  # not a power of two
+                precondition += machine.nonpow2_precondition_cycles
+        exit_cost = 0.0
+        if loop.has_early_exit:
+            # See _cost_from_analysis for the speculation-gone-wrong story.
+            exit_cost = machine.exit_mispredict_cycles
+            if result.factor > 1 and main_period > 0:
+                wasted_copies = (result.factor - 1) * 0.8
+                exit_cost += wasted_copies * (main_period / result.factor)
+
+        per_entry = (
+            main_cycles
+            + rem_cycles
+            + icache
+            + precondition
+            + exit_cost
+            + ENTRY_OVERHEAD
+        )
+        total = per_entry * loop.entry_count
+        return LoopCost(
+            loop_name=loop.name,
+            factor=factor,
+            swp_requested=self.swp,
+            swp_used=swp_used,
+            total_cycles=total,
+            per_entry_cycles=per_entry,
+            main_period=main_period,
+            ii=ii,
+            stages=stages,
+            spill_penalty=spill,
+            icache_penalty=icache,
+            precondition_penalty=precondition,
+            emitted_instructions=result.emitted_size,
+        )
+
+    def _part_cycles_reference(
+        self, part: Loop, machine: MachineModel, bw_floor: float, allow_swp: bool
+    ) -> tuple[float, float, int | None, int | None, float, bool]:
+        """Single-stage part costing: re-analyse and schedule with the
+        table-free reference schedulers."""
+        deps = analyze_dependences(part)
+        trips = part.trip.runtime
+        body_floor = bw_floor * part.unroll_factor
+
+        if allow_swp and self.swp and part.swp_eligible:
+            try:
+                kernel = modulo_schedule_reference(deps, machine)
+            except ModuloScheduleError:
+                kernel = None
+            if kernel is not None and trips > kernel.stages:
+                int_need, fp_need = swp_register_pressure(deps, kernel)
+                rotating = machine.rotating_regs
+                excess = max(0, int_need - rotating) + max(0, fp_need - rotating)
+                ii_eff = kernel.ii + -(-excess // 4) if excess else kernel.ii
+                ii_eff = max(ii_eff, int(-(-body_floor // 1)))  # ceil of the floor
+                cycles = (trips + kernel.stages - 1) * ii_eff + SWP_SETUP
+                return (
+                    float(cycles),
+                    float(ii_eff),
+                    ii_eff,
+                    kernel.stages,
+                    0.0,
+                    True,
+                )
+
+        schedule = list_schedule_reference(deps, machine)
+        pressure = max_live(deps, schedule)
+        base_period = max(steady_state_cycles_reference(deps, schedule, machine), body_floor)
+        spill = min(
+            spill_cycles(pressure, machine),
+            machine.spill_cap_fraction * base_period,
+        )
         period = base_period + spill
         if part.unroll_factor & (part.unroll_factor - 1):
             period += machine.nonpow2_body_cycles

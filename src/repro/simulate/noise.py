@@ -10,6 +10,20 @@ counter overhead (their instrumentation cost), and rare alignment outliers
 
 Everything is driven by an explicit :class:`numpy.random.Generator`, so the
 whole labelling pipeline is reproducible from one root seed.
+
+**Stream contract.**  For a batch of ``m`` loops measured ``n`` times each,
+exactly three fixed-size blocks are consumed from the generator, in order:
+
+1. ``m * n`` lognormal jitter values (row-major: loop 0's runs first);
+2. ``m * n`` uniforms deciding which measurements are outliers;
+3. ``m * n`` uniforms sizing the outlier inflation.
+
+Every block is always drawn in full — which measurements *are* outliers
+masks the inflation values, it never changes how many are drawn — so the
+stream position after a batch depends only on ``(m, n)``, never on the
+sampled data.  The scalar :meth:`NoiseModel.samples` is the ``m = 1`` row of
+this contract, bit-identical to :meth:`NoiseModel.batch_samples` on a
+one-row batch.
 """
 
 from __future__ import annotations
@@ -38,6 +52,46 @@ class NoiseModel:
     outlier_scale: float = 0.35
     counter_overhead: int = 9
 
+    def batch_samples(
+        self,
+        true_cycles: np.ndarray,
+        entry_counts: np.ndarray,
+        rng: np.random.Generator,
+        n: int = 30,
+    ) -> np.ndarray:
+        """Simulated measurements for a batch of loops.
+
+        Args:
+            true_cycles: ``(m,)`` noise-free cumulative cycles per loop.
+            entry_counts: ``(m,)`` loop entry counts (for counter overhead).
+            rng: the generator; consumes the three blocks of the module's
+                stream contract.
+            n: measurements per loop.
+
+        Returns:
+            ``(m, n)`` array, row ``i`` holding loop ``i``'s measurements.
+        """
+        base = (
+            np.asarray(true_cycles, dtype=float)
+            + np.asarray(entry_counts, dtype=float) * self.counter_overhead
+        )
+        m = base.shape[0]
+        jitter = rng.lognormal(mean=0.0, sigma=self.sigma, size=(m, n))
+        values = base[:, None] * jitter
+        outliers = rng.random((m, n)) < self.outlier_rate
+        inflation = 1.0 + rng.random((m, n)) * self.outlier_scale
+        return np.where(outliers, values * inflation, values)
+
+    def batch_medians(
+        self,
+        true_cycles: np.ndarray,
+        entry_counts: np.ndarray,
+        rng: np.random.Generator,
+        n: int = 30,
+    ) -> np.ndarray:
+        """Per-loop median of ``n`` measurements for a batch of loops."""
+        return np.median(self.batch_samples(true_cycles, entry_counts, rng, n), axis=1)
+
     def samples(
         self,
         true_cycles: float,
@@ -45,15 +99,15 @@ class NoiseModel:
         rng: np.random.Generator,
         n: int = 30,
     ) -> np.ndarray:
-        """Draw ``n`` simulated measurements of a loop's cumulative cycles."""
-        base = float(true_cycles) + entry_count * self.counter_overhead
-        jitter = rng.lognormal(mean=0.0, sigma=self.sigma, size=n)
-        values = base * jitter
-        outliers = rng.random(n) < self.outlier_rate
-        if outliers.any():
-            inflation = 1.0 + rng.random(int(outliers.sum())) * self.outlier_scale
-            values[outliers] *= inflation
-        return values
+        """Draw ``n`` simulated measurements of a loop's cumulative cycles.
+
+        The ``m = 1`` case of :meth:`batch_samples`: the same three blocks
+        are consumed (``n`` jitters, ``n`` outlier uniforms, ``n`` inflation
+        uniforms), so the generator advances by a data-independent amount.
+        """
+        return self.batch_samples(
+            np.array([float(true_cycles)]), np.array([entry_count]), rng, n
+        )[0]
 
     def median_measurement(
         self,
