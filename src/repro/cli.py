@@ -7,12 +7,17 @@ Subcommands map one-to-one onto the paper's artefacts:
 * ``table2`` — prediction-rank table for NN, SVM, and ORC.
 * ``speedups`` — Figures 4/5 (per-benchmark improvement over ORC).
 * ``features`` — Tables 3/4 (mutual information + greedy selection).
-* ``predict`` — train on the cached dataset and predict a factor for a
-  named library kernel (the compile-time deployment path).
+* ``predict`` — predict a factor for a named library kernel (the
+  compile-time deployment path).  With ``--model`` it loads a trained
+  artifact instead of retraining.
+* ``train`` — train both classifiers once and write a versioned model
+  artifact (the train-once half of train-once/serve-many).
+* ``serve`` — load an artifact and answer JSON-lines prediction requests
+  from stdin in one concurrent batch (the serve-many half).
 * ``export`` — dump the raw loop data in the release format.
 * ``cache`` — inspect or prune the measurement cache (stats/gc/clear).
-* ``bench`` — time the measure/label/select stages against the reference
-  implementations and write a ``BENCH_<date>.json`` perf report.
+* ``bench`` — time the measure/label/select/serve stages against the
+  reference implementations and write a ``BENCH_<date>.json`` perf report.
 
 Measurement fans out over ``--jobs`` worker processes (or ``$REPRO_JOBS``);
 results are bit-identical to a serial run at any parallelism.
@@ -185,10 +190,74 @@ def cmd_features(args) -> int:
     return 0
 
 
-def cmd_predict(args) -> int:
-    """Train on the cached dataset and advise a factor for a library kernel."""
+def _trained_heuristic(args):
+    """The prediction heuristic: loaded from ``--model`` when given, else
+    trained in-process on the (cached) dataset.  Returns ``None`` after
+    printing a diagnostic when the artifact cannot be served."""
+    if getattr(args, "model", None):
+        artifact = _load_model(args.model)
+        return None if artifact is None else artifact.heuristic(args.classifier)
     from repro.heuristics import train_nn_heuristic, train_svm_heuristic
     from repro.ml import selected_feature_union
+
+    artifacts = _artifacts(args)
+    dataset = artifacts.dataset
+    indices = selected_feature_union(dataset.X, dataset.labels, subsample=500)
+    trainer = train_svm_heuristic if args.classifier == "svm" else train_nn_heuristic
+    return trainer(dataset, feature_indices=indices)
+
+
+def _load_model(path):
+    """Load a model artifact, quarantining corrupt files; prints the
+    failure and returns ``None`` when the artifact cannot be served."""
+    from repro.registry import (
+        CorruptArtifactError,
+        StaleArtifactError,
+        load_or_quarantine,
+    )
+
+    try:
+        return load_or_quarantine(path)
+    except FileNotFoundError:
+        print(f"cannot load model {path}: no such file")
+    except StaleArtifactError as error:
+        print(f"stale model artifact: {error}")
+    except CorruptArtifactError as error:
+        print(f"corrupt model artifact (quarantined): {error}")
+    return None
+
+
+def cmd_train(args) -> int:
+    """Train both classifiers on the (cached) dataset and write a
+    versioned model artifact."""
+    from repro.ml import selected_feature_union
+    from repro.registry import train_model_artifact
+
+    artifacts = _artifacts(args)
+    dataset = artifacts.dataset
+    indices = selected_feature_union(dataset.X, dataset.labels, subsample=500)
+    artifact = train_model_artifact(
+        dataset,
+        feature_indices=indices,
+        provenance={
+            "suite_seed": args.seed,
+            "loops_scale": args.scale,
+            "swp": args.swp,
+        },
+    )
+    path = artifact.save(args.out)
+    print(
+        f"trained NN + SVM on {len(dataset)} loops "
+        f"({len(artifact.feature_names)} selected features: "
+        f"{', '.join(artifact.feature_names)})"
+    )
+    print(f"wrote model artifact {path} ({path.stat().st_size / 1024:.0f} KiB)")
+    return 0
+
+
+def cmd_predict(args) -> int:
+    """Advise a factor for a library kernel, from a trained artifact
+    (``--model``) or an in-process train on the cached dataset."""
     from repro.simulate import CostModel
     from repro.workloads.kernels import KERNELS
 
@@ -196,11 +265,9 @@ def cmd_predict(args) -> int:
         print(f"unknown kernel {args.kernel!r}; choose from: {', '.join(sorted(KERNELS))}")
         return 2
     loop = KERNELS[args.kernel]()
-    artifacts = _artifacts(args)
-    dataset = artifacts.dataset
-    indices = selected_feature_union(dataset.X, dataset.labels, subsample=500)
-    trainer = train_svm_heuristic if args.classifier == "svm" else train_nn_heuristic
-    heuristic = trainer(dataset, feature_indices=indices)
+    heuristic = _trained_heuristic(args)
+    if heuristic is None:
+        return 2
     factor = heuristic.predict_loop(loop)
     print(f"{args.classifier.upper()} predicts unroll factor {factor} for kernel {args.kernel!r}")
     sweep = CostModel(swp=args.swp).sweep(loop)
@@ -214,34 +281,69 @@ def cmd_predict(args) -> int:
 
 def cmd_predict_file(args) -> int:
     """Parse loops from a loop-language file and advise factors for them."""
-    from repro.frontend import ParseError, parse_program
-    from repro.heuristics import train_nn_heuristic, train_svm_heuristic
-    from repro.ml import selected_feature_union
+    from repro.frontend import LexError, ParseError, parse_program
     from repro.simulate import CostModel
 
     try:
         with open(args.file) as handle:
             parsed = parse_program(handle.read())
-    except (OSError, ParseError) as error:
+    except (OSError, LexError, ParseError) as error:
         print(f"cannot read {args.file}: {error}")
         return 2
 
-    artifacts = _artifacts(args)
-    dataset = artifacts.dataset
-    indices = selected_feature_union(dataset.X, dataset.labels, subsample=500)
-    trainer = train_svm_heuristic if args.classifier == "svm" else train_nn_heuristic
-    heuristic = trainer(dataset, feature_indices=indices)
+    heuristic = _trained_heuristic(args)
+    if heuristic is None:
+        return 2
     model = CostModel(swp=args.swp)
+    advised = 0
     for entry in parsed:
         loop = entry.loop
-        factor = heuristic.predict_loop(loop)
-        sweep = model.sweep(loop)
+        try:
+            factor = heuristic.predict_loop(loop)
+            sweep = model.sweep(loop)
+        except ValueError as error:
+            print(f"{loop.name}: not unrollable ({error})")
+            continue
+        advised += 1
         best = min(sweep, key=lambda u: sweep[u].total_cycles)
         penalty = sweep[factor].total_cycles / sweep[best].total_cycles - 1.0
         print(
             f"{loop.name}: predicted u={factor}, simulator-optimal u={best} "
             f"(prediction within {penalty:.1%})"
         )
+    if not advised:
+        print(f"no unrollable loop in {args.file}")
+        return 2
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Answer JSON-lines prediction requests from stdin in one batch."""
+    import time
+
+    from repro.serve import PredictionEngine
+
+    artifact = _load_model(args.model)
+    if artifact is None:
+        return 2
+    engine = PredictionEngine(artifact, classifier=args.classifier)
+    source = open(args.input) if args.input else sys.stdin
+    try:
+        lines = source.readlines()
+    finally:
+        if args.input:
+            source.close()
+    start = time.perf_counter()
+    responses = engine.serve_lines(lines, max_workers=args.workers)
+    wall = time.perf_counter() - start
+    import json
+
+    for response in responses:
+        print(json.dumps(response, sort_keys=True))
+    print(engine.rollup.latency_summary(wall), file=sys.stderr)
+    errors = sum(1 for r in responses if not r["ok"])
+    if errors:
+        print(f"{errors}/{len(responses)} request(s) failed", file=sys.stderr)
     return 0
 
 
@@ -296,6 +398,9 @@ def cmd_bench(args) -> int:
     select = report.stage("select").detail
     if not select.get("picks_match", True):
         print("WARNING: fast and reference feature selection disagree")
+    serve = report.stage("serve").detail
+    if not serve.get("predictions_match", True):
+        print("WARNING: served predictions disagree with retrain-per-request")
     path = write_report(report, args.out)
     print(f"wrote {path}")
     return 0
@@ -337,6 +442,7 @@ def main(argv=None) -> int:
         ("table2", cmd_table2, None),
         ("speedups", cmd_speedups, None),
         ("features", cmd_features, None),
+        ("train", cmd_train, "train"),
         ("predict", cmd_predict, "predict"),
         ("predict-file", cmd_predict_file, "predict-file"),
         ("suite-stats", cmd_suite_stats, None),
@@ -345,14 +451,48 @@ def main(argv=None) -> int:
         p = sub.add_parser(name)
         _add_common(p)
         p.set_defaults(handler=handler)
-        if extra == "predict":
+        if extra == "train":
+            p.add_argument(
+                "--out",
+                required=True,
+                help="output path for the model artifact (e.g. model.rma)",
+            )
+        elif extra == "predict":
             p.add_argument("kernel", help="library kernel name (e.g. daxpy)")
             p.add_argument("--classifier", choices=("nn", "svm"), default="svm")
+            p.add_argument(
+                "--model",
+                default=None,
+                help="serve from a trained model artifact instead of retraining",
+            )
         elif extra == "predict-file":
             p.add_argument("file", help="loop-language source file")
             p.add_argument("--classifier", choices=("nn", "svm"), default="svm")
+            p.add_argument(
+                "--model",
+                default=None,
+                help="serve from a trained model artifact instead of retraining",
+            )
         elif extra == "export":
             p.add_argument("output", help="output path for the raw loop data")
+
+    serve_parser = sub.add_parser(
+        "serve", help="answer JSON-lines prediction requests from stdin"
+    )
+    serve_parser.add_argument("--model", required=True, help="trained model artifact")
+    serve_parser.add_argument("--classifier", choices=("nn", "svm"), default="svm")
+    serve_parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=4,
+        help="prediction threads for the batch (default: 4)",
+    )
+    serve_parser.add_argument(
+        "--input",
+        default=None,
+        help="read requests from a file instead of stdin",
+    )
+    serve_parser.set_defaults(handler=cmd_serve)
 
     bench_parser = sub.add_parser(
         "bench", help="time the pipeline stages and write BENCH_<date>.json"

@@ -33,6 +33,27 @@ class Normalizer:
         """Undo the transform (used by visualisation helpers)."""
         return np.asarray(X, dtype=np.float64) * self.scale + self.shift
 
+    # ------------------------------------------------------------------
+    # Persistence (consumed by repro.registry model artifacts).
+    # ------------------------------------------------------------------
+
+    def get_state(self) -> dict:
+        """The fitted statistics as plain arrays/strings, for artifacts."""
+        return {
+            "shift": np.asarray(self.shift, dtype=np.float64),
+            "scale": np.asarray(self.scale, dtype=np.float64),
+            "method": self.method,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Normalizer":
+        """Rebuild a fitted normaliser exactly (bit-identical transforms)."""
+        return cls(
+            shift=np.asarray(state["shift"], dtype=np.float64),
+            scale=np.asarray(state["scale"], dtype=np.float64),
+            method=str(state["method"]),
+        )
+
 
 def fit_minmax(X: np.ndarray) -> Normalizer:
     """Min-max scaling to ``[0, 1]``; constant features map to 0."""

@@ -19,6 +19,15 @@ from repro.machine.model import MachineModel
 from repro.ml.dataset import LoopDataset
 from repro.ml.multiclass import OutputCodeClassifier
 from repro.ml.near_neighbor import NearNeighborClassifier
+from repro.ml.pairwise import PairwiseLSSVM
+
+#: Classifier types a :class:`LearnedHeuristic` can round-trip through a
+#: model artifact (see :mod:`repro.registry`).
+_CLASSIFIER_KINDS = {
+    NearNeighborClassifier: "near-neighbor",
+    PairwiseLSSVM: "pairwise-lssvm",
+}
+_CLASSIFIER_TYPES = {kind: cls for cls, kind in _CLASSIFIER_KINDS.items()}
 
 
 class LearnedHeuristic:
@@ -52,6 +61,40 @@ class LearnedHeuristic:
         if self.feature_indices is not None:
             X = X[:, self.feature_indices]
         return np.asarray(self.classifier.predict(X))
+
+    # ------------------------------------------------------------------
+    # Persistence (consumed by repro.registry model artifacts).
+    # ------------------------------------------------------------------
+
+    def get_state(self) -> dict:
+        """The heuristic's classifier state plus its feature subset."""
+        kind = _CLASSIFIER_KINDS.get(type(self.classifier))
+        if kind is None:
+            raise TypeError(
+                f"cannot serialise a {type(self.classifier).__name__} heuristic"
+            )
+        return {
+            "kind": kind,
+            "name": self.name,
+            "feature_indices": self.feature_indices,
+            "classifier": self.classifier.get_state(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict, machine: MachineModel = ITANIUM2) -> "LearnedHeuristic":
+        """Rebuild a heuristic from :meth:`get_state` output; predictions
+        are bit-identical to the serialised instance."""
+        kind = str(state["kind"])
+        try:
+            classifier_cls = _CLASSIFIER_TYPES[kind]
+        except KeyError:
+            raise ValueError(f"unknown classifier kind {kind!r}") from None
+        return cls(
+            classifier_cls.from_state(state["classifier"]),
+            feature_indices=state["feature_indices"],
+            machine=machine,
+            name=str(state["name"]),
+        )
 
 
 def train_nn_heuristic(

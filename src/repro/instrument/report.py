@@ -82,6 +82,40 @@ class MeasurementRollup:
         total = self.analysis_hits() + self.analysis_misses()
         return self.analysis_hits() / total if total else 0.0
 
+    # ------------------------------------------------------------------
+    # Latency/throughput view (used by the serving engine, where each
+    # "unit" is one prediction request and ``seconds`` is its latency).
+    # ------------------------------------------------------------------
+
+    def latency_percentiles(self, percentiles=(50.0, 95.0, 99.0)) -> dict[float, float]:
+        """Per-unit latency percentiles in seconds (empty dict when no
+        units were recorded)."""
+        if not self.timings:
+            return {}
+        seconds = np.array([t.seconds for t in self.timings])
+        return {p: float(np.percentile(seconds, p)) for p in percentiles}
+
+    def throughput(self, wall_seconds: float) -> float:
+        """Units completed per wall-clock second (0.0 for a zero/negative
+        wall time, so callers can print it unconditionally)."""
+        if wall_seconds <= 0.0:
+            return 0.0
+        return self.n_units / wall_seconds
+
+    def latency_summary(self, wall_seconds: float | None = None) -> str:
+        """One line of request-latency statistics for the serving CLI."""
+        if not self.timings:
+            return "no requests served"
+        pcts = self.latency_percentiles()
+        text = (
+            f"{self.n_units} request(s) over {len(self.per_worker())} worker(s); "
+            f"latency p50 {pcts[50.0] * 1e3:.2f}ms, p95 {pcts[95.0] * 1e3:.2f}ms, "
+            f"p99 {pcts[99.0] * 1e3:.2f}ms"
+        )
+        if wall_seconds is not None and wall_seconds > 0.0:
+            text += f"; {self.throughput(wall_seconds):.0f} req/s over {wall_seconds:.2f}s"
+        return text
+
     def summary(self) -> str:
         if not self.timings:
             return "no measurement units executed (cache hit)"

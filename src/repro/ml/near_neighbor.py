@@ -71,6 +71,33 @@ class NearNeighborClassifier:
             raise RuntimeError("classifier is not fitted")
 
     # ------------------------------------------------------------------
+    # Persistence (consumed by repro.registry model artifacts).
+    # ------------------------------------------------------------------
+
+    def get_state(self) -> dict:
+        """Everything a fitted classifier needs to predict, as plain
+        arrays/scalars.  The stored database is the *normalised* matrix, so
+        restoring never refits (and cannot drift)."""
+        self._require_fitted()
+        return {
+            "radius": float(self.radius),
+            "normalization": self.normalization,
+            "X": self._X,
+            "y": self._y,
+            "normalizer": self._normalizer.get_state(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "NearNeighborClassifier":
+        """Rebuild a fitted classifier; predictions are bit-identical to
+        the instance :meth:`get_state` was read from."""
+        clf = cls(radius=float(state["radius"]), normalization=str(state["normalization"]))
+        clf._X = np.asarray(state["X"], dtype=np.float64)
+        clf._y = np.asarray(state["y"], dtype=np.int64)
+        clf._normalizer = Normalizer.from_state(state["normalizer"])
+        return clf
+
+    # ------------------------------------------------------------------
 
     def predict_one(self, x: np.ndarray) -> NNPrediction:
         """Classify a single loop, reporting neighbor evidence."""

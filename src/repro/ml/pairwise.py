@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.features.normalize import fit_normalizer
+from repro.features.normalize import Normalizer, fit_normalizer
 from repro.ml.svm import LSSVM
 
 
@@ -91,6 +91,87 @@ class PairwiseLSSVM:
     def _require_fitted(self) -> None:
         if self._normalizer is None:
             raise RuntimeError("classifier is not fitted")
+
+    # ------------------------------------------------------------------
+    # Persistence (consumed by repro.registry model artifacts).
+    # ------------------------------------------------------------------
+
+    def get_state(self) -> dict:
+        """The fitted ensemble as plain arrays/scalars.
+
+        The prepared (normalised, weighted) training matrix is stored once;
+        each pair machine contributes only its row indices and dual
+        solution, so the artifact stays compact and reconstruction is an
+        exact slice — no refitting, no drift.
+        """
+        self._require_fitted()
+        pairs = []
+        for (a, b), machine in sorted(self._machines.items()):
+            solution = machine._solution
+            pairs.append(
+                {
+                    "a": int(a),
+                    "b": int(b),
+                    "rows": np.asarray(self._rows[(a, b)], dtype=np.int64),
+                    "alpha": np.asarray(solution.alpha, dtype=np.float64),
+                    "bias": np.asarray(solution.bias, dtype=np.float64),
+                }
+            )
+        return {
+            "classes": np.asarray(self.classes, dtype=np.int64),
+            "C": float(self.C),
+            "sigma": float(self.sigma),
+            "feature_weights": (
+                None
+                if self.feature_weights is None
+                else np.asarray(self.feature_weights, dtype=np.float64)
+            ),
+            "normalization": self.normalization,
+            "kernel": self.kernel,
+            "scale_ratio": float(self.scale_ratio),
+            "mix": float(self.mix),
+            "Z": self._Z_cache,
+            "y": self._y,
+            "normalizer": self._normalizer.get_state(),
+            "pairs": pairs,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "PairwiseLSSVM":
+        """Rebuild a fitted ensemble with bit-identical predictions."""
+        clf = cls(
+            classes=tuple(int(c) for c in state["classes"]),
+            C=float(state["C"]),
+            sigma=float(state["sigma"]),
+            feature_weights=state["feature_weights"],
+            normalization=str(state["normalization"]),
+            kernel=str(state["kernel"]),
+            scale_ratio=float(state["scale_ratio"]),
+            mix=float(state["mix"]),
+        )
+        clf._normalizer = Normalizer.from_state(state["normalizer"])
+        Z = np.asarray(state["Z"], dtype=np.float64)
+        y = np.asarray(state["y"], dtype=np.int64)
+        clf._Z_cache = Z
+        clf._y = y
+        for pair in state["pairs"]:
+            a, b = int(pair["a"]), int(pair["b"])
+            rows = np.asarray(pair["rows"], dtype=np.int64)
+            clf._machines[(a, b)] = LSSVM.from_state(
+                {
+                    "C": clf.C,
+                    "sigma": clf.sigma,
+                    "kernel": clf.kernel,
+                    "scale_ratio": clf.scale_ratio,
+                    "mix": clf.mix,
+                    "X": Z[rows],
+                    "alpha": pair["alpha"],
+                    "bias": pair["bias"],
+                    "targets": np.where(y[rows] == a, 1.0, -1.0),
+                }
+            )
+            clf._rows[(a, b)] = rows
+        return clf
 
     # ------------------------------------------------------------------
 

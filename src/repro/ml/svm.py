@@ -77,7 +77,7 @@ class LSSVMSolution:
     alpha: np.ndarray  # (n,) or (n, m) dual coefficients
     bias: np.ndarray  # scalar per problem, shape () or (m,)
     targets: np.ndarray  # the training targets Y
-    lu_factors: tuple  # LU factorisation of the system matrix
+    lu_factors: tuple | None  # LU factorisation (None on a restored model)
     inv_diag: np.ndarray | None = None  # diag(A^{-1}) over the alpha block (lazy)
 
 
@@ -158,6 +158,54 @@ class LSSVM:
             raise RuntimeError("LS-SVM is not fitted")
 
     # ------------------------------------------------------------------
+    # Persistence (consumed by repro.registry model artifacts).
+    # ------------------------------------------------------------------
+
+    def get_state(self) -> dict:
+        """The dual solution and training rows, as plain arrays/scalars.
+
+        The LU factorisation is deliberately excluded: it is only needed
+        for the leave-one-out shortcut, which deployment never uses.
+        """
+        self._require_fitted()
+        return {
+            "C": float(self.C),
+            "sigma": float(self.sigma),
+            "kernel": self.kernel,
+            "scale_ratio": float(self.scale_ratio),
+            "mix": float(self.mix),
+            "X": self._X,
+            "alpha": np.asarray(self._solution.alpha, dtype=np.float64),
+            "bias": np.asarray(self._solution.bias, dtype=np.float64),
+            "targets": np.asarray(self._solution.targets, dtype=np.float64),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "LSSVM":
+        """Rebuild a fitted machine with bit-identical decision values.
+
+        The restored machine predicts exactly (same kernel inputs, same
+        dual coefficients) but cannot compute leave-one-out values — that
+        requires the training factorisation, which artifacts do not carry.
+        """
+        machine = cls(
+            C=float(state["C"]),
+            sigma=float(state["sigma"]),
+            kernel=str(state["kernel"]),
+            scale_ratio=float(state["scale_ratio"]),
+            mix=float(state["mix"]),
+        )
+        bias = np.asarray(state["bias"], dtype=np.float64)
+        machine._X = np.asarray(state["X"], dtype=np.float64)
+        machine._solution = LSSVMSolution(
+            alpha=np.asarray(state["alpha"], dtype=np.float64),
+            bias=bias[()] if bias.ndim == 0 else bias,
+            targets=np.asarray(state["targets"], dtype=np.float64),
+            lu_factors=None,
+        )
+        return machine
+
+    # ------------------------------------------------------------------
 
     def decision_values(self, X: np.ndarray) -> np.ndarray:
         """``f(x)`` for query rows (one column per trained machine)."""
@@ -187,6 +235,11 @@ class LSSVM:
         """
         self._require_fitted()
         if self._solution.inv_diag is None:
+            if self._solution.lu_factors is None:
+                raise RuntimeError(
+                    "leave-one-out values are unavailable on a model restored "
+                    "from an artifact (no training factorisation)"
+                )
             n = len(self._X)
             inverse = scipy.linalg.lu_solve(self._solution.lu_factors, np.eye(n + 1))
             self._solution.inv_diag = np.diag(inverse)[1:].copy()

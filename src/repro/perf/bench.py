@@ -1,4 +1,4 @@
-"""The ``repro bench`` harness: time measure -> label -> select, twice.
+"""The ``repro bench`` harness: time measure -> label -> select -> serve.
 
 Every stage is timed through two implementations:
 
@@ -8,7 +8,7 @@ Every stage is timed through two implementations:
   feature subset);
 * **optimized** — the current defaults (two-stage cost model with the
   shared analysis cache, batched noise, incremental Gram/distance
-  workspaces).
+  workspaces, artifact-served batch prediction).
 
 The report is written as ``BENCH_<date>.json`` (schema below, versioned by
 :data:`BENCH_SCHEMA_VERSION`) so the repository accumulates a perf
@@ -28,7 +28,9 @@ from pathlib import Path
 import numpy as np
 
 #: Version of the BENCH_<date>.json schema; bump on layout changes.
-BENCH_SCHEMA_VERSION = 1
+#: v2: added the ``serve`` stage (retrain-per-request vs artifact-served
+#: batch prediction) and its sizing knobs in ``config``.
+BENCH_SCHEMA_VERSION = 2
 
 
 @dataclasses.dataclass(frozen=True)
@@ -44,12 +46,20 @@ class BenchConfig:
     loops_scale: float = 0.35
     subsample: int = 600
     n_greedy: int = 5
+    serve_requests: int = 64
+    serve_retrains: int = 3
     quick: bool = False
 
     @classmethod
     def quick_config(cls) -> "BenchConfig":
         """A CI-smoke-sized bench (small suite, small subsample)."""
-        return cls(loops_scale=0.08, subsample=200, quick=True)
+        return cls(
+            loops_scale=0.08,
+            subsample=200,
+            serve_requests=16,
+            serve_retrains=2,
+            quick=True,
+        )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -240,8 +250,70 @@ def _bench_select(dataset, config: BenchConfig) -> StageTiming:
     )
 
 
+def _bench_serve(dataset, config: BenchConfig) -> StageTiming:
+    """Time the deployment path: retrain-per-request (how ``repro predict``
+    worked before model artifacts existed) against a served batch through
+    a saved-then-loaded artifact and the prediction engine.
+
+    The reference side retrains the SVM for ``serve_retrains`` requests
+    and extrapolates to the batch size (retraining is uniform per
+    request); the optimized side times the *whole* serve path — artifact
+    load, engine construction, and the full concurrent batch.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.heuristics import train_svm_heuristic
+    from repro.registry import load_artifact, train_model_artifact
+    from repro.serve import PredictionEngine
+
+    n_requests = config.serve_requests
+    rows = dataset.X[np.arange(n_requests) % len(dataset)]
+
+    start = time.perf_counter()
+    reference_predictions = []
+    for i in range(config.serve_retrains):
+        heuristic = train_svm_heuristic(dataset)
+        reference_predictions.append(int(heuristic.predict_features(rows[i][None, :])[0]))
+    reference_timed = time.perf_counter() - start
+    per_request_reference = reference_timed / config.serve_retrains
+    reference_seconds = per_request_reference * n_requests
+
+    artifact = train_model_artifact(dataset)  # offline: not part of either side
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "bench-model.rma"
+        artifact.save(path)
+        requests = [
+            {"id": i, "features": [float(v) for v in rows[i]]} for i in range(n_requests)
+        ]
+        start = time.perf_counter()
+        served = PredictionEngine(load_artifact(path), classifier="svm")
+        responses = served.serve_batch(requests, max_workers=4)
+        optimized_seconds = time.perf_counter() - start
+
+    served_predictions = [r["factor"] for r in responses if r["ok"]]
+    predictions_match = (
+        len(served_predictions) == n_requests
+        and served_predictions[: len(reference_predictions)] == reference_predictions
+    )
+    per_request_served = optimized_seconds / n_requests
+    return StageTiming(
+        stage="serve",
+        reference_seconds=reference_seconds,
+        optimized_seconds=optimized_seconds,
+        detail={
+            "n_requests": n_requests,
+            "reference_requests_timed": config.serve_retrains,
+            "reference_ms_per_request": round(per_request_reference * 1e3, 3),
+            "served_ms_per_request": round(per_request_served * 1e3, 3),
+            "reference_extrapolated": True,
+            "predictions_match": bool(predictions_match),
+        },
+    )
+
+
 def run_bench(config: BenchConfig | None = None) -> BenchReport:
-    """Run the full measure -> label -> select bench, serially."""
+    """Run the full measure -> label -> select -> serve bench, serially."""
     from repro.workloads import generate_suite
 
     config = config or BenchConfig()
@@ -249,10 +321,11 @@ def run_bench(config: BenchConfig | None = None) -> BenchReport:
     measure_timing, table = _bench_measure(suite, config)
     label_timing, dataset = _bench_label(table, config)
     select_timing = _bench_select(dataset, config)
+    serve_timing = _bench_serve(dataset, config)
     return BenchReport(
         config=config,
         date=datetime.date.today().isoformat(),
-        stages=(measure_timing, label_timing, select_timing),
+        stages=(measure_timing, label_timing, select_timing, serve_timing),
     )
 
 

@@ -1,0 +1,43 @@
+"""Versioned, checksummed model artifacts (the train-once half).
+
+The paper's end product is a heuristic *deployed inside a compiler*:
+training happens once, offline, and the compiler only ever loads the
+result.  This package is that split's persistence layer — a
+:class:`ModelArtifact` bundles the trained NN and SVM heuristics, their
+fitted normalisers, the selected-feature subset, and provenance metadata
+into one deterministic, schema-versioned, checksummed file that
+:mod:`repro.serve` (and ``repro-unroll predict --model``) can load without
+touching the measurement pipeline.
+"""
+
+from repro.registry.artifact import (
+    ARTIFACT_SCHEMA_VERSION,
+    ArtifactError,
+    ArtifactStats,
+    ArtifactStore,
+    CorruptArtifactError,
+    ModelArtifact,
+    StaleArtifactError,
+    dataset_fingerprint,
+    default_artifact_dir,
+    load_artifact,
+    load_or_quarantine,
+    save_artifact,
+    train_model_artifact,
+)
+
+__all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
+    "ArtifactError",
+    "ArtifactStats",
+    "ArtifactStore",
+    "CorruptArtifactError",
+    "ModelArtifact",
+    "StaleArtifactError",
+    "dataset_fingerprint",
+    "default_artifact_dir",
+    "load_artifact",
+    "load_or_quarantine",
+    "save_artifact",
+    "train_model_artifact",
+]

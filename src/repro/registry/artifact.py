@@ -1,0 +1,447 @@
+"""The model-artifact container: deterministic, versioned, checksummed.
+
+An artifact is a zip file with three kinds of entries:
+
+* ``manifest.json`` — schema version, scalar classifier state (the nested
+  :meth:`~repro.heuristics.learned.LearnedHeuristic.get_state` tree with
+  every array leaf replaced by a named placeholder), the feature-name
+  list, provenance, and a SHA-256 checksum per array entry;
+* ``manifest.sha256`` — the digest of the manifest bytes themselves;
+* ``arrays/<key>.npy`` — each array leaf in NumPy's ``.npy`` format
+  (``allow_pickle=False`` on both ends).
+
+Three properties mirror the measurement cache's contract
+(:mod:`repro.pipeline.cache`):
+
+* **Deterministic bytes** — entries are stored uncompressed with pinned
+  zip timestamps, so the same trained model always serialises to the same
+  file (``save -> save`` is byte-identical, and artifacts diff cleanly).
+* **Atomic writes** — same-directory temp file + ``os.replace``; a reader
+  never observes a half-written artifact.
+* **Corruption is one exception** — truncation, bit flips, bad zip
+  containers, missing entries, and checksum mismatches all raise
+  :class:`CorruptArtifactError` (never ``BadZipFile``/``KeyError``); a
+  schema mismatch raises the distinct :class:`StaleArtifactError` because
+  the file is *valid*, just from another era, and must not be quarantined.
+
+Restored heuristics reproduce the serialised model's predictions
+bit-identically: the stored state is the fitted state (normalised
+databases, dual coefficients), never refit on load.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import io
+import json
+import logging
+import os
+import zipfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.features.catalog import FEATURE_NAMES
+from repro.heuristics.learned import (
+    LearnedHeuristic,
+    train_nn_heuristic,
+    train_svm_heuristic,
+)
+from repro.ir.loop import Loop
+from repro.machine.itanium2 import ITANIUM2
+from repro.machine.model import MachineModel
+from repro.ml.dataset import LoopDataset
+
+logger = logging.getLogger(__name__)
+
+#: Version of the artifact container schema.  A mismatch on load raises
+#: :class:`StaleArtifactError` — old artifacts are re-trained, never
+#: misread.
+ARTIFACT_SCHEMA_VERSION = 1
+
+#: Format tag written into (and demanded from) every manifest.
+ARTIFACT_FORMAT = "repro-model-artifact"
+
+#: Pinned zip timestamp (the zip epoch) so byte output is reproducible.
+_ZIP_EPOCH = (1980, 1, 1, 0, 0, 0)
+
+#: Default registry directory (repository-local, ignored by packaging).
+DEFAULT_ARTIFACT_DIR = Path(__file__).resolve().parents[3] / ".artifacts"
+
+
+class ArtifactError(RuntimeError):
+    """Base class for model-artifact load failures."""
+
+
+class CorruptArtifactError(ArtifactError):
+    """An artifact on disk is corrupt: truncated, bit-flipped, missing
+    entries, or failing its checksums.  Every deserialisation failure maps
+    onto this one exception so callers need a single ``except`` — and can
+    quarantine the file, exactly like the measurement cache."""
+
+
+class StaleArtifactError(ArtifactError):
+    """An artifact was written under a different schema version.  The file
+    is intact — it must not be quarantined — but cannot be served; the
+    remedy is retraining (``repro-unroll train``)."""
+
+
+def default_artifact_dir() -> Path:
+    """The active registry root: ``REPRO_ARTIFACT_DIR`` if set, else the
+    repository-local ``.artifacts/``."""
+    env = os.environ.get("REPRO_ARTIFACT_DIR", "").strip()
+    return Path(env) if env else DEFAULT_ARTIFACT_DIR
+
+
+def dataset_fingerprint(dataset: LoopDataset) -> str:
+    """A short stable hash of the training data (features + labels),
+    recorded as provenance so an artifact can be traced to its dataset."""
+    digest = hashlib.sha256()
+    digest.update(np.ascontiguousarray(dataset.X).tobytes())
+    digest.update(np.ascontiguousarray(dataset.labels).tobytes())
+    return digest.hexdigest()[:16]
+
+
+# ---------------------------------------------------------------------------
+# State-tree flattening: arrays out to named entries, scalars into JSON.
+# ---------------------------------------------------------------------------
+
+
+def _flatten(tree, key: str, arrays: dict[str, np.ndarray]):
+    """Replace every ndarray leaf with ``{"__array__": name}``, collecting
+    the arrays under slash-joined names."""
+    if isinstance(tree, np.ndarray):
+        arrays[key] = tree
+        return {"__array__": key}
+    if isinstance(tree, dict):
+        return {k: _flatten(v, f"{key}/{k}", arrays) for k, v in tree.items()}
+    if isinstance(tree, (list, tuple)):
+        return [_flatten(v, f"{key}/{i}", arrays) for i, v in enumerate(tree)]
+    if tree is None or isinstance(tree, (bool, int, float, str)):
+        return tree
+    raise TypeError(f"cannot serialise {type(tree).__name__} in a model artifact")
+
+
+def _unflatten(tree, arrays: dict[str, np.ndarray]):
+    """Inverse of :func:`_flatten`."""
+    if isinstance(tree, dict):
+        if set(tree) == {"__array__"}:
+            return arrays[tree["__array__"]]
+        return {k: _unflatten(v, arrays) for k, v in tree.items()}
+    if isinstance(tree, list):
+        return [_unflatten(v, arrays) for v in tree]
+    return tree
+
+
+# ---------------------------------------------------------------------------
+# The artifact itself.
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelArtifact:
+    """The deployable bundle: both trained heuristics plus metadata.
+
+    Attributes:
+        nn / svm: the trained heuristics (each owns its fitted normaliser
+            and the feature subset it was trained on).
+        feature_indices: catalog indices of the selected features (``None``
+            means the full catalog).
+        feature_names: names of the selected features, in subset order.
+        provenance: training metadata (suite seed/scale, SWP regime, row
+            count, dataset fingerprint, ...) — JSON-serialisable scalars.
+    """
+
+    nn: LearnedHeuristic
+    svm: LearnedHeuristic
+    feature_indices: np.ndarray | None
+    feature_names: tuple[str, ...]
+    provenance: dict
+
+    def heuristic(self, classifier: str = "svm") -> LearnedHeuristic:
+        """The trained heuristic by classifier name (``"nn"``/``"svm"``)."""
+        if classifier == "nn":
+            return self.nn
+        if classifier == "svm":
+            return self.svm
+        raise ValueError(f"unknown classifier {classifier!r}")
+
+    def predict_loop(self, loop: Loop, classifier: str = "svm") -> int:
+        return self.heuristic(classifier).predict_loop(loop)
+
+    def predict_features(self, X: np.ndarray, classifier: str = "svm") -> np.ndarray:
+        return self.heuristic(classifier).predict_features(X)
+
+    def save(self, path: str | Path) -> Path:
+        return save_artifact(self, path)
+
+
+def train_model_artifact(
+    dataset: LoopDataset,
+    feature_indices: np.ndarray | None = None,
+    provenance: dict | None = None,
+    machine: MachineModel = ITANIUM2,
+) -> ModelArtifact:
+    """Train both heuristics on a labelled dataset and bundle them.
+
+    ``provenance`` entries are merged over the defaults (row count, SWP
+    regime, dataset fingerprint) so callers can add suite seed/scale.
+    """
+    indices = (
+        None if feature_indices is None else np.asarray(feature_indices, dtype=np.int64)
+    )
+    names = (
+        FEATURE_NAMES if indices is None else tuple(FEATURE_NAMES[i] for i in indices)
+    )
+    merged = {
+        "n_rows": int(len(dataset)),
+        "swp": bool(dataset.swp),
+        "dataset_fingerprint": dataset_fingerprint(dataset),
+        "machine": machine.name,
+    }
+    merged.update(provenance or {})
+    return ModelArtifact(
+        nn=train_nn_heuristic(dataset, feature_indices=indices, machine=machine),
+        svm=train_svm_heuristic(dataset, feature_indices=indices, machine=machine),
+        feature_indices=indices,
+        feature_names=names,
+        provenance=merged,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Serialisation.
+# ---------------------------------------------------------------------------
+
+
+def _array_bytes(array: np.ndarray) -> bytes:
+    buffer = io.BytesIO()
+    np.lib.format.write_array(buffer, np.ascontiguousarray(array), allow_pickle=False)
+    return buffer.getvalue()
+
+
+def save_artifact(artifact: ModelArtifact, path: str | Path) -> Path:
+    """Atomically serialise an artifact; byte output is deterministic."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    arrays: dict[str, np.ndarray] = {}
+    state_tree = _flatten(
+        {
+            "nn": artifact.nn.get_state(),
+            "svm": artifact.svm.get_state(),
+            "feature_indices": artifact.feature_indices,
+        },
+        "state",
+        arrays,
+    )
+    entries = {f"arrays/{key}.npy": _array_bytes(array) for key, array in arrays.items()}
+    manifest = {
+        "format": ARTIFACT_FORMAT,
+        "schema_version": ARTIFACT_SCHEMA_VERSION,
+        "state": state_tree,
+        "feature_names": list(artifact.feature_names),
+        "provenance": artifact.provenance,
+        "checksums": {
+            name: hashlib.sha256(data).hexdigest() for name, data in sorted(entries.items())
+        },
+    }
+    manifest_bytes = json.dumps(manifest, sort_keys=True, indent=1).encode()
+
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    try:
+        with zipfile.ZipFile(tmp, "w", compression=zipfile.ZIP_STORED) as archive:
+            def write(name: str, data: bytes) -> None:
+                archive.writestr(zipfile.ZipInfo(name, date_time=_ZIP_EPOCH), data)
+
+            write("manifest.json", manifest_bytes)
+            write("manifest.sha256", hashlib.sha256(manifest_bytes).hexdigest().encode())
+            for name in sorted(entries):
+                write(name, entries[name])
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    return path
+
+
+def load_artifact(path: str | Path, machine: MachineModel = ITANIUM2) -> ModelArtifact:
+    """Load and verify an artifact.
+
+    Raises:
+        FileNotFoundError: no file at ``path`` (not a corruption — mirrors
+            :meth:`MeasurementTable.load`).
+        StaleArtifactError: intact artifact from a different schema version.
+        CorruptArtifactError: anything else that prevents a verified load.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(path)
+    try:
+        with zipfile.ZipFile(path) as archive:
+            manifest_bytes = archive.read("manifest.json")
+            recorded = archive.read("manifest.sha256").decode("ascii").strip()
+            if hashlib.sha256(manifest_bytes).hexdigest() != recorded:
+                raise CorruptArtifactError(f"{path}: manifest checksum mismatch")
+            manifest = json.loads(manifest_bytes)
+            if manifest.get("format") != ARTIFACT_FORMAT:
+                raise CorruptArtifactError(
+                    f"{path}: not a model artifact (format={manifest.get('format')!r})"
+                )
+            version = manifest.get("schema_version")
+            if version != ARTIFACT_SCHEMA_VERSION:
+                raise StaleArtifactError(
+                    f"{path}: artifact schema v{version} does not match the "
+                    f"current v{ARTIFACT_SCHEMA_VERSION}; retrain with "
+                    f"'repro-unroll train'"
+                )
+            arrays: dict[str, np.ndarray] = {}
+            for name, checksum in manifest["checksums"].items():
+                data = archive.read(name)
+                if hashlib.sha256(data).hexdigest() != checksum:
+                    raise CorruptArtifactError(f"{path}: checksum mismatch in {name}")
+                key = name[len("arrays/") : -len(".npy")]
+                arrays[key] = np.lib.format.read_array(
+                    io.BytesIO(data), allow_pickle=False
+                )
+            state = _unflatten(manifest["state"], arrays)
+            indices = state["feature_indices"]
+            return ModelArtifact(
+                nn=LearnedHeuristic.from_state(state["nn"], machine=machine),
+                svm=LearnedHeuristic.from_state(state["svm"], machine=machine),
+                feature_indices=(
+                    None if indices is None else np.asarray(indices, dtype=np.int64)
+                ),
+                feature_names=tuple(manifest["feature_names"]),
+                provenance=dict(manifest["provenance"]),
+            )
+    except (FileNotFoundError, StaleArtifactError, CorruptArtifactError):
+        raise
+    except Exception as error:  # BadZipFile, KeyError, json/format errors, ...
+        raise CorruptArtifactError(f"unreadable model artifact {path}: {error}") from error
+
+
+def load_or_quarantine(path: str | Path, machine: MachineModel = ITANIUM2) -> ModelArtifact:
+    """Load an artifact; on corruption, quarantine the file (rename
+    ``*.corrupt``) before re-raising so it can never be re-read as live.
+    Stale artifacts are left in place — they are valid files."""
+    path = Path(path)
+    try:
+        return load_artifact(path, machine=machine)
+    except CorruptArtifactError as error:
+        target = path.with_name(path.name + ArtifactStore.QUARANTINE_SUFFIX)
+        try:
+            os.replace(path, target)
+            logger.warning("quarantined corrupt model artifact %s: %s", path.name, error)
+        except FileNotFoundError:
+            pass  # another process already moved or removed it
+        raise
+
+
+# ---------------------------------------------------------------------------
+# The registry store (named artifacts under one root, CacheStore-style).
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ArtifactStats:
+    """A snapshot of the registry's contents."""
+
+    directory: Path
+    n_entries: int
+    n_quarantined: int
+    n_stale_tmp: int
+    total_bytes: int
+
+    def summary(self) -> str:
+        return (
+            f"{self.directory}: {self.n_entries} artifact(s) "
+            f"({self.total_bytes / 1024:.0f} KiB), "
+            f"{self.n_quarantined} quarantined, {self.n_stale_tmp} stale temp file(s)"
+        )
+
+
+class ArtifactStore:
+    """Named model artifacts under one directory, with self-healing loads.
+
+    Mirrors :class:`~repro.pipeline.cache.CacheStore`: atomic writes,
+    corrupt entries quarantined and reported as misses, stale-schema
+    entries reported as misses but left in place (a retrain overwrites
+    them).
+    """
+
+    PREFIX = "model_"
+    SUFFIX = ".rma"
+    QUARANTINE_SUFFIX = ".corrupt"
+
+    def __init__(self, root: str | Path | None = None):
+        self.root = Path(root) if root is not None else default_artifact_dir()
+
+    def path_for(self, name: str) -> Path:
+        return self.root / f"{self.PREFIX}{name}{self.SUFFIX}"
+
+    def entries(self) -> list[Path]:
+        return sorted(self.root.glob(f"{self.PREFIX}*{self.SUFFIX}"))
+
+    def quarantined(self) -> list[Path]:
+        return sorted(self.root.glob(f"*{self.QUARANTINE_SUFFIX}"))
+
+    def stale_tmp(self) -> list[Path]:
+        return sorted(self.root.glob(".*.tmp"))
+
+    # ------------------------------------------------------------------
+
+    def load(self, name: str, machine: MachineModel = ITANIUM2) -> ModelArtifact | None:
+        """The stored artifact, or ``None`` on a miss (absent, corrupt —
+        quarantined — or schema-stale)."""
+        path = self.path_for(name)
+        try:
+            return load_or_quarantine(path, machine=machine)
+        except FileNotFoundError:
+            return None
+        except StaleArtifactError as error:
+            logger.warning("ignoring stale model artifact %s: %s", path.name, error)
+            return None
+        except CorruptArtifactError:
+            return None  # already quarantined
+
+    def store(self, name: str, artifact: ModelArtifact) -> Path:
+        return save_artifact(artifact, self.path_for(name))
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> ArtifactStats:
+        entries = self.entries()
+        return ArtifactStats(
+            directory=self.root,
+            n_entries=len(entries),
+            n_quarantined=len(self.quarantined()),
+            n_stale_tmp=len(self.stale_tmp()),
+            total_bytes=sum(p.stat().st_size for p in entries if p.exists()),
+        )
+
+    def gc(self) -> list[Path]:
+        """Prune everything unservable: quarantined files, stale temp
+        files, and entries that fail to load (corrupt or schema-stale).
+        Returns what was removed."""
+        removed: list[Path] = []
+        for path in self.quarantined() + self.stale_tmp():
+            path.unlink(missing_ok=True)
+            removed.append(path)
+        for path in self.entries():
+            try:
+                load_artifact(path)
+            except (CorruptArtifactError, StaleArtifactError):
+                path.unlink(missing_ok=True)
+                removed.append(path)
+            except FileNotFoundError:
+                pass
+        return removed
+
+    def clear(self) -> int:
+        """Remove every file (live, quarantined, temp); returns the count."""
+        count = 0
+        for path in self.entries() + self.quarantined() + self.stale_tmp():
+            path.unlink(missing_ok=True)
+            count += 1
+        return count

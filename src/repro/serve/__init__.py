@@ -1,0 +1,28 @@
+"""The serving half of the train-once/serve-many split.
+
+:class:`PredictionEngine` loads a trained :class:`~repro.registry.ModelArtifact`
+once and answers batched prediction requests — loop source or feature
+vectors in, unroll factors out — with a malformed-input error taxonomy
+instead of crashes, and per-request latency/throughput counters flowing
+through :class:`~repro.instrument.MeasurementRollup`.
+"""
+
+from repro.serve.engine import (
+    ERROR_BAD_FEATURE_VECTOR,
+    ERROR_INTERNAL,
+    ERROR_INVALID_JSON,
+    ERROR_MALFORMED_REQUEST,
+    ERROR_UNPARSEABLE_LOOP,
+    PredictionEngine,
+    error_response,
+)
+
+__all__ = [
+    "ERROR_BAD_FEATURE_VECTOR",
+    "ERROR_INTERNAL",
+    "ERROR_INVALID_JSON",
+    "ERROR_MALFORMED_REQUEST",
+    "ERROR_UNPARSEABLE_LOOP",
+    "PredictionEngine",
+    "error_response",
+]

@@ -1,0 +1,235 @@
+"""The batched prediction engine.
+
+One engine wraps one loaded artifact and answers any number of requests
+without ever retraining — the paper's compile-time deployment path scaled
+to service shape.  Requests are plain dicts (the JSON-lines protocol of
+``repro-unroll serve``):
+
+* ``{"id": ..., "features": [38 floats]}`` — a pre-extracted feature
+  vector in catalog order;
+* ``{"id": ..., "source": "loop ... end"}`` — loop-language source; every
+  loop in the program gets a prediction;
+* either form takes an optional ``"classifier": "nn" | "svm"``.
+
+Responses mirror the request ``id`` and either carry a factor or a typed
+error — **every** malformed input maps onto the error taxonomy below and
+comes back as a response; the engine never raises on bad input, so one
+poisoned request cannot take down a batch.
+
+Each request is timed and recorded into a
+:class:`~repro.instrument.MeasurementRollup` (one unit per request,
+``seconds`` = latency), which gives the CLI p50/p95/p99 latency and
+requests-per-second for free.  Batches fan out over a thread pool —
+prediction is pure NumPy on immutable state, so requests are trivially
+parallel — and responses always come back in request order.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.features.catalog import N_FEATURES
+from repro.instrument.report import MeasurementRollup, UnitTiming
+from repro.registry.artifact import ModelArtifact
+
+#: A line that was not valid JSON (only the CLI layer produces this).
+ERROR_INVALID_JSON = "invalid-json"
+#: Structurally wrong request: not an object, no/ambiguous payload,
+#: unknown classifier.
+ERROR_MALFORMED_REQUEST = "malformed-request"
+#: A feature vector of the wrong length, or with non-numeric/non-finite
+#: entries.
+ERROR_BAD_FEATURE_VECTOR = "bad-feature-vector"
+#: Loop source that does not lex/parse (including "no loops found").
+ERROR_UNPARSEABLE_LOOP = "unparseable-loop"
+#: Anything unexpected; the message carries the exception text.
+ERROR_INTERNAL = "internal-error"
+
+_CLASSIFIERS = ("nn", "svm")
+
+
+def error_response(request_id, error_type: str, message: str, latency_s: float = 0.0) -> dict:
+    """A typed error response (the only failure shape the engine emits)."""
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"type": error_type, "message": message},
+        "latency_ms": round(latency_s * 1e3, 3),
+    }
+
+
+class _MalformedRequest(Exception):
+    """Internal: maps a validation failure onto (error_type, message)."""
+
+    def __init__(self, error_type: str, message: str):
+        super().__init__(message)
+        self.error_type = error_type
+
+
+class _InvalidLine:
+    """Sentinel for a JSON-lines entry that failed to parse."""
+
+    __slots__ = ("message",)
+
+    def __init__(self, message: str):
+        self.message = message
+
+
+class PredictionEngine:
+    """Load an artifact once, answer batched requests concurrently."""
+
+    def __init__(
+        self,
+        artifact: ModelArtifact,
+        classifier: str = "svm",
+        rollup: MeasurementRollup | None = None,
+    ):
+        if classifier not in _CLASSIFIERS:
+            raise ValueError(f"unknown classifier {classifier!r}")
+        self.artifact = artifact
+        self.default_classifier = classifier
+        self.rollup = rollup if rollup is not None else MeasurementRollup()
+        # Requests carry full-catalog vectors when the model selects a
+        # subset (the heuristic applies it); models trained without a
+        # subset dictate their own input width.
+        if artifact.feature_indices is not None:
+            self.input_width = N_FEATURES
+        else:
+            self.input_width = int(artifact.nn.classifier._X.shape[1])
+
+    # ------------------------------------------------------------------
+
+    def handle(self, request) -> dict:
+        """Answer one request dict; never raises on bad input."""
+        start = time.perf_counter()
+        request_id = request.get("id") if isinstance(request, dict) else None
+        try:
+            payload, n_loops = self._dispatch(request)
+        except _MalformedRequest as error:
+            latency = time.perf_counter() - start
+            self._record(0, 0, latency)
+            return error_response(request_id, error.error_type, str(error), latency)
+        except Exception as error:  # pragma: no cover - defensive catch-all
+            latency = time.perf_counter() - start
+            self._record(0, 0, latency)
+            return error_response(request_id, ERROR_INTERNAL, str(error), latency)
+        latency = time.perf_counter() - start
+        self._record(payload["factor"], n_loops, latency)
+        response = {"id": request_id, "ok": True, "latency_ms": round(latency * 1e3, 3)}
+        response.update(payload)
+        return response
+
+    def serve_batch(self, requests, max_workers: int | None = None) -> list[dict]:
+        """Answer a batch; responses come back in request order.
+
+        ``max_workers`` > 1 fans requests over a thread pool (prediction
+        is pure NumPy on immutable state); the default serves serially.
+        """
+        requests = list(requests)
+        if max_workers is not None and max_workers > 1 and len(requests) > 1:
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                return list(pool.map(self.handle, requests))
+        return [self.handle(request) for request in requests]
+
+    def serve_lines(self, lines, max_workers: int | None = None) -> list[dict]:
+        """The JSON-lines batch protocol: one request per non-blank line;
+        a line that is not valid JSON yields an ``invalid-json`` response
+        in its slot rather than aborting the batch."""
+        requests = []
+        for line in lines:
+            text = line.strip()
+            if not text:
+                continue
+            try:
+                requests.append(json.loads(text))
+            except json.JSONDecodeError as error:
+                requests.append(_InvalidLine(str(error)))
+        return self.serve_batch(requests, max_workers=max_workers)
+
+    # ------------------------------------------------------------------
+
+    def _record(self, factor: int, n_loops: int, seconds: float) -> None:
+        self.rollup.record(
+            UnitTiming(
+                benchmark="serve",
+                factor=int(factor),
+                worker=threading.get_ident(),
+                n_loops=n_loops,
+                seconds=seconds,
+            )
+        )
+
+    def _dispatch(self, request) -> tuple[dict, int]:
+        if isinstance(request, _InvalidLine):
+            raise _MalformedRequest(ERROR_INVALID_JSON, request.message)
+        if not isinstance(request, dict):
+            raise _MalformedRequest(
+                ERROR_MALFORMED_REQUEST,
+                f"request must be a JSON object, got {type(request).__name__}",
+            )
+        classifier = request.get("classifier", self.default_classifier)
+        if classifier not in _CLASSIFIERS:
+            raise _MalformedRequest(
+                ERROR_MALFORMED_REQUEST,
+                f"unknown classifier {classifier!r} (choose from {', '.join(_CLASSIFIERS)})",
+            )
+        has_features = "features" in request
+        has_source = "source" in request
+        if has_features == has_source:
+            raise _MalformedRequest(
+                ERROR_MALFORMED_REQUEST,
+                "request needs exactly one of 'features' or 'source'",
+            )
+        if has_features:
+            factor = self._predict_features(request["features"], classifier)
+            return {"factor": factor, "classifier": classifier}, 1
+        loops = self._predict_source(request["source"], classifier)
+        payload = {
+            "factor": loops[0]["factor"],
+            "classifier": classifier,
+            "loops": loops,
+        }
+        return payload, len(loops)
+
+    def _predict_features(self, features, classifier: str) -> int:
+        if not isinstance(features, (list, tuple)):
+            raise _MalformedRequest(
+                ERROR_BAD_FEATURE_VECTOR, "'features' must be a list of numbers"
+            )
+        try:
+            vector = np.asarray(features, dtype=np.float64)
+        except (TypeError, ValueError):
+            raise _MalformedRequest(
+                ERROR_BAD_FEATURE_VECTOR, "'features' contains non-numeric entries"
+            ) from None
+        if vector.shape != (self.input_width,):
+            raise _MalformedRequest(
+                ERROR_BAD_FEATURE_VECTOR,
+                f"expected {self.input_width} features, got shape {vector.shape}",
+            )
+        if not np.isfinite(vector).all():
+            raise _MalformedRequest(
+                ERROR_BAD_FEATURE_VECTOR, "'features' contains non-finite entries"
+            )
+        heuristic = self.artifact.heuristic(classifier)
+        return int(heuristic.predict_features(vector[None, :])[0])
+
+    def _predict_source(self, source, classifier: str) -> list[dict]:
+        from repro.frontend import LexError, ParseError, parse_program
+
+        if not isinstance(source, str):
+            raise _MalformedRequest(ERROR_UNPARSEABLE_LOOP, "'source' must be a string")
+        try:
+            entries = parse_program(source)
+        except (LexError, ParseError) as error:
+            raise _MalformedRequest(ERROR_UNPARSEABLE_LOOP, str(error)) from None
+        heuristic = self.artifact.heuristic(classifier)
+        return [
+            {"loop": entry.loop.name, "factor": int(heuristic.predict_loop(entry.loop))}
+            for entry in entries
+        ]

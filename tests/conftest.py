@@ -23,16 +23,29 @@ from repro.workloads.generator import generate_benchmark
 from repro.workloads.spec_names import ROSTER
 
 
+def _worker_suffix() -> str:
+    """A per-process suffix so parallel test runs never share state dirs.
+
+    Under pytest-xdist every worker gets its own ``tmp_path_factory``
+    basetemp already; the explicit worker id keeps the isolation obvious
+    (and correct even if a plugin rewires basetemp) at zero cost for
+    serial runs, where it degrades to ``"serial"``.
+    """
+    return os.environ.get("PYTEST_XDIST_WORKER", "serial")
+
+
 @pytest.fixture(scope="session", autouse=True)
 def isolated_cache_dir(tmp_path_factory):
     """Point every cache-aware code path (CLI tests included) at a
-    per-session temp directory instead of the repo-level ``.cache/``.
+    per-session, per-xdist-worker temp directory instead of the
+    repo-level ``.cache/``.
 
     Commands within one session still share warm artefacts, but nothing
-    leaks between test runs and no test can be broken by (or corrupt) the
-    developer's working cache.
+    leaks between test runs, no test can be broken by (or corrupt) the
+    developer's working cache, and two ``-n auto`` workers never race on
+    the same cache files.
     """
-    cache_dir = tmp_path_factory.mktemp("measurement-cache")
+    cache_dir = tmp_path_factory.mktemp(f"measurement-cache-{_worker_suffix()}")
     previous = os.environ.get("REPRO_CACHE_DIR")
     os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
     yield cache_dir
@@ -40,6 +53,21 @@ def isolated_cache_dir(tmp_path_factory):
         os.environ.pop("REPRO_CACHE_DIR", None)
     else:
         os.environ["REPRO_CACHE_DIR"] = previous
+
+
+@pytest.fixture(scope="session", autouse=True)
+def isolated_artifact_dir(tmp_path_factory):
+    """Same isolation for model artifacts: ``repro train``/``ArtifactStore``
+    default to the repo-level ``.artifacts/`` via ``REPRO_ARTIFACT_DIR``,
+    which tests must never touch."""
+    artifact_dir = tmp_path_factory.mktemp(f"model-artifacts-{_worker_suffix()}")
+    previous = os.environ.get("REPRO_ARTIFACT_DIR")
+    os.environ["REPRO_ARTIFACT_DIR"] = str(artifact_dir)
+    yield artifact_dir
+    if previous is None:
+        os.environ.pop("REPRO_ARTIFACT_DIR", None)
+    else:
+        os.environ["REPRO_ARTIFACT_DIR"] = previous
 
 
 @pytest.fixture

@@ -103,3 +103,84 @@ def random_loops(draw):
         pred = builder.cmp(CmpOp.GT, values[0], builder.fconst(0.0), fp=True)
         builder.store(values[0], "pred_out", pred=pred)
     return builder.build()
+
+
+#: Trip counts that stress the remainder machinery: nothing a factor in
+#: 2..8 divides cleanly, plus the degenerate 1..3 range where the main
+#: loop may not run at all.
+AWKWARD_TRIPS = st.sampled_from([1, 2, 3, 5, 7, 11, 13, 17, 23, 29, 37, 41, 65, 97])
+
+
+@st.composite
+def awkward_trip_loops(draw):
+    """A well-formed counted loop whose trip count is deliberately not a
+    multiple (nor usually a power) of two — every unroll factor in 2..8
+    leaves a remainder, and tiny trips force the factor-clamping path."""
+    trip = draw(AWKWARD_TRIPS)
+    known = draw(st.booleans())
+    builder = LoopBuilder(
+        "awkward",
+        TripInfo(runtime=trip, compile_time=trip if known else None),
+    )
+    acc = builder.carried(DType.F64, init=draw(st.floats(-1.0, 1.0)))
+    value = builder.load("a", offset=draw(st.integers(0, 2)))
+    builder.fp(draw(st.sampled_from(FP_OPS)), acc, value, dest=acc)
+    if draw(st.booleans()):
+        builder.store(acc, "out")
+    return builder.build(), builder.carried_inits
+
+
+@st.composite
+def predicated_loops(draw):
+    """A loop whose body is dominated by predicated execution: a compare
+    guards an FP op and a store (the ``conditional_update`` idiom), with an
+    optional predicated load on the same predicate."""
+    trip = draw(st.integers(min_value=1, max_value=48))
+    known = draw(st.booleans())
+    builder = LoopBuilder(
+        "predicated",
+        TripInfo(runtime=trip, compile_time=trip if known else None),
+    )
+    value = builder.load("a", offset=draw(st.integers(0, 1)))
+    threshold = builder.fconst(draw(st.floats(-0.5, 0.5)))
+    above = builder.cmp(draw(st.sampled_from([CmpOp.GT, CmpOp.LT, CmpOp.GE])),
+                        value, threshold, fp=True)
+    scaled = builder.fp(
+        draw(st.sampled_from(FP_OPS)),
+        value,
+        builder.fconst(draw(st.floats(0.5, 2.0))),
+        pred=above,
+    )
+    builder.store(scaled, "out", pred=above)
+    if draw(st.booleans()):
+        # A predicated load consumed under the same predicate: the whole
+        # chain is dead on false predicates, so per-copy renaming in the
+        # unroller must keep each copy's chain on its own predicate.
+        extra = builder.load("b", pred=above)
+        builder.store(extra, "bout", pred=above)
+    return builder.build()
+
+
+@st.composite
+def early_exit_loops(draw):
+    """A while-style sentinel search plus where its exit fires.
+
+    Returns ``(loop, key_reg, exit_at)``: the loop exits when ``a[i]``
+    equals the invariant ``key_reg``; tests plant the key at index
+    ``exit_at`` (always < trip, so strict-exit runs terminate) and may
+    also zero the rest of ``a`` to keep the sentinel unique."""
+    trip = draw(st.integers(min_value=2, max_value=40))
+    exit_at = draw(st.integers(min_value=0, max_value=trip - 1))
+    builder = LoopBuilder(
+        "early-exit",
+        TripInfo(runtime=trip, compile_time=None, counted=False),
+    )
+    key = builder.reg(DType.F64)  # invariant live-in: the searched-for value
+    value = builder.load("a")
+    found = builder.cmp(CmpOp.EQ, value, key, fp=True)
+    builder.exit_if(found)
+    running = builder.carried(DType.F64, init=0.0)
+    builder.fp(Opcode.FADD, running, value, dest=running)
+    if draw(st.booleans()):
+        builder.store(running, "partial")
+    return builder.build(), key, exit_at

@@ -6,11 +6,22 @@ because the generator's work-floor bias keeps enough loops above 50k
 cycles even at small scales.
 """
 
+import json
+import re
+
 import pytest
 
 from repro.cli import main
 
 SCALE = ["--scale", "0.05", "--seed", "99"]
+
+VALID_LOOP = (
+    "loop cli_test trip=512 entries=8\n"
+    "  %x = load a[i]\n"
+    "  %y = fmul %x, 2.0\n"
+    "  store %y -> b[i]\n"
+    "end\n"
+)
 
 
 @pytest.fixture(scope="module", autouse=True)
@@ -74,13 +85,7 @@ class TestCommands:
 
     def test_predict_file(self, tmp_path, capsys):
         source = tmp_path / "loops.rul"
-        source.write_text(
-            "loop cli_test trip=512 entries=8\n"
-            "  %x = load a[i]\n"
-            "  %y = fmul %x, 2.0\n"
-            "  store %y -> b[i]\n"
-            "end\n"
-        )
+        source.write_text(VALID_LOOP)
         assert main(["predict-file", str(source), *SCALE]) == 0
         out = capsys.readouterr().out
         assert "cli_test: predicted u=" in out
@@ -103,3 +108,137 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "mean svm" in out
         assert "164.gzip" in out
+
+
+@pytest.fixture(scope="module")
+def model_path(tmp_path_factory):
+    """One trained artifact for the whole module (training rides on the
+    module's warm measurement cache)."""
+    path = tmp_path_factory.mktemp("model") / "model.rma"
+    assert main(["train", *SCALE, "--out", str(path)]) == 0
+    return path
+
+
+def _predicted_factor(out: str) -> int:
+    match = re.search(r"predicts unroll factor (\d+)", out)
+    assert match, out
+    return int(match.group(1))
+
+
+class TestModelCommands:
+    def test_train_reports_what_it_wrote(self, model_path, tmp_path, capsys):
+        target = tmp_path / "again.rma"
+        assert main(["train", *SCALE, "--out", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "selected features" in out
+        assert "wrote model artifact" in out
+        # Determinism end to end: retraining on the cached dataset writes
+        # the same bytes.
+        assert target.read_bytes() == model_path.read_bytes()
+
+    def test_predict_from_model_matches_in_process_train(self, model_path, capsys):
+        """Acceptance: serving from the artifact is bit-identical to the
+        retrain-per-invocation path it replaces."""
+        assert main(["predict", "daxpy", *SCALE, "--model", str(model_path)]) == 0
+        from_model = _predicted_factor(capsys.readouterr().out)
+        assert main(["predict", "daxpy", *SCALE]) == 0
+        from_scratch = _predicted_factor(capsys.readouterr().out)
+        assert from_model == from_scratch
+
+    def test_predict_missing_model_file(self, tmp_path, capsys):
+        assert (
+            main(["predict", "daxpy", *SCALE, "--model", str(tmp_path / "no.rma")]) == 2
+        )
+        assert "no such file" in capsys.readouterr().out
+
+    def test_predict_corrupt_model_quarantines(self, tmp_path, capsys):
+        bad = tmp_path / "bad.rma"
+        bad.write_bytes(b"rotten to the core")
+        assert main(["predict", "daxpy", *SCALE, "--model", str(bad)]) == 2
+        assert "corrupt model artifact" in capsys.readouterr().out
+        assert not bad.exists()
+        assert (tmp_path / "bad.rma.corrupt").exists()
+
+    def test_predict_stale_model_schema(self, model_path, tmp_path, capsys):
+        from repro.registry import ARTIFACT_SCHEMA_VERSION
+        from tests.test_model_artifacts import _rewrite_with_manifest
+
+        old = tmp_path / "old.rma"
+
+        def bump(manifest):
+            manifest["schema_version"] = ARTIFACT_SCHEMA_VERSION + 1
+
+        _rewrite_with_manifest(model_path, old, bump)
+        assert main(["predict", "daxpy", *SCALE, "--model", str(old)]) == 2
+        assert "stale model artifact" in capsys.readouterr().out
+        assert old.exists()  # stale files are never quarantined
+
+    def test_predict_file_with_model(self, model_path, tmp_path, capsys):
+        source = tmp_path / "loops.rul"
+        source.write_text(VALID_LOOP)
+        assert (
+            main(["predict-file", str(source), *SCALE, "--model", str(model_path)]) == 0
+        )
+        assert "cli_test: predicted u=" in capsys.readouterr().out
+
+    def test_predict_file_missing_file(self, tmp_path, capsys):
+        assert main(["predict-file", str(tmp_path / "none.rul"), *SCALE]) == 2
+        assert "cannot read" in capsys.readouterr().out
+
+    def test_predict_file_no_unrollable_loop(self, model_path, tmp_path, capsys):
+        # A while-style loop with no exit branch parses and validates but
+        # cannot be unrolled; with nothing advisable the command fails.
+        source = tmp_path / "stuck.rul"
+        source.write_text(
+            "loop stuck trip=8 while\n  %x = load a[i]\n  store %x -> b[i]\nend\n"
+        )
+        assert (
+            main(["predict-file", str(source), *SCALE, "--model", str(model_path)]) == 2
+        )
+        out = capsys.readouterr().out
+        assert "stuck: not unrollable" in out
+        assert "no unrollable loop" in out
+
+
+class TestServeCommand:
+    def _serve(self, model_path, tmp_path, lines, extra=()):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text("\n".join(lines) + "\n")
+        return main(
+            ["serve", "--model", str(model_path), "--input", str(requests), *extra]
+        )
+
+    def test_serve_batch_from_file(self, model_path, tmp_path, capsys):
+        lines = [
+            json.dumps({"id": 0, "source": VALID_LOOP}),
+            "{definitely not json",
+            json.dumps({"id": 2}),
+        ]
+        assert self._serve(model_path, tmp_path, lines) == 0
+        captured = capsys.readouterr()
+        responses = [json.loads(line) for line in captured.out.splitlines()]
+        assert [r["ok"] for r in responses] == [True, False, False]
+        assert responses[0]["id"] == 0
+        assert 1 <= responses[0]["factor"] <= 8
+        assert responses[1]["error"]["type"] == "invalid-json"
+        assert responses[2]["error"]["type"] == "malformed-request"
+        assert "latency p50" in captured.err
+        assert "2/3 request(s) failed" in captured.err
+
+    def test_serve_reads_stdin_by_default(self, model_path, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO(json.dumps({"id": 5, "source": VALID_LOOP}))
+        )
+        assert main(["serve", "--model", str(model_path), "--workers", "1"]) == 0
+        [response] = [
+            json.loads(line) for line in capsys.readouterr().out.splitlines()
+        ]
+        assert response["id"] == 5 and response["ok"] is True
+
+    def test_serve_missing_model(self, tmp_path, capsys):
+        assert (
+            self._serve(tmp_path / "ghost.rma", tmp_path, [json.dumps({"id": 0})]) == 2
+        )
+        assert "no such file" in capsys.readouterr().out

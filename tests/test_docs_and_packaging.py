@@ -96,7 +96,8 @@ class TestExamplesAndDocs:
     @pytest.mark.parametrize(
         "doc",
         ["README.md", "DESIGN.md", "EXPERIMENTS.md",
-         "docs/loop-language.md", "docs/cost-model.md"],
+         "docs/loop-language.md", "docs/cost-model.md",
+         "docs/architecture.md", "docs/testing.md"],
     )
     def test_documentation_ships(self, doc):
         path = REPO / doc

@@ -1,0 +1,243 @@
+"""The batched prediction engine: correctness, error taxonomy, counters.
+
+The contract under test: an engine wraps one loaded artifact, never
+raises on malformed input (every failure is a *typed* response), answers
+batches in request order regardless of concurrency, and accounts every
+request in its rollup.
+"""
+
+import numpy as np
+import pytest
+
+from repro.instrument import MeasurementRollup
+from repro.registry import train_model_artifact
+from repro.serve import (
+    ERROR_BAD_FEATURE_VECTOR,
+    ERROR_INVALID_JSON,
+    ERROR_MALFORMED_REQUEST,
+    ERROR_UNPARSEABLE_LOOP,
+    PredictionEngine,
+    error_response,
+)
+
+from tests.test_model_artifacts import synthetic_dataset
+
+GOOD_SOURCE = (
+    "loop serve_a trip=512 entries=8\n"
+    "  %x = load a[i]\n"
+    "  %y = fmul %x, 2.0\n"
+    "  store %y -> b[i]\n"
+    "end\n"
+    "loop serve_b trip=64 entries=2\n"
+    "  %x = load c[i]\n"
+    "  store %x -> d[i]\n"
+    "end\n"
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return synthetic_dataset()
+
+
+@pytest.fixture(scope="module")
+def artifact(dataset):
+    return train_model_artifact(dataset)
+
+
+@pytest.fixture
+def engine(artifact):
+    return PredictionEngine(artifact)
+
+
+def _features(dataset, row=0):
+    return [float(v) for v in dataset.X[row]]
+
+
+class TestPrediction:
+    def test_feature_request_matches_artifact(self, engine, dataset, artifact):
+        response = engine.handle({"id": 7, "features": _features(dataset)})
+        assert response["ok"] is True
+        assert response["id"] == 7
+        assert response["classifier"] == "svm"
+        expected = int(artifact.predict_features(dataset.X[:1], "svm")[0])
+        assert response["factor"] == expected
+        assert response["latency_ms"] >= 0.0
+
+    def test_classifier_override(self, engine, dataset, artifact):
+        response = engine.handle(
+            {"id": 1, "features": _features(dataset), "classifier": "nn"}
+        )
+        assert response["ok"] is True
+        expected = int(artifact.predict_features(dataset.X[:1], "nn")[0])
+        assert response["factor"] == expected
+
+    def test_source_request_predicts_every_loop(self, engine, artifact):
+        response = engine.handle({"id": 2, "source": GOOD_SOURCE})
+        assert response["ok"] is True
+        assert [entry["loop"] for entry in response["loops"]] == ["serve_a", "serve_b"]
+        assert all(1 <= entry["factor"] <= 8 for entry in response["loops"])
+        # The scalar factor is the first loop's (single-loop clients need
+        # no list handling).
+        assert response["factor"] == response["loops"][0]["factor"]
+
+    def test_default_classifier_configurable(self, artifact, dataset):
+        nn_engine = PredictionEngine(artifact, classifier="nn")
+        response = nn_engine.handle({"id": 0, "features": _features(dataset)})
+        assert response["classifier"] == "nn"
+
+    def test_unknown_default_classifier_rejected(self, artifact):
+        with pytest.raises(ValueError, match="unknown classifier"):
+            PredictionEngine(artifact, classifier="forest")
+
+
+class TestErrorTaxonomy:
+    def _error(self, engine, request):
+        response = engine.handle(request)
+        assert response["ok"] is False
+        return response["error"]
+
+    def test_non_dict_request(self, engine):
+        error = self._error(engine, [1, 2, 3])
+        assert error["type"] == ERROR_MALFORMED_REQUEST
+
+    def test_missing_payload(self, engine):
+        error = self._error(engine, {"id": 1})
+        assert error["type"] == ERROR_MALFORMED_REQUEST
+        assert "'features' or 'source'" in error["message"]
+
+    def test_ambiguous_payload(self, engine, dataset):
+        error = self._error(
+            engine, {"features": _features(dataset), "source": GOOD_SOURCE}
+        )
+        assert error["type"] == ERROR_MALFORMED_REQUEST
+
+    def test_unknown_classifier(self, engine, dataset):
+        error = self._error(
+            engine, {"features": _features(dataset), "classifier": "forest"}
+        )
+        assert error["type"] == ERROR_MALFORMED_REQUEST
+        assert "forest" in error["message"]
+
+    def test_feature_vector_wrong_shape(self, engine):
+        error = self._error(engine, {"features": [1.0, 2.0]})
+        assert error["type"] == ERROR_BAD_FEATURE_VECTOR
+        assert "expected 38" in error["message"]
+
+    def test_feature_vector_not_a_list(self, engine):
+        error = self._error(engine, {"features": "1,2,3"})
+        assert error["type"] == ERROR_BAD_FEATURE_VECTOR
+
+    def test_feature_vector_non_numeric(self, engine):
+        error = self._error(engine, {"features": ["x"] * 38})
+        assert error["type"] == ERROR_BAD_FEATURE_VECTOR
+
+    def test_feature_vector_non_finite(self, engine):
+        vector = [0.0] * 38
+        vector[5] = float("nan")
+        error = self._error(engine, {"features": vector})
+        assert error["type"] == ERROR_BAD_FEATURE_VECTOR
+        assert "non-finite" in error["message"]
+
+    def test_unparseable_source(self, engine):
+        error = self._error(engine, {"source": "loop broken\n  %x = frobnicate\nend"})
+        assert error["type"] == ERROR_UNPARSEABLE_LOOP
+
+    def test_empty_source_has_no_loops(self, engine):
+        error = self._error(engine, {"source": "   \n"})
+        assert error["type"] == ERROR_UNPARSEABLE_LOOP
+
+    def test_non_string_source(self, engine):
+        error = self._error(engine, {"source": 42})
+        assert error["type"] == ERROR_UNPARSEABLE_LOOP
+
+    def test_error_response_shape(self):
+        response = error_response("req-9", ERROR_INVALID_JSON, "boom", 0.002)
+        assert response == {
+            "id": "req-9",
+            "ok": False,
+            "error": {"type": ERROR_INVALID_JSON, "message": "boom"},
+            "latency_ms": 2.0,
+        }
+
+
+class TestBatching:
+    def _mixed_batch(self, dataset, n=12):
+        batch = []
+        for i in range(n):
+            if i % 3 == 2:
+                batch.append({"id": i, "features": [1.0]})  # wrong width
+            else:
+                batch.append({"id": i, "features": _features(dataset, i % len(dataset))})
+        return batch
+
+    def test_concurrent_matches_serial_in_order(self, engine, dataset):
+        batch = self._mixed_batch(dataset)
+        serial = engine.serve_batch(batch, max_workers=1)
+        concurrent = engine.serve_batch(batch, max_workers=4)
+        assert [r["id"] for r in serial] == list(range(len(batch)))
+        assert [r["id"] for r in concurrent] == list(range(len(batch)))
+        for a, b in zip(serial, concurrent):
+            assert a["ok"] == b["ok"]
+            assert a.get("factor") == b.get("factor")
+
+    def test_one_poisoned_request_cannot_sink_the_batch(self, engine, dataset):
+        batch = [
+            {"id": 0, "features": _features(dataset)},
+            {"id": 1, "source": "loop broken\nend"},
+            {"id": 2, "features": _features(dataset, 1)},
+        ]
+        responses = engine.serve_batch(batch, max_workers=2)
+        assert [r["ok"] for r in responses] == [True, False, True]
+
+    def test_rollup_accounts_every_request(self, artifact, dataset):
+        rollup = MeasurementRollup()
+        engine = PredictionEngine(artifact, rollup=rollup)
+        batch = self._mixed_batch(dataset, n=9)
+        engine.serve_batch(batch, max_workers=3)
+        assert rollup.n_units == 9
+        pcts = rollup.latency_percentiles()
+        assert set(pcts) == {50.0, 95.0, 99.0}
+        assert all(v >= 0.0 for v in pcts.values())
+        assert pcts[50.0] <= pcts[95.0] <= pcts[99.0]
+        assert "request(s)" in rollup.latency_summary()
+        assert rollup.throughput(1.0) == 9.0
+        assert rollup.throughput(0.0) == 0.0
+
+    def test_empty_rollup_summary(self):
+        assert MeasurementRollup().latency_summary() == "no requests served"
+        assert MeasurementRollup().latency_percentiles() == {}
+
+
+class TestServeLines:
+    def test_invalid_json_line_keeps_its_slot(self, engine, dataset):
+        import json
+
+        lines = [
+            json.dumps({"id": 0, "features": _features(dataset)}),
+            "{not json",
+            "",  # blank lines are skipped, not errors
+            json.dumps({"id": 2, "features": _features(dataset, 1)}),
+        ]
+        responses = engine.serve_lines(lines)
+        assert len(responses) == 3
+        assert responses[0]["ok"] is True
+        assert responses[1]["ok"] is False
+        assert responses[1]["error"]["type"] == ERROR_INVALID_JSON
+        assert responses[2]["ok"] is True
+        assert responses[2]["id"] == 2
+
+    def test_scalar_json_is_malformed_not_invalid(self, engine):
+        # "42" parses as JSON; it fails later, as a malformed *request*.
+        [response] = engine.serve_lines(["42"])
+        assert response["error"]["type"] == ERROR_MALFORMED_REQUEST
+
+
+class TestInputWidth:
+    def test_subset_model_still_takes_full_catalog(self, dataset):
+        indices = np.array([0, 3, 7], dtype=np.int64)
+        artifact = train_model_artifact(dataset, feature_indices=indices)
+        engine = PredictionEngine(artifact)
+        assert engine.input_width == 38
+        response = engine.handle({"id": 0, "features": _features(dataset)})
+        assert response["ok"] is True

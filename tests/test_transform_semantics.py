@@ -10,6 +10,7 @@ down each mechanism individually.
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.ir.builder import LoopBuilder
 from repro.ir.interp import initial_state, run_loop, run_unrolled
@@ -18,6 +19,8 @@ from repro.ir.types import CmpOp, DType, Opcode
 from repro.transforms.pipeline import OptimizationPlan, optimize_for_factor
 from repro.transforms.unroll import unroll
 from repro.workloads import kernels
+
+from tests.strategies import awkward_trip_loops, early_exit_loops, predicated_loops
 
 ALL_FACTORS = list(range(1, 9))
 
@@ -122,6 +125,63 @@ class TestEarlyExitEquivalence:
         assert r1.exited_early and r2.exited_early
         for key, value in rolled.observable(loop).items():
             np.testing.assert_allclose(unrolled.observable(loop)[key], value)
+
+
+class TestGeneratedPredication:
+    """Hypothesis-driven: any predicated loop the strategy can build stays
+    equivalent under every unroll factor, with and without cleanup."""
+
+    @given(loop=predicated_loops(), factor=st.integers(1, 8), seed=st.integers(0, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_plain(self, loop, factor, seed):
+        assert_equivalent(loop, factor, seed=seed)
+
+    @given(loop=predicated_loops(), factor=st.integers(1, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_optimized(self, loop, factor):
+        assert_equivalent(loop, factor, optimized=True)
+
+
+class TestGeneratedAwkwardTrips:
+    """Hypothesis-driven: prime/odd/tiny trip counts, so every factor hits
+    the remainder (or full-unroll clamping) machinery."""
+
+    @given(case=awkward_trip_loops(), factor=st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_plain(self, case, factor):
+        loop, inits = case
+        assert_equivalent(loop, factor, carried_inits=inits)
+
+    @given(case=awkward_trip_loops(), factor=st.integers(2, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_optimized(self, case, factor):
+        loop, inits = case
+        assert_equivalent(loop, factor, carried_inits=inits, optimized=True)
+
+
+class TestGeneratedEarlyExits:
+    """Hypothesis-driven sentinel searches: the exit may fire at any
+    iteration the strategy chose, under any unroll factor."""
+
+    @given(case=early_exit_loops(), factor=st.integers(1, 8), seed=st.integers(0, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_exit_fires_identically(self, case, factor, seed):
+        loop, key_reg, exit_at = case
+        result = unroll(loop, factor)
+        rolled = initial_state(loop, seed=seed)
+        rolled.regs[key_reg] = 3.75  # nonzero so the planted sentinel is unique
+        rolled.arrays["a"][:] = 0.0
+        rolled.arrays["a"][exit_at] = rolled.regs[key_reg]
+        unrolled = rolled.copy()
+        r1 = run_loop(loop, rolled, strict_exit=True)
+        r2 = run_unrolled(result, unrolled, strict_exit=True)
+        assert r1.exited_early and r2.exited_early
+        for key, value in rolled.observable(loop).items():
+            np.testing.assert_allclose(
+                unrolled.observable(loop)[key],
+                value,
+                err_msg=f"factor={factor} exit_at={exit_at} key={key}",
+            )
 
 
 @pytest.mark.parametrize("factor", [2, 3, 5, 8])

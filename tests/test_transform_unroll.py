@@ -1,6 +1,7 @@
 """Structural tests for the unroller."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.ir.builder import LoopBuilder
 from repro.ir.loop import TripInfo
@@ -8,6 +9,8 @@ from repro.ir.types import DType, Opcode
 from repro.ir.validate import validate_loop
 from repro.transforms.unroll import unroll, unroll_all_factors
 from repro.workloads.kernels import sentinel_search
+
+from tests.strategies import awkward_trip_loops, early_exit_loops, predicated_loops
 
 
 class TestFactorHandling:
@@ -146,3 +149,57 @@ class TestSweep:
         results = unroll_all_factors(daxpy_loop)
         assert sorted(results) == list(range(1, 9))
         assert all(results[u].requested_factor == u for u in results)
+
+
+class TestGeneratedStructure:
+    """Hypothesis-driven structural invariants on the new loop shapes."""
+
+    @given(loop=predicated_loops(), factor=st.integers(2, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_predicates_replicated_per_copy(self, loop, factor):
+        result = unroll(loop, factor)
+        n_predicated = sum(1 for inst in loop.body if inst.pred is not None)
+        if result.main is not None:
+            main_predicated = sum(
+                1 for inst in result.main.body if inst.pred is not None
+            )
+            assert main_predicated == n_predicated * result.factor
+            # Each copy guards its chain with its own renamed predicate reg.
+            preds = {inst.pred for inst in result.main.body if inst.pred is not None}
+            assert len(preds) == result.factor
+            validate_loop(result.main)
+        if result.remainder is not None:
+            validate_loop(result.remainder)
+
+    @given(case=awkward_trip_loops(), factor=st.integers(2, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_awkward_trip_accounting(self, case, factor):
+        loop, _ = case
+        result = unroll(loop, factor)
+        covered = 0
+        if result.main is not None:
+            covered += result.main.trip.runtime * result.factor
+        if result.remainder is not None:
+            covered += result.remainder.trip.runtime
+        assert covered == loop.trip.runtime
+        # Unknown trip counts always emit remainder code; known ones only
+        # when the division is inexact.
+        if loop.trip.compile_time is None:
+            assert result.remainder_emitted
+        else:
+            assert result.remainder_emitted == (loop.trip.runtime % result.factor != 0)
+
+    @given(case=early_exit_loops(), factor=st.integers(2, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_early_exit_structure(self, case, factor):
+        loop, _, _ = case
+        result = unroll(loop, factor)
+        exits = [i for i in result.main.body if i.op is Opcode.BR_EXIT]
+        assert len(exits) == result.factor
+        assert result.remainder is None
+        assert not result.needs_precondition
+        assert not result.main.trip.counted
+        # While-style bound is the ceiling of trip / factor.
+        expected = -(-loop.trip.runtime // result.factor)
+        assert result.main.trip.runtime == expected
+        validate_loop(result.main)
