@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Chaos smoke: drive the CLI through real induced failures and gate on
+# clean recovery.  Runs in CI (the chaos-smoke job) and locally:
+#
+#   PYTHONPATH=src bash scripts/chaos_smoke.sh
+#
+# Four scenarios, each a hard gate (set -e): a worker kill must fall back
+# to serial and still produce a table; a kill at a checkpoint must resume;
+# a corrupted cache entry must self-heal; a bit-flipped model artifact
+# must be quarantined and served from the registry's last good.
+set -euo pipefail
+
+export REPRO_CACHE_DIR="$(mktemp -d)"
+export REPRO_ARTIFACT_DIR="$(mktemp -d)"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$REPRO_CACHE_DIR" "$REPRO_ARTIFACT_DIR" "$WORK"' EXIT
+SCALE=(--scale 0.02 --seed 123)
+
+# A fault-plan seed whose byte-flip offset lands mid-file (array data,
+# where corruption is guaranteed to be detected, not zip-header slack).
+corrupting_plan() {  # $1 = file to target, $2 = op
+  python - "$1" "$2" <<'EOF'
+import json, sys
+from pathlib import Path
+size = Path(sys.argv[1]).stat().st_size
+target = size // 2
+seed = next(s for s in range(200_000)
+            if abs((s * 2654435761 + size) % size - target) < max(1, size // 8))
+print(json.dumps({"seed": seed, "rules": [{"op": sys.argv[2]}]}))
+EOF
+}
+
+echo "== 1. worker kill -> broken-pool serial fallback =="
+out=$(python -m repro measure "${SCALE[@]}" --jobs 2 --fault-plan \
+  '{"rules": [{"op": "worker.kill", "match": "*:u2#a0", "times": 1}]}')
+echo "$out"
+grep -q "broken-pool fallback" <<<"$out"
+grep -q "wrote table" <<<"$out"
+python -m repro cache clear >/dev/null
+
+echo "== 2. kill at a checkpoint boundary, then --resume =="
+rc=0
+out=$(python -m repro measure "${SCALE[@]}" --fault-plan \
+  '{"rules": [{"op": "run.abort", "skip": 14}]}') || rc=$?
+echo "$out"
+test "$rc" -eq 3
+out=$(python -m repro measure "${SCALE[@]}" --resume)
+echo "$out"
+grep -q "resuming from" <<<"$out"
+grep -q "15 unit(s) committed" <<<"$out"
+grep -q "wrote table" <<<"$out"
+
+echo "== 3. cache corruption -> quarantine + re-measure =="
+entry=$(ls "$REPRO_CACHE_DIR"/measurements_*.npz)
+plan=$(corrupting_plan "$entry" cache.corrupt)
+out=$(python -m repro measure "${SCALE[@]}" --fault-plan "$plan")
+echo "$out"
+grep -q "wrote table" <<<"$out"
+out=$(python -m repro cache stats)
+echo "$out"
+grep -q "1 quarantined" <<<"$out"
+
+echo "== 4. artifact bit-flip -> quarantine + last-good fallback =="
+python -m repro train "${SCALE[@]}" --out "$REPRO_ARTIFACT_DIR/model_good.rma" >/dev/null
+python -m repro train "${SCALE[@]}" --out "$REPRO_ARTIFACT_DIR/model_victim.rma" >/dev/null
+python - "$WORK/requests.jsonl" <<'EOF'
+import json, sys
+source = "loop chaos trip=64 entries=4\n  %x = load a[i]\n  store %x -> b[i]\nend\n"
+with open(sys.argv[1], "w") as handle:
+    handle.write(json.dumps({"id": 0, "source": source}) + "\n")
+EOF
+plan=$(corrupting_plan "$REPRO_ARTIFACT_DIR/model_victim.rma" artifact.bitflip)
+out=$(python -m repro serve --model "$REPRO_ARTIFACT_DIR/model_victim.rma" \
+  --input "$WORK/requests.jsonl" --fault-plan "$plan" 2>"$WORK/serve.err")
+echo "$out"; cat "$WORK/serve.err"
+grep -q "WARNING: serving last-good artifact model_good.rma" "$WORK/serve.err"
+grep -q '"ok": true' <<<"$out"
+test -f "$REPRO_ARTIFACT_DIR/model_victim.rma.corrupt"
+
+echo "chaos smoke: all scenarios recovered"

@@ -12,8 +12,12 @@ Subcommands map one-to-one onto the paper's artefacts:
   artifact instead of retraining.
 * ``train`` — train both classifiers once and write a versioned model
   artifact (the train-once half of train-once/serve-many).
-* ``serve`` — load an artifact and answer JSON-lines prediction requests
-  from stdin in one concurrent batch (the serve-many half).
+* ``serve`` — load an artifact (falling back to the registry's last good
+  model if it is corrupt) and answer JSON-lines prediction requests from
+  stdin through a bounded, deadline-aware gateway (the serve-many half).
+* ``measure`` — fault-tolerant measurement run: per-unit retries and
+  timeouts, quarantine instead of abort, and a checkpoint journal so
+  ``--resume`` continues a killed run bit-identically.
 * ``export`` — dump the raw loop data in the release format.
 * ``cache`` — inspect or prune the measurement cache (stats/gc/clear).
 * ``bench`` — time the measure/label/select/serve stages against the
@@ -318,32 +322,138 @@ def cmd_predict_file(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    """Answer JSON-lines prediction requests from stdin in one batch."""
+    """Answer JSON-lines prediction requests from stdin in one batch,
+    behind the bounded, deadline-aware gateway."""
+    import json
     import time
 
-    from repro.serve import PredictionEngine
+    from repro.registry import ArtifactError, ArtifactStore
+    from repro.serve import (
+        GatewayConfig,
+        PredictionEngine,
+        ServeGateway,
+        load_serving_artifact,
+    )
 
-    artifact = _load_model(args.model)
-    if artifact is None:
+    _install_fault_plan_arg(args)
+    try:
+        loaded = load_serving_artifact(args.model, store=ArtifactStore())
+    except FileNotFoundError:
+        print(f"cannot load model {args.model}: no such file")
         return 2
-    engine = PredictionEngine(artifact, classifier=args.classifier)
+    except ArtifactError as error:
+        print(f"cannot serve: {error}")
+        return 2
+    if loaded.fallback:
+        print(
+            f"WARNING: serving last-good artifact {loaded.path.name} instead of "
+            f"{args.model} ({'; '.join(loaded.failures)})",
+            file=sys.stderr,
+        )
+    engine = PredictionEngine(loaded.artifact, classifier=args.classifier)
     source = open(args.input) if args.input else sys.stdin
     try:
         lines = source.readlines()
     finally:
         if args.input:
             source.close()
+    config = GatewayConfig(
+        max_workers=args.workers,
+        queue_limit=args.queue_limit,
+        deadline_s=args.deadline_ms / 1e3 if args.deadline_ms else None,
+    )
     start = time.perf_counter()
-    responses = engine.serve_lines(lines, max_workers=args.workers)
+    with ServeGateway(engine, config) as gateway:
+        responses = gateway.serve_lines(lines)
     wall = time.perf_counter() - start
-    import json
 
     for response in responses:
         print(json.dumps(response, sort_keys=True))
     print(engine.rollup.latency_summary(wall), file=sys.stderr)
+    print(gateway.counters.summary(), file=sys.stderr)
     errors = sum(1 for r in responses if not r["ok"])
     if errors:
         print(f"{errors}/{len(responses)} request(s) failed", file=sys.stderr)
+    return 0
+
+
+def _install_fault_plan_arg(args) -> None:
+    """Activate ``--fault-plan`` (a chaos-testing hook; no-op without it)."""
+    if getattr(args, "fault_plan", None):
+        from repro.resilience import install_fault_plan
+
+        install_fault_plan(args.fault_plan)
+
+
+def cmd_measure(args) -> int:
+    """Fault-tolerant measurement run: retries, quarantine, checkpoint
+    journal, and ``--resume`` to continue a killed run bit-identically."""
+    from repro.instrument import MeasurementRollup
+    from repro.pipeline import CacheStore, LabelingConfig, config_key, measure_suite
+    from repro.resilience import (
+        AbortRun,
+        CheckpointJournal,
+        JournalError,
+        ResilienceConfig,
+        RetryPolicy,
+    )
+    from repro.workloads.generator import generate_suite
+
+    _install_fault_plan_arg(args)
+    config = LabelingConfig(seed=args.seed, swp=args.swp)
+    suite = generate_suite(seed=args.seed, loops_scale=args.scale)
+    key = config_key(args.seed, args.scale, config)
+    store = CacheStore(args.cache_dir)
+
+    cached = store.load(key)
+    if cached is not None and cached.swp == config.swp and len(cached) == suite.n_loops:
+        print(f"measurement table {key} already cached at {store.path_for(key)}")
+        return 0
+
+    journal_path = args.journal or store.root / f"journal_{key}.jsonl"
+    journal = CheckpointJournal(journal_path, run_key=key)
+    if args.resume:
+        try:
+            replayed = journal.load()
+        except JournalError as error:
+            print(f"cannot resume: {error}")
+            return 2
+        if replayed:
+            print(f"resuming from {journal_path} ({replayed} unit(s) committed)")
+    else:
+        journal.discard()  # a stale journal must not leak into a fresh run
+
+    resilience = ResilienceConfig(
+        retry=RetryPolicy(max_attempts=args.max_attempts),
+        unit_timeout_s=args.unit_timeout,
+    )
+    rollup = MeasurementRollup()
+    try:
+        table = measure_suite(
+            suite,
+            config,
+            jobs=args.jobs,
+            rollup=rollup,
+            resilience=resilience,
+            journal=journal,
+        )
+    except AbortRun as error:
+        print(f"run aborted: {error}; continue with 'repro-unroll measure --resume'")
+        return 3
+    finally:
+        journal.close()
+
+    print(rollup.summary())
+    quarantined = rollup.quarantined_units()
+    if quarantined:
+        print(
+            f"NOT cached: {len(quarantined)} unit(s) quarantined "
+            f"({', '.join(quarantined)}); table would have holes"
+        )
+        return 1
+    path = store.store(key, table)
+    journal.discard()  # the run is durable in the cache now
+    print(f"measured {len(table)} loops; wrote table {key} to {path}")
     return 0
 
 
@@ -492,7 +602,63 @@ def main(argv=None) -> int:
         default=None,
         help="read requests from a file instead of stdin",
     )
+    serve_parser.add_argument(
+        "--queue-limit",
+        type=_positive_int,
+        default=64,
+        help="max pending requests before 'overloaded' rejections (default: 64)",
+    )
+    serve_parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request deadline in milliseconds (default: none)",
+    )
+    serve_parser.add_argument(
+        "--fault-plan",
+        default=None,
+        help="chaos-testing hook: inline JSON or a fault-plan file (never on by default)",
+    )
     serve_parser.set_defaults(handler=cmd_serve)
+
+    measure_parser = sub.add_parser(
+        "measure",
+        help="fault-tolerant measurement run with checkpoint/resume",
+    )
+    _add_common(measure_parser)
+    measure_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay the checkpoint journal and execute only missing units",
+    )
+    measure_parser.add_argument(
+        "--journal",
+        default=None,
+        help="checkpoint journal path (default: journal_<key>.jsonl in the cache dir)",
+    )
+    measure_parser.add_argument(
+        "--unit-timeout",
+        type=float,
+        default=None,
+        help="per-unit timeout in seconds (default: none)",
+    )
+    measure_parser.add_argument(
+        "--max-attempts",
+        type=_positive_int,
+        default=3,
+        help="attempts per unit before quarantine (default: 3)",
+    )
+    measure_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR, else the repo-local .cache/)",
+    )
+    measure_parser.add_argument(
+        "--fault-plan",
+        default=None,
+        help="chaos-testing hook: inline JSON or a fault-plan file (never on by default)",
+    )
+    measure_parser.set_defaults(handler=cmd_measure)
 
     bench_parser = sub.add_parser(
         "bench", help="time the pipeline stages and write BENCH_<date>.json"

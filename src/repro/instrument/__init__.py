@@ -4,6 +4,7 @@ from repro.instrument.report import (
     FORMAT_VERSION,
     LoopRecord,
     MeasurementRollup,
+    ResilienceEvent,
     UnitTiming,
     read_records,
     write_records,
@@ -21,6 +22,7 @@ __all__ = [
     "LoopRecord",
     "LoopTimerBank",
     "MeasurementRollup",
+    "ResilienceEvent",
     "UnitTiming",
     "measure_benchmark",
     "measure_loop",

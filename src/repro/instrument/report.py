@@ -22,6 +22,21 @@ FORMAT_VERSION = 1
 
 
 @dataclass(frozen=True)
+class ResilienceEvent:
+    """One fault-tolerance action taken during a run.
+
+    ``kind`` is one of ``"retry"``, ``"timeout"``, ``"quarantine"``,
+    ``"broken-pool"``, or ``"resume"``; ``key`` names the work unit (or
+    subsystem) involved.  The rollup aggregates these so a run's output
+    accounts for every recovery, not just its timings.
+    """
+
+    kind: str
+    key: str
+    detail: str = ""
+
+
+@dataclass(frozen=True)
 class UnitTiming:
     """Wall-clock accounting for one measurement work unit.
 
@@ -49,9 +64,39 @@ class MeasurementRollup:
     """
 
     timings: list[UnitTiming] = field(default_factory=list)
+    events: list[ResilienceEvent] = field(default_factory=list)
 
     def record(self, timing: UnitTiming) -> None:
         self.timings.append(timing)
+
+    def record_event(self, event: ResilienceEvent) -> None:
+        self.events.append(event)
+
+    def count(self, kind: str) -> int:
+        """Number of resilience events of one kind (``"retry"``, ...)."""
+        return sum(1 for event in self.events if event.kind == kind)
+
+    def quarantined_units(self) -> list[str]:
+        """Labels of work units that failed every attempt."""
+        return [event.key for event in self.events if event.kind == "quarantine"]
+
+    def resilience_summary(self) -> str | None:
+        """One line accounting for every recovery action, or ``None`` when
+        the run needed none."""
+        if not self.events:
+            return None
+        parts = [
+            f"{self.count(kind)} {label}"
+            for kind, label in (
+                ("resume", "resumed from journal"),
+                ("retry", "retried"),
+                ("timeout", "timed out"),
+                ("quarantine", "quarantined"),
+                ("broken-pool", "broken-pool fallback(s)"),
+            )
+            if self.count(kind)
+        ]
+        return "resilience: " + ", ".join(parts)
 
     @property
     def n_units(self) -> int:
@@ -133,6 +178,9 @@ class MeasurementRollup:
                 f"; analysis cache {self.analysis_hits()}/{lookups} hits "
                 f"({100.0 * self.analysis_hit_rate():.0f}%)"
             )
+        resilience = self.resilience_summary()
+        if resilience:
+            text += f"; {resilience}"
         return text
 
 

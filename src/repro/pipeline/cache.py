@@ -30,6 +30,7 @@ import hashlib
 import json
 import logging
 import os
+import time
 from pathlib import Path
 
 from repro.instrument.report import MeasurementRollup
@@ -38,9 +39,17 @@ from repro.machine.model import MachineModel
 from repro.ml.dataset import LoopDataset
 from repro.pipeline.labeling import LabelingConfig, measure_suite
 from repro.pipeline.measurements import CorruptTableError, MeasurementTable
+from repro.resilience.faults import get_injector
 from repro.workloads.generator import WORKLOADS_VERSION, generate_suite
 
 logger = logging.getLogger(__name__)
+
+#: Default caps on quarantined (``*.corrupt``) files.  Quarantined entries
+#: are evidence for debugging, not data — keep the most recent few and age
+#: the rest out, opportunistically on every write, so a store that keeps
+#: hitting corruption cannot fill the disk with tombstones.
+QUARANTINE_CAP = 16
+QUARANTINE_MAX_AGE_S = 7 * 24 * 3600.0
 
 #: Version of the on-disk measurement-table schema.  Mixed into every cache
 #: key, so bumping it orphans (never misreads) existing entries.
@@ -102,12 +111,14 @@ class CacheStats:
     n_quarantined: int
     n_stale_tmp: int
     total_bytes: int
+    quarantine_cap: int = QUARANTINE_CAP
 
     def summary(self) -> str:
         return (
             f"{self.directory}: {self.n_entries} entries "
             f"({self.total_bytes / 1024:.0f} KiB), "
-            f"{self.n_quarantined} quarantined, {self.n_stale_tmp} stale temp file(s)"
+            f"{self.n_quarantined} quarantined (cap {self.quarantine_cap}), "
+            f"{self.n_stale_tmp} stale temp file(s)"
         )
 
 
@@ -123,8 +134,15 @@ class CacheStore:
     PREFIX = "measurements_"
     QUARANTINE_SUFFIX = ".corrupt"
 
-    def __init__(self, root: str | Path | None = None):
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        quarantine_cap: int = QUARANTINE_CAP,
+        quarantine_max_age_s: float = QUARANTINE_MAX_AGE_S,
+    ):
         self.root = Path(root) if root is not None else default_cache_dir()
+        self.quarantine_cap = quarantine_cap
+        self.quarantine_max_age_s = quarantine_max_age_s
 
     def path_for(self, key: str) -> Path:
         return self.root / f"{self.PREFIX}{key}.npz"
@@ -149,6 +167,9 @@ class CacheStore:
         path = self.path_for(key)
         if not path.exists():
             return None
+        injector = get_injector()
+        if injector.active:
+            injector.corrupt_file("cache.corrupt", key, path)
         try:
             return MeasurementTable.load(path)
         except FileNotFoundError:
@@ -160,6 +181,10 @@ class CacheStore:
     def store(self, key: str, table: MeasurementTable) -> Path:
         path = self.path_for(key)
         table.save(path)  # atomic: temp file + os.replace
+        # Writes are the store's natural housekeeping moment: apply the
+        # quarantine caps opportunistically so tombstones never accumulate
+        # past the cap even if nobody ever runs ``cache gc``.
+        self.prune_quarantined()
         return path
 
     def quarantine(self, path: Path, error: Exception) -> Path | None:
@@ -172,6 +197,40 @@ class CacheStore:
         logger.warning("quarantined corrupt cache entry %s: %s", path.name, error)
         return target
 
+    def prune_quarantined(self, now: float | None = None) -> list[Path]:
+        """Apply the quarantine age and count caps; returns what was removed.
+
+        Oldest-first by mtime: everything past ``quarantine_max_age_s`` goes,
+        then the oldest survivors until at most ``quarantine_cap`` remain.
+        A file another process removes mid-prune is simply skipped.
+        """
+        stamped: list[tuple[float, Path]] = []
+        for path in self.quarantined():
+            try:
+                stamped.append((path.stat().st_mtime, path))
+            except FileNotFoundError:
+                pass
+        stamped.sort()
+        now = time.time() if now is None else now
+        removed: list[Path] = []
+        keep: list[Path] = []
+        for mtime, path in stamped:
+            if now - mtime > self.quarantine_max_age_s:
+                removed.append(path)
+            else:
+                keep.append(path)
+        overflow = len(keep) - self.quarantine_cap
+        if overflow > 0:
+            removed.extend(keep[:overflow])
+        for path in removed:
+            path.unlink(missing_ok=True)
+        if removed:
+            logger.info(
+                "pruned %d quarantined cache file(s) past the age/count caps",
+                len(removed),
+            )
+        return removed
+
     # ------------------------------------------------------------------
 
     def stats(self) -> CacheStats:
@@ -182,6 +241,7 @@ class CacheStore:
             n_quarantined=len(self.quarantined()),
             n_stale_tmp=len(self.stale_tmp()),
             total_bytes=sum(p.stat().st_size for p in entries if p.exists()),
+            quarantine_cap=self.quarantine_cap,
         )
 
     def gc(self) -> list[Path]:

@@ -23,6 +23,14 @@ per-factor protocol — so the suite can fan out over a process pool
 derives its RNG from its own :class:`numpy.random.SeedSequence` child, and
 the merge assembles results by (benchmark, factor) index, never by
 completion order.
+
+Both fan-outs run on the fault-tolerant executor
+(:func:`repro.resilience.run_units`): units are retried with deterministic
+backoff, timed out, quarantined when they fail every attempt (the merge
+NaN-fills their rows instead of aborting the run), re-executed serially
+when a worker death breaks the pool, and — given a
+:class:`~repro.resilience.CheckpointJournal` — committed as they complete
+so a killed run resumes bit-identically.
 """
 
 from __future__ import annotations
@@ -30,7 +38,6 @@ from __future__ import annotations
 import dataclasses
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -44,6 +51,13 @@ from repro.machine.itanium2 import ITANIUM2
 from repro.machine.model import MachineModel
 from repro.ml.dataset import LoopDataset
 from repro.pipeline.measurements import MeasurementTable
+from repro.resilience.executor import (
+    DEFAULT_RESILIENCE,
+    ResilienceConfig,
+    UnitTask,
+    run_units,
+)
+from repro.resilience.journal import CheckpointJournal
 from repro.simulate.executor import (
     AnalysisCache,
     CostModel,
@@ -150,6 +164,46 @@ class UnitResult:
     analysis_misses: int = 0
 
 
+def unit_to_json(unit: UnitResult) -> dict:
+    """A :class:`UnitResult` as a JSON-safe dict (journal payload format).
+
+    Floats survive the round trip exactly — ``json`` emits shortest-repr
+    doubles — so a resumed run is bit-identical to an uninterrupted one.
+    """
+    return {
+        "bench_index": unit.bench_index,
+        "factor": unit.factor,
+        "measured": [float(v) for v in unit.measured],
+        "true_cycles": [float(v) for v in unit.true_cycles],
+        "worker": unit.worker,
+        "seconds": unit.seconds,
+        "analysis_hits": unit.analysis_hits,
+        "analysis_misses": unit.analysis_misses,
+    }
+
+
+def unit_from_json(payload: dict) -> UnitResult:
+    """Inverse of :func:`unit_to_json`."""
+    return UnitResult(
+        bench_index=int(payload["bench_index"]),
+        factor=int(payload["factor"]),
+        measured=np.asarray(payload["measured"], dtype=np.float64),
+        true_cycles=np.asarray(payload["true_cycles"], dtype=np.float64),
+        worker=int(payload["worker"]),
+        seconds=float(payload["seconds"]),
+        analysis_hits=int(payload["analysis_hits"]),
+        analysis_misses=int(payload["analysis_misses"]),
+    )
+
+
+def _pair_to_json(pair: tuple[UnitResult, UnitResult]) -> dict:
+    return {"off": unit_to_json(pair[0]), "on": unit_to_json(pair[1])}
+
+
+def _pair_from_json(payload: dict) -> tuple[UnitResult, UnitResult]:
+    return unit_from_json(payload["off"]), unit_from_json(payload["on"])
+
+
 def _unit_cost_model(config: LabelingConfig) -> CostModel:
     """The cost model a work unit uses when the caller supplies none."""
     if config.engine == "reference":
@@ -250,7 +304,10 @@ class _TableAssembly:
     The parent process extracts features and provenance once; work units
     only produce per-factor timings, which :meth:`merge` lands by
     (benchmark, factor) index — so the assembled table is bit-identical
-    however the units were scheduled."""
+    however the units were scheduled.  A quarantined unit (one that failed
+    every retry) leaves NaN in its (benchmark, factor) cells: the run
+    degrades to a table with holes instead of aborting, and the labelling
+    filters naturally drop the affected loops."""
 
     def __init__(self, suite: Suite, config: LabelingConfig):
         n = suite.n_loops
@@ -286,7 +343,11 @@ class _TableAssembly:
             lo = self.row_starts[bi]
             hi = lo + benchmark.n_loops
             for factor in range(1, MAX_UNROLL + 1):
-                unit = results[(bi, factor)]
+                unit = results.get((bi, factor))
+                if unit is None:  # quarantined after exhausting retries
+                    self.measured[lo:hi, factor - 1] = np.nan
+                    self.true[lo:hi, factor - 1] = np.nan
+                    continue
                 self.measured[lo:hi, factor - 1] = unit.measured
                 self.true[lo:hi, factor - 1] = unit.true_cycles
                 if rollup is not None:
@@ -314,11 +375,21 @@ class _TableAssembly:
         )
 
 
+def _bind_serial(benchmark, bi, factor, config, seed, cost_model):
+    """Serial-path closure over the run-wide private cost model (not
+    picklable, and must not be: only the serial executor calls it)."""
+    return lambda: measure_benchmark_factor(
+        benchmark, bi, factor, config, seed, cost_model
+    )
+
+
 def measure_suite(
     suite: Suite,
     config: LabelingConfig = LabelingConfig(),
     jobs: int | None = None,
     rollup: MeasurementRollup | None = None,
+    resilience: ResilienceConfig | None = None,
+    journal: CheckpointJournal | None = None,
 ) -> MeasurementTable:
     """Steps 1-2 of the protocol over every loop in the suite.
 
@@ -328,41 +399,61 @@ def measure_suite(
         jobs: worker processes to fan the work units over; ``None`` reads
             ``REPRO_JOBS`` and defaults to serial.  Results are
             bit-identical for every value of ``jobs``.
-        rollup: optional sink for per-unit worker timings.
+        rollup: optional sink for per-unit worker timings and resilience
+            events (retries, timeouts, quarantines, pool failures).
+        resilience: retry/timeout/quarantine policy for the work units.
+        journal: checkpoint journal — completed units are committed to it
+            and, after :meth:`~repro.resilience.CheckpointJournal.load`,
+            replayed instead of re-measured, so a killed run resumes
+            bit-identically to an uninterrupted one.
     """
     jobs = resolve_jobs(jobs)
     benchmarks = suite.benchmarks
     assembly = _TableAssembly(suite, config)
     seeds = _unit_seeds(config.seed, len(benchmarks))
-    results: dict[tuple[int, int], UnitResult] = {}
-    if jobs == 1:
-        # Serial: one private cost model for the whole suite (cross-factor
-        # analysis caches, no cross-call state).
-        cost_model = CostModel(
-            machine=config.machine, swp=config.swp, engine=config.engine
+    # Serial runs share one private cost model across all units so the
+    # analysis caches amortise across factors (pool workers get the same
+    # effect from their process-local shared models).
+    cost_model = (
+        CostModel(machine=config.machine, swp=config.swp, engine=config.engine)
+        if jobs == 1
+        else None
+    )
+    tasks = [
+        UnitTask(
+            key=(bi, factor),
+            label=f"{benchmark.name}:u{factor}",
+            fn=measure_benchmark_factor,
+            args=(benchmark, bi, factor, config, seeds[bi][factor - 1]),
+            seed=seeds[bi][factor - 1],
+            serial_call=(
+                None
+                if cost_model is None
+                else _bind_serial(benchmark, bi, factor, config,
+                                  seeds[bi][factor - 1], cost_model)
+            ),
         )
-        for bi, benchmark in enumerate(benchmarks):
-            for factor in range(1, MAX_UNROLL + 1):
-                results[(bi, factor)] = measure_benchmark_factor(
-                    benchmark, bi, factor, config, seeds[bi][factor - 1], cost_model
-                )
-    else:
-        with ProcessPoolExecutor(
-            max_workers=jobs, initializer=reset_shared_cost_models
-        ) as pool:
-            futures = [
-                pool.submit(
-                    measure_benchmark_factor,
-                    benchmark, bi, factor, config, seeds[bi][factor - 1],
-                )
-                for bi, benchmark in enumerate(benchmarks)
-                for factor in range(1, MAX_UNROLL + 1)
-            ]
-            for future in futures:
-                unit = future.result()
-                results[(unit.bench_index, unit.factor)] = unit
+        for bi, benchmark in enumerate(benchmarks)
+        for factor in range(1, MAX_UNROLL + 1)
+    ]
+    report = run_units(
+        tasks,
+        jobs=jobs,
+        config=resilience or DEFAULT_RESILIENCE,
+        journal=journal,
+        encode=unit_to_json,
+        decode=unit_from_json,
+        initializer=reset_shared_cost_models,
+    )
+    if rollup is not None:
+        rollup.events.extend(report.events)
+    return assembly.merge(report.results, rollup, config.swp)
 
-    return assembly.merge(results, rollup, config.swp)
+
+def _bind_serial_pair(benchmark, bi, factor, config_off, config_on, seed, models):
+    return lambda: measure_benchmark_factor_pair(
+        benchmark, bi, factor, config_off, config_on, seed, models
+    )
 
 
 def measure_suite_pair(
@@ -371,6 +462,8 @@ def measure_suite_pair(
     jobs: int | None = None,
     rollup_off: MeasurementRollup | None = None,
     rollup_on: MeasurementRollup | None = None,
+    resilience: ResilienceConfig | None = None,
+    journal: CheckpointJournal | None = None,
 ) -> tuple[MeasurementTable, MeasurementTable]:
     """Measure both scheduling regimes, sharing the analysis stage.
 
@@ -380,7 +473,9 @@ def measure_suite_pair(
     runs the two regimes back to back against one shared
     :class:`~repro.simulate.executor.AnalysisCache`, and unrolling,
     cleanup, dependence analysis, and scheduler-table construction are all
-    regime-independent.
+    regime-independent.  Fault tolerance matches :func:`measure_suite`:
+    retries, quarantine, broken-pool fallback, and checkpoint/resume all
+    operate on the paired unit.
     """
     jobs = resolve_jobs(jobs)
     benchmarks = suite.benchmarks
@@ -389,8 +484,6 @@ def measure_suite_pair(
     assembly_off = _TableAssembly(suite, config_off)
     assembly_on = _TableAssembly(suite, config_on)
     seeds = _unit_seeds(config.seed, len(benchmarks))
-    results_off: dict[tuple[int, int], UnitResult] = {}
-    results_on: dict[tuple[int, int], UnitResult] = {}
     if jobs == 1:
         shared = AnalysisCache()
         cost_models = (
@@ -399,32 +492,41 @@ def measure_suite_pair(
             CostModel(machine=config.machine, swp=True, analysis=shared,
                       engine=config.engine),
         )
-        for bi, benchmark in enumerate(benchmarks):
-            for factor in range(1, MAX_UNROLL + 1):
-                off, on = measure_benchmark_factor_pair(
-                    benchmark, bi, factor, config_off, config_on,
-                    seeds[bi][factor - 1], cost_models,
-                )
-                results_off[(bi, factor)] = off
-                results_on[(bi, factor)] = on
     else:
-        with ProcessPoolExecutor(
-            max_workers=jobs, initializer=reset_shared_cost_models
-        ) as pool:
-            futures = [
-                pool.submit(
-                    measure_benchmark_factor_pair,
-                    benchmark, bi, factor, config_off, config_on,
-                    seeds[bi][factor - 1],
-                )
-                for bi, benchmark in enumerate(benchmarks)
-                for factor in range(1, MAX_UNROLL + 1)
-            ]
-            for future in futures:
-                off, on = future.result()
-                results_off[(off.bench_index, off.factor)] = off
-                results_on[(on.bench_index, on.factor)] = on
-
+        cost_models = None
+    tasks = [
+        UnitTask(
+            key=(bi, factor),
+            label=f"{benchmark.name}:u{factor}",
+            fn=measure_benchmark_factor_pair,
+            args=(benchmark, bi, factor, config_off, config_on,
+                  seeds[bi][factor - 1]),
+            seed=seeds[bi][factor - 1],
+            serial_call=(
+                None
+                if cost_models is None
+                else _bind_serial_pair(benchmark, bi, factor, config_off,
+                                       config_on, seeds[bi][factor - 1],
+                                       cost_models)
+            ),
+        )
+        for bi, benchmark in enumerate(benchmarks)
+        for factor in range(1, MAX_UNROLL + 1)
+    ]
+    report = run_units(
+        tasks,
+        jobs=jobs,
+        config=resilience or DEFAULT_RESILIENCE,
+        journal=journal,
+        encode=_pair_to_json,
+        decode=_pair_from_json,
+        initializer=reset_shared_cost_models,
+    )
+    results_off = {key: pair[0] for key, pair in report.results.items()}
+    results_on = {key: pair[1] for key, pair in report.results.items()}
+    for rollup in (rollup_off, rollup_on):
+        if rollup is not None:
+            rollup.events.extend(report.events)
     return (
         assembly_off.merge(results_off, rollup_off, False),
         assembly_on.merge(results_on, rollup_on, True),

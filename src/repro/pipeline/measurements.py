@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import os
 import zipfile
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -146,5 +147,13 @@ class MeasurementTable:
                 )
         except FileNotFoundError:
             raise
-        except (zipfile.BadZipFile, KeyError, ValueError, OSError, EOFError, IndexError) as error:
+        except (
+            zipfile.BadZipFile,
+            zlib.error,  # a flipped byte inside a deflated member
+            KeyError,
+            ValueError,
+            OSError,
+            EOFError,
+            IndexError,
+        ) as error:
             raise CorruptTableError(f"unreadable measurement table {path}: {error}") from error

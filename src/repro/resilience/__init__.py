@@ -1,0 +1,62 @@
+"""Fault tolerance for long-running measurement and serving workloads.
+
+Three pieces, used together by the pipeline, the serve path, and CI:
+
+* :mod:`repro.resilience.executor` — retries, per-unit timeouts, quarantine,
+  broken-pool fallback, and checkpoint/resume for fan-outs of independent
+  work units;
+* :mod:`repro.resilience.journal` — the durable commit log that makes
+  ``repro-unroll measure --resume`` bit-identical to an uninterrupted run;
+* :mod:`repro.resilience.faults` — deterministic, seedable fault injection
+  (never on by default) so every recovery path above is exercised by real
+  induced failures rather than mocks.
+"""
+
+from repro.resilience.executor import (
+    DEFAULT_RESILIENCE,
+    ResilienceConfig,
+    RunReport,
+    UnitFailedError,
+    UnitTask,
+    run_units,
+)
+from repro.resilience.faults import (
+    FAULT_PLAN_ENV,
+    KILL_EXIT_CODE,
+    AbortRun,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    fault_plan,
+    get_injector,
+    in_pool_worker,
+    install_fault_plan,
+    mark_pool_worker,
+)
+from repro.resilience.journal import CheckpointJournal, JournalError
+from repro.resilience.retry import RetryPolicy
+
+__all__ = [
+    "AbortRun",
+    "CheckpointJournal",
+    "DEFAULT_RESILIENCE",
+    "FAULT_PLAN_ENV",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "JournalError",
+    "KILL_EXIT_CODE",
+    "ResilienceConfig",
+    "RetryPolicy",
+    "RunReport",
+    "UnitFailedError",
+    "UnitTask",
+    "fault_plan",
+    "get_injector",
+    "in_pool_worker",
+    "install_fault_plan",
+    "mark_pool_worker",
+    "run_units",
+]

@@ -1,0 +1,63 @@
+"""Retry policy: exponential backoff with deterministic jitter.
+
+Jitter is drawn from a :class:`numpy.random.SeedSequence` derived from the
+*work unit's own seed child* — never from wall clock or a shared generator —
+so a retried run sleeps the same schedule every time and, more importantly,
+never perturbs the unit's measurement RNG: the backoff generator is keyed
+off the unit seed's ``spawn_key`` with a reserved suffix, which leaves the
+generator :func:`numpy.random.default_rng` builds from that same seed
+untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Reserved spawn-key suffix for backoff jitter streams.  Offset far above
+#: anything the pipeline spawns per unit, so the jitter stream can never
+#: collide with a measurement stream.
+_JITTER_KEY = 0x5EED
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff schedule for failed work units.
+
+    ``max_attempts`` counts *total* tries: 1 means fail fast, 3 (the
+    default) means one initial try plus two retries.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+    jitter: float = 0.5  # +/- fraction of the base delay
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def backoff_s(
+        self, attempt: int, seed: np.random.SeedSequence | None = None
+    ) -> float:
+        """Sleep before retry ``attempt`` (1-based: the delay preceding the
+        second try is ``backoff_s(1)``).  Deterministic given ``seed``."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        base = min(self.base_delay_s * self.multiplier ** (attempt - 1), self.max_delay_s)
+        if base <= 0.0 or self.jitter == 0.0 or seed is None:
+            return base
+        jitter_seed = np.random.SeedSequence(
+            entropy=seed.entropy,
+            spawn_key=tuple(seed.spawn_key) + (_JITTER_KEY + attempt,),
+        )
+        unit = np.random.default_rng(jitter_seed).random()
+        return base * (1.0 + self.jitter * (2.0 * unit - 1.0))

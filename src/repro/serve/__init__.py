@@ -5,24 +5,42 @@ once and answers batched prediction requests — loop source or feature
 vectors in, unroll factors out — with a malformed-input error taxonomy
 instead of crashes, and per-request latency/throughput counters flowing
 through :class:`~repro.instrument.MeasurementRollup`.
+
+:class:`ServeGateway` hardens that engine for service shape: a bounded
+queue with typed ``overloaded`` backpressure, per-request deadlines, and a
+graceful drain that never drops admitted work.
+:func:`load_serving_artifact` is the circuit breaker in front of both — a
+corrupt artifact is quarantined and the registry's last good model is
+served in its place.
 """
 
 from repro.serve.engine import (
     ERROR_BAD_FEATURE_VECTOR,
+    ERROR_DEADLINE_EXCEEDED,
     ERROR_INTERNAL,
     ERROR_INVALID_JSON,
     ERROR_MALFORMED_REQUEST,
+    ERROR_OVERLOADED,
     ERROR_UNPARSEABLE_LOOP,
     PredictionEngine,
     error_response,
 )
+from repro.serve.gateway import GatewayConfig, GatewayCounters, ServeGateway
+from repro.serve.loader import LoadedArtifact, load_serving_artifact
 
 __all__ = [
     "ERROR_BAD_FEATURE_VECTOR",
+    "ERROR_DEADLINE_EXCEEDED",
     "ERROR_INTERNAL",
     "ERROR_INVALID_JSON",
     "ERROR_MALFORMED_REQUEST",
+    "ERROR_OVERLOADED",
     "ERROR_UNPARSEABLE_LOOP",
+    "GatewayConfig",
+    "GatewayCounters",
+    "LoadedArtifact",
     "PredictionEngine",
+    "ServeGateway",
     "error_response",
+    "load_serving_artifact",
 ]

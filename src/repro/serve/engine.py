@@ -36,6 +36,7 @@ import numpy as np
 from repro.features.catalog import N_FEATURES
 from repro.instrument.report import MeasurementRollup, UnitTiming
 from repro.registry.artifact import ModelArtifact
+from repro.resilience.faults import get_injector
 
 #: A line that was not valid JSON (only the CLI layer produces this).
 ERROR_INVALID_JSON = "invalid-json"
@@ -49,6 +50,10 @@ ERROR_BAD_FEATURE_VECTOR = "bad-feature-vector"
 ERROR_UNPARSEABLE_LOOP = "unparseable-loop"
 #: Anything unexpected; the message carries the exception text.
 ERROR_INTERNAL = "internal-error"
+#: The gateway's bounded queue is full — backpressure, retry later.
+ERROR_OVERLOADED = "overloaded"
+#: The request's deadline elapsed before (or while) it was served.
+ERROR_DEADLINE_EXCEEDED = "deadline-exceeded"
 
 _CLASSIFIERS = ("nn", "svm")
 
@@ -78,6 +83,22 @@ class _InvalidLine:
 
     def __init__(self, message: str):
         self.message = message
+
+
+def parse_request_lines(lines) -> list:
+    """JSON-lines protocol parsing: one request per non-blank line; a line
+    that is not valid JSON becomes an :class:`_InvalidLine` sentinel that
+    the engine maps onto an ``invalid-json`` response in its slot."""
+    requests = []
+    for line in lines:
+        text = line.strip()
+        if not text:
+            continue
+        try:
+            requests.append(json.loads(text))
+        except json.JSONDecodeError as error:
+            requests.append(_InvalidLine(str(error)))
+    return requests
 
 
 class PredictionEngine:
@@ -114,7 +135,10 @@ class PredictionEngine:
             latency = time.perf_counter() - start
             self._record(0, 0, latency)
             return error_response(request_id, error.error_type, str(error), latency)
-        except Exception as error:  # pragma: no cover - defensive catch-all
+        except Exception as error:
+            # The taxonomy's floor: any defect below _dispatch becomes a
+            # typed response instead of a crashed batch.  Reached in tests
+            # through the ``serve.internal`` fault-injection site.
             latency = time.perf_counter() - start
             self._record(0, 0, latency)
             return error_response(request_id, ERROR_INTERNAL, str(error), latency)
@@ -140,16 +164,7 @@ class PredictionEngine:
         """The JSON-lines batch protocol: one request per non-blank line;
         a line that is not valid JSON yields an ``invalid-json`` response
         in its slot rather than aborting the batch."""
-        requests = []
-        for line in lines:
-            text = line.strip()
-            if not text:
-                continue
-            try:
-                requests.append(json.loads(text))
-            except json.JSONDecodeError as error:
-                requests.append(_InvalidLine(str(error)))
-        return self.serve_batch(requests, max_workers=max_workers)
+        return self.serve_batch(parse_request_lines(lines), max_workers=max_workers)
 
     # ------------------------------------------------------------------
 
@@ -165,6 +180,11 @@ class PredictionEngine:
         )
 
     def _dispatch(self, request) -> tuple[dict, int]:
+        injector = get_injector()
+        if injector.active:
+            key = str(request.get("id")) if isinstance(request, dict) else ""
+            injector.delay("serve.delay", key)
+            injector.raise_fault("serve.internal", key)
         if isinstance(request, _InvalidLine):
             raise _MalformedRequest(ERROR_INVALID_JSON, request.message)
         if not isinstance(request, dict):

@@ -1,0 +1,198 @@
+"""Admission control, deadlines, and graceful drain for the serve path.
+
+The engine answers one request; the gateway decides *whether and when* it
+gets to.  Three protections wrap :class:`~repro.serve.engine.PredictionEngine`:
+
+* **Backpressure** — at most ``queue_limit`` requests may be pending
+  (queued or executing) at once.  A request arriving past that bound is
+  rejected *immediately* with a typed ``overloaded`` error instead of
+  growing an unbounded queue: the client learns to back off while the
+  answer is still cheap.
+* **Deadlines** — with ``deadline_s`` set, a request's clock starts at
+  admission.  If the deadline has already passed when a worker picks the
+  request up, the engine is never invoked (the client has given up;
+  computing would be pure waste); if it passes *during* computation, the
+  result is discarded and a ``deadline-exceeded`` error is returned so the
+  client never acts on an answer it had stopped waiting for.
+* **Graceful drain** — :meth:`ServeGateway.drain` stops admissions (new
+  requests get ``overloaded``) and blocks until every in-flight request has
+  finished, so shutdown never drops accepted work.
+
+Every decision is tallied in :class:`GatewayCounters`, which the CLI prints
+alongside the latency rollup — an overloaded or deadline-starved serve run
+is visible in its output, not just slow.
+
+The ``serve.malformed`` fault-injection site sits between admission and the
+engine: a fault plan can replace an accepted request with structural
+garbage, proving the engine's error taxonomy holds even behind the gateway.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+
+from repro.resilience.faults import get_injector
+from repro.serve.engine import (
+    ERROR_DEADLINE_EXCEEDED,
+    ERROR_OVERLOADED,
+    PredictionEngine,
+    error_response,
+    parse_request_lines,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class GatewayConfig:
+    """Admission-control knobs for one :class:`ServeGateway`."""
+
+    max_workers: int = 4
+    queue_limit: int = 64
+    deadline_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {self.max_workers}")
+        if self.queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {self.queue_limit}")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(f"deadline_s must be positive, got {self.deadline_s}")
+
+
+@dataclasses.dataclass
+class GatewayCounters:
+    """What the gateway did with every request it saw."""
+
+    admitted: int = 0
+    served_ok: int = 0
+    served_error: int = 0
+    overloaded: int = 0
+    deadline_exceeded: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"gateway: {self.admitted} admitted, {self.served_ok} ok, "
+            f"{self.served_error} error(s), {self.overloaded} overloaded, "
+            f"{self.deadline_exceeded} past deadline"
+        )
+
+
+def _rejected(response: dict) -> "Future[dict]":
+    """An already-resolved future, so rejections and admissions present the
+    same interface to callers."""
+    future: "Future[dict]" = Future()
+    future.set_result(response)
+    return future
+
+
+class ServeGateway:
+    """Bounded, deadline-aware front door for a :class:`PredictionEngine`.
+
+    Usable as a context manager; exit drains (never drops) in-flight work.
+    """
+
+    def __init__(self, engine: PredictionEngine, config: GatewayConfig | None = None):
+        self.engine = engine
+        self.config = config or GatewayConfig()
+        self.counters = GatewayCounters()
+        self._lock = threading.Lock()
+        self._pending = 0
+        self._draining = False
+        self._pool = ThreadPoolExecutor(max_workers=self.config.max_workers)
+
+    # ------------------------------------------------------------------
+
+    def submit(self, request) -> "Future[dict]":
+        """Admit one request; the future resolves to its response dict.
+
+        Rejections (draining gateway, full queue) resolve immediately with
+        a typed ``overloaded`` error — ``submit`` itself never blocks and
+        never raises on bad input.
+        """
+        request_id = request.get("id") if isinstance(request, dict) else None
+        with self._lock:
+            if self._draining:
+                self.counters.overloaded += 1
+                return _rejected(
+                    error_response(
+                        request_id, ERROR_OVERLOADED, "gateway is draining; retry elsewhere"
+                    )
+                )
+            if self._pending >= self.config.queue_limit:
+                self.counters.overloaded += 1
+                return _rejected(
+                    error_response(
+                        request_id,
+                        ERROR_OVERLOADED,
+                        f"queue full ({self.config.queue_limit} request(s) pending); "
+                        "back off and retry",
+                    )
+                )
+            self._pending += 1
+            self.counters.admitted += 1
+        return self._pool.submit(self._run, request, request_id, time.monotonic())
+
+    def serve_batch(self, requests) -> list[dict]:
+        """Submit a batch and wait; responses come back in request order
+        (rejected slots carry their ``overloaded`` error in place)."""
+        futures = [self.submit(request) for request in requests]
+        return [future.result() for future in futures]
+
+    def serve_lines(self, lines) -> list[dict]:
+        """The JSON-lines protocol through the gateway's admission control."""
+        return self.serve_batch(parse_request_lines(lines))
+
+    def drain(self) -> None:
+        """Stop admitting and wait for every in-flight request to finish."""
+        with self._lock:
+            self._draining = True
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ServeGateway":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.drain()
+
+    # ------------------------------------------------------------------
+
+    def _run(self, request, request_id, enqueued: float) -> dict:
+        """Worker-side: enforce the deadline around the engine call."""
+        try:
+            deadline = self.config.deadline_s
+            waited = time.monotonic() - enqueued
+            if deadline is not None and waited > deadline:
+                response = error_response(
+                    request_id,
+                    ERROR_DEADLINE_EXCEEDED,
+                    f"waited {waited:.3f}s in queue against a {deadline}s deadline",
+                    waited,
+                )
+            else:
+                injector = get_injector()
+                if injector.active:
+                    request = injector.mangle(
+                        "serve.malformed", str(request_id), request
+                    )
+                response = self.engine.handle(request)
+                elapsed = time.monotonic() - enqueued
+                if deadline is not None and elapsed > deadline:
+                    response = error_response(
+                        request_id,
+                        ERROR_DEADLINE_EXCEEDED,
+                        f"completed in {elapsed:.3f}s against a {deadline}s deadline",
+                        elapsed,
+                    )
+            with self._lock:
+                if response.get("ok"):
+                    self.counters.served_ok += 1
+                elif response["error"]["type"] == ERROR_DEADLINE_EXCEEDED:
+                    self.counters.deadline_exceeded += 1
+                else:
+                    self.counters.served_error += 1
+            return response
+        finally:
+            with self._lock:
+                self._pending -= 1

@@ -1,0 +1,117 @@
+"""Artifact loading for the serve path: quarantine, then fall back.
+
+A serving process that dies because its model file rotted helps nobody.
+:func:`load_serving_artifact` is the circuit breaker between the registry
+and the engine: a corrupt artifact is quarantined (renamed ``*.corrupt``,
+exactly like the measurement cache) and, when an
+:class:`~repro.registry.ArtifactStore` is available, the newest loadable
+entry in the registry is served instead — degraded provenance beats an
+outage, and the result says so (``fallback=True`` plus one recorded
+failure per rejected candidate) so the operator is told rather than
+surprised.
+
+The ``artifact.bitflip`` fault-injection site flips one byte of a candidate
+file before it is read, so the whole chain — checksum rejection,
+quarantine, fallback — is exercised in CI by a genuinely damaged file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import logging
+from pathlib import Path
+
+from repro.machine.itanium2 import ITANIUM2
+from repro.machine.model import MachineModel
+from repro.registry.artifact import (
+    ArtifactError,
+    ArtifactStore,
+    CorruptArtifactError,
+    ModelArtifact,
+    StaleArtifactError,
+    load_or_quarantine,
+)
+from repro.resilience.faults import get_injector
+
+logger = logging.getLogger(__name__)
+
+
+@dataclasses.dataclass(frozen=True)
+class LoadedArtifact:
+    """What the serve path ended up loading.
+
+    ``fallback`` is true when the requested file could not be served and
+    ``path`` is the registry's last good artifact instead; ``failures``
+    carries one message per rejected candidate (empty on a clean load).
+    """
+
+    artifact: ModelArtifact
+    path: Path
+    fallback: bool
+    failures: tuple[str, ...] = ()
+
+
+def _next_candidate(store: ArtifactStore, tried: set[Path]) -> Path | None:
+    """The newest registry entry not yet attempted, by mtime."""
+    best: tuple[float, Path] | None = None
+    for path in store.entries():
+        if path.resolve() in tried:
+            continue
+        try:
+            mtime = path.stat().st_mtime
+        except FileNotFoundError:
+            continue
+        if best is None or mtime > best[0]:
+            best = (mtime, path)
+    return best[1] if best is not None else None
+
+
+def load_serving_artifact(
+    path: str | Path,
+    store: ArtifactStore | None = None,
+    machine: MachineModel = ITANIUM2,
+) -> LoadedArtifact:
+    """Load the artifact to serve, falling back to the registry's last good.
+
+    The requested ``path`` is tried first.  If it is corrupt (quarantined
+    on the spot) or schema-stale, and a ``store`` was given, registry
+    entries are tried newest-first until one loads.  Exhausting every
+    candidate raises :class:`~repro.registry.ArtifactError` carrying the
+    full failure trail.  A *missing* requested file raises
+    ``FileNotFoundError`` with no fallback — a typo'd path is an operator
+    error, not an outage to route around.
+    """
+    requested = Path(path)
+    injector = get_injector()
+    failures: list[str] = []
+    tried: set[Path] = set()
+    candidate: Path | None = requested
+    while candidate is not None:
+        tried.add(candidate.resolve())
+        if injector.active and candidate.exists():
+            injector.corrupt_file("artifact.bitflip", candidate.name, candidate)
+        try:
+            artifact = load_or_quarantine(candidate, machine=machine)
+        except FileNotFoundError:
+            if candidate == requested:
+                raise
+            failures.append(f"{candidate}: no such file")  # lost a race; next
+        except (CorruptArtifactError, StaleArtifactError) as error:
+            failures.append(str(error))
+        else:
+            fallback = candidate != requested
+            if fallback:
+                logger.warning(
+                    "serving last-good artifact %s instead of %s (%s)",
+                    candidate.name,
+                    requested,
+                    "; ".join(failures),
+                )
+            return LoadedArtifact(
+                artifact=artifact,
+                path=candidate,
+                fallback=fallback,
+                failures=tuple(failures),
+            )
+        candidate = _next_candidate(store, tried) if store is not None else None
+    raise ArtifactError("no servable model artifact: " + "; ".join(failures))

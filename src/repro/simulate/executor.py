@@ -35,6 +35,7 @@ tests pin the fast path to.
 
 from __future__ import annotations
 
+import dataclasses
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -54,6 +55,7 @@ from repro.sched.modulo import (
     modulo_schedule_reference,
     swp_register_pressure,
 )
+from repro.resilience.faults import get_injector
 from repro.sched.precompute import SchedPrecomp
 from repro.sched.regpressure import max_live, spill_cycles
 from repro.simulate.cache import (
@@ -142,6 +144,17 @@ class AnalysisCache:
         self, key: tuple, loop: Loop, base_machine: MachineModel
     ) -> LoopAnalysis | None:
         entry = self._entries.get(key)
+        if entry is not None:
+            injector = get_injector()
+            if injector.active and injector.fire(
+                "analysis.poison", f"{key[0]}:f{key[1]}"
+            ):
+                # Deterministic in-memory corruption: wipe the provenance so
+                # the structural verification below must reject the entry —
+                # the self-heal path (miss, recompute, overwrite) is then
+                # exercised by a real bad entry rather than a mock.
+                entry = dataclasses.replace(entry, base_machine=None)
+                self._entries[key] = entry
         if (
             entry is not None
             and entry.loop == loop

@@ -242,3 +242,78 @@ class TestServeCommand:
             self._serve(tmp_path / "ghost.rma", tmp_path, [json.dumps({"id": 0})]) == 2
         )
         assert "no such file" in capsys.readouterr().out
+
+
+class TestServeGatewayFlags:
+    def _serve(self, model_path, tmp_path, lines, extra=()):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text("\n".join(lines) + "\n")
+        return main(
+            ["serve", "--model", str(model_path), "--input", str(requests), *extra]
+        )
+
+    def test_gateway_knobs_and_counters_line(self, model_path, tmp_path, capsys):
+        lines = [json.dumps({"id": 0, "source": VALID_LOOP})]
+        extra = ["--queue-limit", "8", "--deadline-ms", "5000", "--workers", "2"]
+        assert self._serve(model_path, tmp_path, lines, extra) == 0
+        captured = capsys.readouterr()
+        assert "gateway: 1 admitted, 1 ok" in captured.err
+
+    def test_fault_plan_hook_reaches_the_engine(self, model_path, tmp_path, capsys):
+        from repro.resilience import install_fault_plan
+
+        plan = '{"rules": [{"op": "serve.internal", "match": "0"}]}'
+        lines = [json.dumps({"id": 0, "source": VALID_LOOP})]
+        try:
+            rc = self._serve(model_path, tmp_path, lines, ["--fault-plan", plan])
+        finally:
+            install_fault_plan(None)
+        assert rc == 0
+        captured = capsys.readouterr()
+        [response] = [json.loads(line) for line in captured.out.splitlines()]
+        assert response["ok"] is False
+        assert response["error"]["type"] == "internal-error"
+
+    def test_corrupt_model_falls_back_to_registry(self, model_path, tmp_path, capsys):
+        from repro.registry import ArtifactStore, load_artifact
+
+        ArtifactStore().store("cli_fallback", load_artifact(model_path))
+        rotten = tmp_path / "rotten.rma"
+        rotten.write_bytes(b"this artifact has rotted on disk")
+        lines = [json.dumps({"id": 0, "source": VALID_LOOP})]
+        assert self._serve(rotten, tmp_path, lines) == 0
+        captured = capsys.readouterr()
+        assert "WARNING: serving last-good artifact" in captured.err
+        [response] = [json.loads(line) for line in captured.out.splitlines()]
+        assert response["ok"] is True
+
+
+class TestMeasureCommand:
+    MEASURE = ["measure", "--scale", "0.02", "--seed", "123"]
+
+    def test_abort_resume_and_cache_journey(self, tmp_path, capsys):
+        """One run through the whole operational story: a fault plan kills
+        the run mid-measurement (rc 3), ``--resume`` finishes it from the
+        journal, and a rerun is a pure cache hit."""
+        from repro.resilience import install_fault_plan
+
+        cache = ["--cache-dir", str(tmp_path)]
+        plan = '{"rules": [{"op": "run.abort", "skip": 9}]}'
+        try:
+            assert main([*self.MEASURE, *cache, "--fault-plan", plan]) == 3
+        finally:
+            install_fault_plan(None)
+        out = capsys.readouterr().out
+        assert "run aborted" in out
+        assert "--resume" in out
+        assert (tmp_path / "journal_").parent.exists()  # journal lives in the store
+
+        assert main([*self.MEASURE, *cache, "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resuming from" in out
+        assert "10 unit(s) committed" in out
+        assert "wrote table" in out
+        assert not list(tmp_path.glob("journal_*"))  # discarded once durable
+
+        assert main([*self.MEASURE, *cache]) == 0
+        assert "already cached" in capsys.readouterr().out

@@ -241,3 +241,213 @@ class TestInputWidth:
         assert engine.input_width == 38
         response = engine.handle({"id": 0, "features": _features(dataset)})
         assert response["ok"] is True
+
+
+# ---------------------------------------------------------------------------
+# Hardened serve path: injected internal faults, the gateway, the loader.
+# ---------------------------------------------------------------------------
+
+import os
+import time
+
+from repro.registry import ArtifactError, ArtifactStore
+from repro.resilience import FaultPlan, FaultRule, fault_plan
+from repro.serve import (
+    ERROR_DEADLINE_EXCEEDED,
+    ERROR_INTERNAL,
+    ERROR_OVERLOADED,
+    GatewayConfig,
+    ServeGateway,
+    load_serving_artifact,
+)
+
+
+class TestInternalErrorPath:
+    def test_injected_internal_fault_yields_typed_response(self, engine, dataset):
+        plan = FaultPlan(rules=(FaultRule(op="serve.internal", match="13"),))
+        with fault_plan(plan):
+            response = engine.handle({"id": 13, "features": _features(dataset)})
+        assert response["ok"] is False
+        assert response["error"]["type"] == ERROR_INTERNAL
+        assert "injected" in response["error"]["message"]
+
+    def test_fault_only_hits_the_matching_request(self, engine, dataset):
+        plan = FaultPlan(rules=(FaultRule(op="serve.internal", match="1"),))
+        batch = [
+            {"id": 0, "features": _features(dataset)},
+            {"id": 1, "features": _features(dataset)},
+            {"id": 2, "features": _features(dataset)},
+        ]
+        with fault_plan(plan):
+            responses = engine.serve_batch(batch)
+        assert [r["ok"] for r in responses] == [True, False, True]
+        assert responses[1]["error"]["type"] == ERROR_INTERNAL
+
+
+class TestGateway:
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            GatewayConfig(max_workers=0)
+        with pytest.raises(ValueError, match="queue_limit"):
+            GatewayConfig(queue_limit=0)
+        with pytest.raises(ValueError, match="deadline_s"):
+            GatewayConfig(deadline_s=0.0)
+
+    def test_batch_in_order_with_counters(self, engine, dataset):
+        batch = [{"id": i, "features": _features(dataset)} for i in range(6)]
+        with ServeGateway(engine) as gateway:
+            responses = gateway.serve_batch(batch)
+        assert [r["id"] for r in responses] == list(range(6))
+        assert all(r["ok"] for r in responses)
+        assert gateway.counters.admitted == 6
+        assert gateway.counters.served_ok == 6
+        assert gateway.counters.summary().startswith("gateway: 6 admitted")
+
+    def test_engine_errors_counted_separately(self, engine, dataset):
+        batch = [
+            {"id": 0, "features": _features(dataset)},
+            {"id": 1, "features": [1.0]},  # wrong width
+        ]
+        with ServeGateway(engine) as gateway:
+            responses = gateway.serve_batch(batch)
+        assert responses[1]["error"]["type"] == ERROR_BAD_FEATURE_VECTOR
+        assert gateway.counters.served_ok == 1
+        assert gateway.counters.served_error == 1
+
+    def test_full_queue_rejects_with_backpressure(self, engine, dataset):
+        # One worker, queue bound 1: while the injected 0.5s request holds
+        # the only slot, the next submit must be rejected *immediately*.
+        plan = FaultPlan(rules=(FaultRule(op="serve.delay", match="0", delay_s=0.5),))
+        config = GatewayConfig(max_workers=1, queue_limit=1)
+        with fault_plan(plan):
+            gateway = ServeGateway(engine, config)
+            slow = gateway.submit({"id": 0, "features": _features(dataset)})
+            rejected = gateway.submit({"id": 1, "features": _features(dataset)})
+            response = rejected.result(timeout=0.1)  # resolved, no wait
+            assert response["ok"] is False
+            assert response["error"]["type"] == ERROR_OVERLOADED
+            assert "back off" in response["error"]["message"]
+            assert slow.result(timeout=5.0)["ok"] is True
+            gateway.drain()
+        assert gateway.counters.admitted == 1
+        assert gateway.counters.overloaded == 1
+
+    def test_deadline_enforced_in_queue_and_in_flight(self, engine, dataset):
+        # Request 0 overruns its deadline *while computing*; request 1
+        # exceeds it *waiting* behind 0 and must never reach the engine.
+        plan = FaultPlan(rules=(FaultRule(op="serve.delay", match="0", delay_s=0.5),))
+        config = GatewayConfig(max_workers=1, queue_limit=8, deadline_s=0.2)
+        with fault_plan(plan):
+            with ServeGateway(engine, config) as gateway:
+                first = gateway.submit({"id": 0, "features": _features(dataset)})
+                second = gateway.submit({"id": 1, "features": _features(dataset)})
+                r0 = first.result(timeout=5.0)
+                r1 = second.result(timeout=5.0)
+        assert r0["error"]["type"] == ERROR_DEADLINE_EXCEEDED
+        assert "completed in" in r0["error"]["message"]
+        assert r1["error"]["type"] == ERROR_DEADLINE_EXCEEDED
+        assert "waited" in r1["error"]["message"]
+        assert gateway.counters.deadline_exceeded == 2
+
+    def test_drained_gateway_refuses_new_work(self, engine, dataset):
+        gateway = ServeGateway(engine)
+        gateway.drain()
+        response = gateway.submit({"id": 0, "features": _features(dataset)}).result()
+        assert response["error"]["type"] == ERROR_OVERLOADED
+        assert "draining" in response["error"]["message"]
+
+    def test_injected_malformed_request_stays_typed(self, engine, dataset):
+        plan = FaultPlan(rules=(FaultRule(op="serve.malformed", match="5"),))
+        batch = [
+            {"id": 5, "features": _features(dataset)},
+            {"id": 6, "features": _features(dataset)},
+        ]
+        with fault_plan(plan):
+            with ServeGateway(engine) as gateway:
+                responses = gateway.serve_batch(batch)
+        assert responses[0]["ok"] is False
+        assert responses[0]["error"]["type"] == ERROR_MALFORMED_REQUEST
+        assert responses[1]["ok"] is True
+
+    def test_serve_lines_through_the_gateway(self, engine, dataset):
+        import json
+
+        lines = [
+            json.dumps({"id": 0, "features": _features(dataset)}),
+            "{torn",
+            json.dumps({"id": 2, "features": _features(dataset, 1)}),
+        ]
+        with ServeGateway(engine) as gateway:
+            responses = gateway.serve_lines(lines)
+        assert [r["ok"] for r in responses] == [True, False, True]
+        assert responses[1]["error"]["type"] == ERROR_INVALID_JSON
+
+
+class TestLoader:
+    def test_clean_load_is_not_a_fallback(self, tmp_path, artifact):
+        path = artifact.save(tmp_path / "model.rma")
+        loaded = load_serving_artifact(path)
+        assert loaded.fallback is False
+        assert loaded.path == path
+        assert loaded.failures == ()
+
+    def test_missing_requested_path_raises(self, tmp_path, artifact):
+        store = ArtifactStore(tmp_path)
+        store.store("good", artifact)  # a fallback exists — and must NOT be used
+        with pytest.raises(FileNotFoundError):
+            load_serving_artifact(tmp_path / "typo.rma", store=store)
+
+    def test_corrupt_requested_falls_back_to_last_good(self, tmp_path, artifact):
+        store = ArtifactStore(tmp_path)
+        good = store.store("good", artifact)
+        bad = store.store("bad", artifact)
+        bad.write_bytes(b"this is not a model artifact")
+        loaded = load_serving_artifact(bad, store=store)
+        assert loaded.fallback is True
+        assert loaded.path == good
+        assert len(loaded.failures) == 1
+        # The corrupt file was quarantined, not left live.
+        assert not bad.exists()
+        assert [p.name for p in store.quarantined()] == ["model_bad.rma.corrupt"]
+
+    def test_corrupt_without_store_raises(self, tmp_path, artifact):
+        path = artifact.save(tmp_path / "model.rma")
+        path.write_bytes(b"garbage")
+        with pytest.raises(ArtifactError, match="no servable model artifact"):
+            load_serving_artifact(path)
+
+    def test_every_candidate_corrupt_raises_with_the_trail(self, tmp_path, artifact):
+        store = ArtifactStore(tmp_path)
+        a = store.store("a", artifact)
+        b = store.store("b", artifact)
+        a.write_bytes(b"rot")
+        b.write_bytes(b"rot")
+        with pytest.raises(ArtifactError, match="no servable model artifact"):
+            load_serving_artifact(a, store=store)
+
+    def test_newest_untried_candidate_wins(self, tmp_path, artifact):
+        store = ArtifactStore(tmp_path)
+        older = store.store("older", artifact)
+        newer = store.store("newer", artifact)
+        past = time.time() - 3600.0
+        os.utime(older, (past, past))
+        bad = store.store("bad", artifact)
+        bad.write_bytes(b"rot")
+        loaded = load_serving_artifact(bad, store=store)
+        assert loaded.path == newer
+
+    def test_injected_bitflip_exercises_the_whole_chain(self, tmp_path, artifact):
+        from tests.test_resilience import corrupting_seed
+
+        store = ArtifactStore(tmp_path)
+        good = store.store("good", artifact)
+        victim = store.store("victim", artifact)
+        plan = FaultPlan(
+            seed=corrupting_seed(victim),
+            rules=(FaultRule(op="artifact.bitflip", match=victim.name),),
+        )
+        with fault_plan(plan):
+            loaded = load_serving_artifact(victim, store=store)
+        assert loaded.fallback is True
+        assert loaded.path == good
+        assert len(loaded.failures) == 1
