@@ -475,7 +475,8 @@ def measure_suite_pair(
     cleanup, dependence analysis, and scheduler-table construction are all
     regime-independent.  Fault tolerance matches :func:`measure_suite`:
     retries, quarantine, broken-pool fallback, and checkpoint/resume all
-    operate on the paired unit.
+    operate on the paired unit, and each resilience event is reported once
+    — on ``rollup_off`` when given, else on ``rollup_on``.
     """
     jobs = resolve_jobs(jobs)
     benchmarks = suite.benchmarks
@@ -524,9 +525,13 @@ def measure_suite_pair(
     )
     results_off = {key: pair[0] for key, pair in report.results.items()}
     results_on = {key: pair[1] for key, pair in report.results.items()}
-    for rollup in (rollup_off, rollup_on):
-        if rollup is not None:
-            rollup.events.extend(report.events)
+    # Each work unit runs both regimes, so every resilience event belongs
+    # to the pair, not to a regime.  Attach the events to exactly one
+    # rollup (the first one given) so that a caller aggregating or
+    # printing both never counts a recovery action twice.
+    event_rollup = rollup_off if rollup_off is not None else rollup_on
+    if event_rollup is not None:
+        event_rollup.events.extend(report.events)
     return (
         assembly_off.merge(results_off, rollup_off, False),
         assembly_on.merge(results_on, rollup_on, True),

@@ -6,9 +6,11 @@ it runs a list of :class:`UnitTask` items serially or over a
 campaign actually hits:
 
 * **Per-unit timeouts** — a unit that overruns ``unit_timeout_s`` is
-  treated as failed and retried; the stuck worker is left to finish in the
-  background (process tasks cannot be preempted) and its eventual result is
-  discarded.
+  treated as failed and retried; the stuck worker keeps its slot until the
+  run ends (process tasks cannot be preempted), its eventual result is
+  discarded, and if any unit timed out the pool is torn down without
+  waiting — hung workers are terminated rather than allowed to block the
+  run at pool exit.
 * **Retries with deterministic backoff** — failures are retried up to
   ``RetryPolicy.max_attempts`` times with exponential backoff whose jitter
   derives from the unit's own seed child, so a retried run is bit-identical
@@ -200,46 +202,56 @@ def run_units(
 
     serial_tasks: list[UnitTask] = []
     if jobs > 1 and pending:
+        pool = ProcessPoolExecutor(
+            max_workers=jobs, initializer=_pool_init, initargs=(initializer,)
+        )
+        hung_workers = False
         try:
-            with ProcessPoolExecutor(
-                max_workers=jobs, initializer=_pool_init, initargs=(initializer,)
-            ) as pool:
-                wave = pending
-                while wave:
-                    futures = [
-                        (
-                            task,
-                            pool.submit(
-                                _run_unit,
-                                task.fn,
-                                task.args,
-                                task.label,
-                                attempts[task.label],
-                            ),
-                        )
-                        for task in wave
-                    ]
-                    failures: list[tuple[UnitTask, str]] = []
-                    for task, future in futures:
-                        try:
-                            commit(task, future.result(timeout=config.unit_timeout_s))
-                        except FuturesTimeout:
-                            future.cancel()
-                            report.events.append(
-                                ResilienceEvent(
-                                    "timeout",
-                                    task.label,
-                                    f"no result within {config.unit_timeout_s}s",
-                                )
-                            )
+            wave = pending
+            while wave:
+                futures = [
+                    (
+                        task,
+                        pool.submit(
+                            _run_unit,
+                            task.fn,
+                            task.args,
+                            task.label,
+                            attempts[task.label],
+                        ),
+                    )
+                    for task in wave
+                ]
+                failures: list[tuple[UnitTask, str]] = []
+                for task, future in futures:
+                    try:
+                        commit(task, future.result(timeout=config.unit_timeout_s))
+                    except FuturesTimeout as error:
+                        # On 3.11+ this alias also catches a TimeoutError
+                        # raised *inside* the unit; only an undone future
+                        # under an actual deadline is a pool-level timeout.
+                        if config.unit_timeout_s is None or future.done():
                             failures.append(
-                                (task, f"timed out after {config.unit_timeout_s}s")
+                                (task, f"{type(error).__name__}: {error}")
                             )
-                        except (AbortRun, BrokenProcessPool):
-                            raise
-                        except Exception as error:
-                            failures.append((task, f"{type(error).__name__}: {error}"))
-                    wave = requeue(failures)
+                            continue
+                        future.cancel()
+                        hung_workers = True
+                        report.events.append(
+                            ResilienceEvent(
+                                "timeout",
+                                task.label,
+                                f"no result within {config.unit_timeout_s}s",
+                            )
+                        )
+                        failures.append(
+                            (task, f"timed out after {config.unit_timeout_s}s")
+                        )
+                    except (AbortRun, BrokenProcessPool):
+                        raise
+                    except Exception as error:
+                        failures.append((task, f"{type(error).__name__}: {error}"))
+                wave = requeue(failures)
         except BrokenProcessPool as error:
             # A worker died out from under the pool.  Everything already
             # committed is kept; everything else re-executes serially in
@@ -253,6 +265,19 @@ def run_units(
                 for task in pending
                 if task.key not in report.results and task.label not in quarantined
             ]
+        finally:
+            if hung_workers:
+                # A timed-out unit may still be wedged in a worker; a
+                # waiting shutdown would block the run on it forever.
+                # Snapshot the workers first — shutdown() drops the pool's
+                # reference to them — then kill whoever is left, so neither
+                # the run nor interpreter exit can block on a hung unit.
+                processes = list((getattr(pool, "_processes", None) or {}).values())
+                pool.shutdown(wait=False, cancel_futures=True)
+                for process in processes:
+                    process.terminate()
+            else:
+                pool.shutdown(wait=True)
     else:
         serial_tasks = pending
 

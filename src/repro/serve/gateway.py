@@ -29,6 +29,7 @@ garbage, proving the engine's error taxonomy holds even behind the gateway.
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 import threading
 import time
@@ -132,13 +133,47 @@ class ServeGateway:
                 )
             self._pending += 1
             self.counters.admitted += 1
-        return self._pool.submit(self._run, request, request_id, time.monotonic())
+            try:
+                # Still under the lock: drain() cannot shut the pool down
+                # between the admission check and the hand-off.
+                return self._pool.submit(
+                    self._run, request, request_id, time.monotonic()
+                )
+            except RuntimeError:
+                # The pool was already shut down before we saw _draining.
+                self._pending -= 1
+                self.counters.admitted -= 1
+                self.counters.overloaded += 1
+                return _rejected(
+                    error_response(
+                        request_id, ERROR_OVERLOADED, "gateway is draining; retry elsewhere"
+                    )
+                )
 
     def serve_batch(self, requests) -> list[dict]:
         """Submit a batch and wait; responses come back in request order
-        (rejected slots carry their ``overloaded`` error in place)."""
-        futures = [self.submit(request) for request in requests]
-        return [future.result() for future in futures]
+        (rejected slots carry their ``overloaded`` error in place).
+
+        Submissions are throttled so the batch never trips admission
+        control against itself: at most ``queue_limit`` of its requests are
+        in flight at once, and the next submission waits for the oldest
+        outstanding one to finish first.  The queue bound thus protects
+        concurrent :meth:`submit` callers from *each other*, while a batch
+        of any size is served completely — an ``overloaded`` slot here
+        means genuine contention (another client, or a draining gateway),
+        never batch length.
+        """
+        requests = list(requests)
+        responses: list[dict | None] = [None] * len(requests)
+        in_flight: collections.deque[tuple[int, "Future[dict]"]] = collections.deque()
+        for index, request in enumerate(requests):
+            while len(in_flight) >= self.config.queue_limit:
+                oldest_index, oldest = in_flight.popleft()
+                responses[oldest_index] = oldest.result()
+            in_flight.append((index, self.submit(request)))
+        for index, future in in_flight:
+            responses[index] = future.result()
+        return responses
 
     def serve_lines(self, lines) -> list[dict]:
         """The JSON-lines protocol through the gateway's admission control."""

@@ -259,6 +259,15 @@ def _double(x):
     return x * 2
 
 
+def _raise_timeout(x):
+    raise TimeoutError("socket timed out inside the unit")
+
+
+def _sleep_long(x):
+    time.sleep(60)
+    return x
+
+
 class TestRunUnits:
     def _tasks(self, n=4):
         return [UnitTask(key=i, label=f"t{i}", fn=_double, args=(i,)) for i in range(n)]
@@ -290,6 +299,66 @@ class TestRunUnits:
         with fault_plan(plan):
             with pytest.raises(UnitFailedError, match="t2"):
                 run_units(self._tasks(), config=config)
+
+    def test_unit_raised_timeouterror_is_an_ordinary_failure(self):
+        # On 3.11+ concurrent.futures.TimeoutError aliases builtins.
+        # TimeoutError, so a unit raising it (e.g. a socket timeout) must
+        # not be mistaken for a pool-level deadline — especially with no
+        # deadline configured at all.
+        tasks = [UnitTask(key=i, label=f"t{i}", fn=_raise_timeout, args=(i,))
+                 for i in range(2)]
+        report = run_units(tasks, jobs=2, config=FAST)
+        assert report.count("timeout") == 0
+        assert report.count("quarantine") == 2
+        assert all("TimeoutError" in e.detail for e in report.quarantined)
+
+    def test_hung_worker_does_not_block_pool_exit(self):
+        # The whole point of unit_timeout_s: a permanently wedged worker
+        # must not stall run_units at shutdown until its sleep finishes.
+        config = ResilienceConfig(
+            retry=RetryPolicy(max_attempts=1), unit_timeout_s=0.2
+        )
+        tasks = [UnitTask(key=0, label="t0", fn=_sleep_long, args=(0,))]
+        start = time.monotonic()
+        report = run_units(tasks, jobs=2, config=config)
+        elapsed = time.monotonic() - start
+        assert elapsed < 20  # the unit sleeps 60s; we must not wait for it
+        assert report.count("timeout") == 1
+        assert report.count("quarantine") == 1
+        assert 0 not in report.results
+
+    def test_hung_worker_does_not_block_interpreter_exit(self):
+        # run_units returning promptly is not enough: concurrent.futures
+        # joins the pool's management thread at interpreter exit, which
+        # waits on live workers.  The hung worker must be terminated, or
+        # the *process* hangs after the run finished.  Only observable
+        # from outside, hence the subprocess.
+        import subprocess
+        import sys
+
+        script = (
+            "import sys; sys.path.insert(0, sys.argv[1])\n"
+            "from repro.resilience import (ResilienceConfig, RetryPolicy,\n"
+            "                              UnitTask, run_units)\n"
+            "import time\n"
+            "def sleep_long(x):\n"
+            "    time.sleep(60)\n"
+            "    return x\n"
+            "config = ResilienceConfig(retry=RetryPolicy(max_attempts=1),\n"
+            "                          unit_timeout_s=0.2)\n"
+            "tasks = [UnitTask(key=0, label='t0', fn=sleep_long, args=(0,))]\n"
+            "report = run_units(tasks, jobs=2, config=config)\n"
+            "print('timeouts', report.count('timeout'))\n"
+        )
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        done = subprocess.run(
+            [sys.executable, "-c", script, src],
+            capture_output=True,
+            text=True,
+            timeout=30,  # the wedged unit sleeps 60s; exit must not wait
+        )
+        assert done.returncode == 0, done.stderr
+        assert "timeouts 1" in done.stdout
 
     def test_journal_commits_and_replays(self, tmp_path):
         journal = CheckpointJournal(tmp_path / "j.jsonl", run_key="toy")
@@ -432,8 +501,11 @@ class TestPipelineFaults:
             )
         assert _tables_identical(off, off_base)
         assert _tables_identical(on, on_base)
+        # The fan-out is shared between regimes, so its events land on
+        # exactly one rollup — aggregating both must not double-count.
         assert rollup_off.count("retry") == 16
-        assert rollup_on.count("retry") == 16
+        assert rollup_on.count("retry") == 0
+        assert rollup_off.count("retry") + rollup_on.count("retry") == 16
 
 
 class TestResume:

@@ -332,6 +332,33 @@ class TestGateway:
         assert gateway.counters.admitted == 1
         assert gateway.counters.overloaded == 1
 
+    def test_batch_larger_than_queue_limit_is_fully_served(self, engine, dataset):
+        # serve_batch throttles itself below the queue bound, so a batch
+        # of any size never trips admission control against its own
+        # requests — no slot may come back 'overloaded'.
+        config = GatewayConfig(max_workers=2, queue_limit=2)
+        batch = [{"id": i, "features": _features(dataset)} for i in range(9)]
+        with ServeGateway(engine, config) as gateway:
+            responses = gateway.serve_batch(batch)
+        assert [r["id"] for r in responses] == list(range(9))
+        assert all(r["ok"] for r in responses)
+        assert gateway.counters.admitted == 9
+        assert gateway.counters.overloaded == 0
+
+    def test_submit_after_pool_shutdown_still_rejects_typed(self, engine, dataset):
+        # White-box: the drain flag can be observed *after* the pool is
+        # already shut down; submit must still return a typed rejection,
+        # never raise, and must not leak a pending slot.
+        gateway = ServeGateway(engine)
+        gateway.drain()
+        gateway._draining = False  # reopen the race window artificially
+        response = gateway.submit({"id": 0, "features": _features(dataset)}).result()
+        assert response["ok"] is False
+        assert response["error"]["type"] == ERROR_OVERLOADED
+        assert gateway.counters.admitted == 0
+        assert gateway.counters.overloaded == 1
+        assert gateway._pending == 0
+
     def test_deadline_enforced_in_queue_and_in_flight(self, engine, dataset):
         # Request 0 overruns its deadline *while computing*; request 1
         # exceeds it *waiting* behind 0 and must never reach the engine.
