@@ -2,6 +2,7 @@
 
 from repro.instrument.report import (
     FORMAT_VERSION,
+    DedupStats,
     LoopRecord,
     MeasurementRollup,
     ResilienceEvent,
@@ -17,6 +18,7 @@ from repro.instrument.timers import (
 )
 
 __all__ = [
+    "DedupStats",
     "FORMAT_VERSION",
     "LoopMeasurement",
     "LoopRecord",

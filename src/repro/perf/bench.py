@@ -1,4 +1,5 @@
-"""The ``repro bench`` harness: time measure -> label -> select -> serve.
+"""The ``repro bench`` harness: time measure -> dedup -> label -> select
+-> serve.
 
 Every stage is timed through two implementations:
 
@@ -30,7 +31,11 @@ import numpy as np
 #: Version of the BENCH_<date>.json schema; bump on layout changes.
 #: v2: added the ``serve`` stage (retrain-per-request vs artifact-served
 #: batch prediction) and its sizing knobs in ``config``.
-BENCH_SCHEMA_VERSION = 2
+#: v3: added the ``dedup`` stage (content-addressed class-level
+#: measurement + incremental cross-factor analysis vs the seed's
+#: measurement path; ``reference_seconds`` is shared with the ``measure``
+#: stage and marked ``reference_reused_from_measure`` in its detail).
+BENCH_SCHEMA_VERSION = 3
 
 
 @dataclasses.dataclass(frozen=True)
@@ -126,13 +131,14 @@ class BenchReport:
         return "\n".join(lines)
 
 
-def _bench_measure(suite, config: BenchConfig) -> tuple[StageTiming, object]:
+def _bench_measure(suite, config: BenchConfig) -> tuple[StageTiming, object, object]:
     """Time serial suite measurement, both SWP regimes combined.
 
     Reference: two standalone :func:`measure_suite` runs through the
     seed's cost model and per-loop scalar noise.  Optimized: one
     :func:`measure_suite_pair` run sharing loop analyses across regimes.
-    Returns the timing and the optimized SWP-off table (reused downstream).
+    Returns the timing and both optimized tables (the SWP-off table feeds
+    the label stage; both are the dedup stage's bit-identity baseline).
     """
     from repro.instrument import MeasurementRollup
     from repro.pipeline import LabelingConfig, measure_suite, measure_suite_pair
@@ -149,7 +155,7 @@ def _bench_measure(suite, config: BenchConfig) -> tuple[StageTiming, object]:
     optimized = LabelingConfig(seed=config.suite_seed)
     rollup_off, rollup_on = MeasurementRollup(), MeasurementRollup()
     start = time.perf_counter()
-    table_off, _ = measure_suite_pair(
+    table_off, table_on = measure_suite_pair(
         suite, optimized, rollup_off=rollup_off, rollup_on=rollup_on
     )
     optimized_seconds = time.perf_counter() - start
@@ -168,7 +174,72 @@ def _bench_measure(suite, config: BenchConfig) -> tuple[StageTiming, object]:
             "analysis_hit_rate": round(hits / (hits + misses), 4) if hits + misses else 0.0,
         },
     )
-    return timing, table_off
+    return timing, table_off, table_on
+
+
+def _bench_dedup(
+    suite, config: BenchConfig, measure_timing: StageTiming, table_off, table_on
+) -> StageTiming:
+    """Time the content-addressed measurement path against the seed's.
+
+    Reference: the seed measurement path — identical to the ``measure``
+    stage's reference side, so its wall clock is *reused*, not re-run
+    (``reference_reused_from_measure`` in the detail).  Optimized: one
+    dedup-enabled :func:`measure_suite_pair` — one work unit per cost-key
+    equivalence class, swept across factors by the incremental engine and
+    fanned back out to every member.  ``picks_match`` asserts the dedup
+    tables are bit-identical to the measure stage's optimized tables;
+    ``speedup_vs_fast`` is the honest marginal over the already-optimized
+    dedup-off pair (the headline speedup is over the seed path, like
+    every other stage).
+    """
+    from repro.instrument import MeasurementRollup
+    from repro.pipeline import LabelingConfig, measure_suite_pair
+
+    dedup_config = LabelingConfig(seed=config.suite_seed, dedup=True)
+    rollup_off, rollup_on = MeasurementRollup(), MeasurementRollup()
+    start = time.perf_counter()
+    dedup_off, dedup_on = measure_suite_pair(
+        suite, dedup_config, rollup_off=rollup_off, rollup_on=rollup_on
+    )
+    optimized_seconds = time.perf_counter() - start
+
+    def identical(a, b) -> bool:
+        return (
+            a.measured.tobytes() == b.measured.tobytes()
+            and a.true_cycles.tobytes() == b.true_cycles.tobytes()
+        )
+
+    picks_match = identical(dedup_off, table_off) and identical(dedup_on, table_on)
+    stats = rollup_off.dedup
+    inc_hits = rollup_off.dedup.incremental_hits + rollup_on.dedup.incremental_hits
+    inc_misses = (
+        rollup_off.dedup.incremental_misses + rollup_on.dedup.incremental_misses
+    )
+    return StageTiming(
+        stage="dedup",
+        reference_seconds=measure_timing.reference_seconds,
+        optimized_seconds=optimized_seconds,
+        detail={
+            "n_loops": stats.n_loops,
+            "n_cost_classes": stats.n_cost_classes,
+            "n_structural_classes": stats.n_structural_classes,
+            "class_merges": stats.class_merges,
+            "cost_merges": stats.cost_merges,
+            "incremental_hits": inc_hits,
+            "incremental_misses": inc_misses,
+            "incremental_hit_rate": (
+                round(inc_hits / (inc_hits + inc_misses), 4)
+                if inc_hits + inc_misses
+                else 0.0
+            ),
+            "picks_match": bool(picks_match),
+            "reference_reused_from_measure": True,
+            "speedup_vs_fast": round(
+                measure_timing.optimized_seconds / optimized_seconds, 3
+            ),
+        },
+    )
 
 
 def _bench_label(table, config: BenchConfig) -> tuple[StageTiming, object]:
@@ -313,19 +384,21 @@ def _bench_serve(dataset, config: BenchConfig) -> StageTiming:
 
 
 def run_bench(config: BenchConfig | None = None) -> BenchReport:
-    """Run the full measure -> label -> select -> serve bench, serially."""
+    """Run the full measure -> dedup -> label -> select -> serve bench,
+    serially."""
     from repro.workloads import generate_suite
 
     config = config or BenchConfig()
     suite = generate_suite(seed=config.suite_seed, loops_scale=config.loops_scale)
-    measure_timing, table = _bench_measure(suite, config)
-    label_timing, dataset = _bench_label(table, config)
+    measure_timing, table_off, table_on = _bench_measure(suite, config)
+    dedup_timing = _bench_dedup(suite, config, measure_timing, table_off, table_on)
+    label_timing, dataset = _bench_label(table_off, config)
     select_timing = _bench_select(dataset, config)
     serve_timing = _bench_serve(dataset, config)
     return BenchReport(
         config=config,
         date=datetime.date.today().isoformat(),
-        stages=(measure_timing, label_timing, select_timing, serve_timing),
+        stages=(measure_timing, dedup_timing, label_timing, select_timing, serve_timing),
     )
 
 

@@ -1,0 +1,164 @@
+"""Content-addressed measurement dedup over a benchmark suite.
+
+The synthetic suites are full of structurally isomorphic loops — the same
+kernel cloned across benchmarks with renamed registers, reordered
+statements, or shifted base offsets.  Measuring each clone independently
+wastes the measure stage's wall clock on work whose outcome is already
+known bit-for-bit.  This module groups a suite's loops into equivalence
+classes under the content keys of :mod:`repro.ir.canonical`:
+
+* the **cost key** defines the *measured* classes: equal cost keys
+  guarantee bit-identical ``per_entry_cycles`` at every unroll factor and
+  scheduling regime, so the labelling pipeline measures one representative
+  per class and fans the per-entry sweep back out to every member (total
+  cycles are ``per_entry * entry_count``, the exact multiply the cost
+  model performs — the fan-out is bit-identical to measuring each member).
+* the **structural key** defines the looser trip-count-agnostic classes
+  reported as ``class_merges``: loops that would be dedupable at equal
+  trip counts.  It is also the exact check behind the optional LSH
+  near-duplicate flagging.
+
+The representative of each class is its first member in suite row order,
+so the class list — and therefore the work-unit list and the journal
+labels derived from it — is a pure function of the suite.
+
+:func:`lsh_candidate_pairs` optionally runs the feature vectors through
+:class:`repro.ml.lsh.LSHNearNeighbor` and reports bucket-cohabiting loop
+pairs as near-duplicate *candidates*; :func:`build_dedup_index` exact-
+checks them by structural-key equality.  The exact hashing already covers
+every loop, so LSH is a diagnostic (how well would sublinear candidate
+generation do?) rather than a correctness dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.features.extract import extract_features
+from repro.instrument.report import DedupStats
+from repro.ir.canonical import canonical_form
+from repro.ir.loop import Loop
+from repro.ir.program import Suite
+from repro.machine.itanium2 import ITANIUM2
+from repro.machine.model import MachineModel
+from repro.ml.lsh import LSHNearNeighbor
+
+#: Buckets larger than this are skipped during LSH pair enumeration (a
+#: degenerate bucket holding most of the suite would produce a quadratic
+#: pair blow-up while telling us nothing about *near* duplicates).
+MAX_LSH_BUCKET = 128
+
+
+@dataclass(frozen=True)
+class LoopClass:
+    """One measured equivalence class: loops with equal cost keys.
+
+    ``representative``/``members`` are ``(benchmark_index, loop_index)``
+    coordinates into the suite; the representative is the first member in
+    suite row order and is the loop actually measured.
+    """
+
+    key: str  # cost key (SHA-256 hex)
+    representative: tuple[int, int]
+    members: tuple[tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
+class DedupIndex:
+    """The suite's dedup plan: classes, membership, and statistics."""
+
+    classes: tuple[LoopClass, ...]
+    class_of: dict[tuple[int, int], int]  # (bench, loop) -> class index
+    stats: DedupStats
+
+    def representative_loop(self, suite: Suite, class_index: int) -> Loop:
+        bi, li = self.classes[class_index].representative
+        return suite.benchmarks[bi].loops[li]
+
+
+def _suite_loops(suite: Suite):
+    for bi, benchmark in enumerate(suite.benchmarks):
+        for li, loop in enumerate(benchmark.loops):
+            yield (bi, li), loop
+
+
+def lsh_candidate_pairs(
+    suite: Suite,
+    machine: MachineModel = ITANIUM2,
+    lsh: LSHNearNeighbor | None = None,
+) -> set[tuple[int, int]]:
+    """Near-duplicate candidate pairs (flat row indices, ``a < b``).
+
+    Loops are hashed by their 38-feature vectors; any two loops sharing a
+    bucket in any table become a candidate pair.  Buckets larger than
+    :data:`MAX_LSH_BUCKET` are skipped — they are not *near*-duplicate
+    evidence, just feature-space collapse.
+    """
+    X = np.array(
+        [extract_features(loop, machine) for _, loop in _suite_loops(suite)]
+    )
+    if lsh is None:
+        lsh = LSHNearNeighbor()
+    lsh.fit(X, np.zeros(len(X), dtype=np.int64))
+    pairs: set[tuple[int, int]] = set()
+    for table in lsh._tables:
+        for rows in table.values():
+            if len(rows) < 2 or len(rows) > MAX_LSH_BUCKET:
+                continue
+            for i, a in enumerate(rows):
+                for b in rows[i + 1 :]:
+                    pairs.add((a, b) if a < b else (b, a))
+    return pairs
+
+
+def build_dedup_index(
+    suite: Suite,
+    machine: MachineModel = ITANIUM2,
+    use_lsh: bool = False,
+) -> DedupIndex:
+    """Group the suite's loops into content-addressed equivalence classes.
+
+    Deterministic in suite row order: class indices, representatives, and
+    member tuples depend only on the suite's content, never on scheduling.
+    With ``use_lsh`` the statistics additionally report how many candidate
+    pairs feature-space LSH would have flagged and how many of those the
+    exact structural check confirms.
+    """
+    members: dict[str, list[tuple[int, int]]] = {}
+    structural: list[str] = []
+    for coord, loop in _suite_loops(suite):
+        form = canonical_form(loop)
+        members.setdefault(form.cost_key, []).append(coord)
+        structural.append(form.structural_key)
+
+    classes = tuple(
+        LoopClass(key=key, representative=coords[0], members=tuple(coords))
+        for key, coords in members.items()
+    )
+    class_of = {
+        coord: index
+        for index, cls in enumerate(classes)
+        for coord in cls.members
+    }
+
+    n_loops = len(structural)
+    lsh_pairs = 0
+    lsh_confirmed = 0
+    if use_lsh and n_loops:
+        candidates = lsh_candidate_pairs(suite, machine)
+        lsh_pairs = len(candidates)
+        lsh_confirmed = sum(
+            1 for a, b in candidates if structural[a] == structural[b]
+        )
+    stats = DedupStats(
+        n_loops=n_loops,
+        n_cost_classes=len(classes),
+        n_structural_classes=len(set(structural)),
+        class_merges=n_loops - len(set(structural)),
+        cost_merges=n_loops - len(classes),
+        lsh_candidate_pairs=lsh_pairs,
+        lsh_confirmed_pairs=lsh_confirmed,
+    )
+    return DedupIndex(classes=classes, class_of=class_of, stats=stats)

@@ -11,6 +11,37 @@ from repro.pipeline.measurements import MeasurementTable
 
 FP_OPS = [Opcode.FADD, Opcode.FSUB, Opcode.FMUL]
 
+
+def assert_tables_bit_identical(a: MeasurementTable, b: MeasurementTable) -> None:
+    """Assert two measurement tables are byte-for-byte the same.
+
+    ``tobytes`` comparison on the float columns is deliberately stricter
+    than ``allclose`` *and* than ``array_equal``: it distinguishes
+    ``-0.0`` from ``0.0`` and treats NaN holes (quarantined units) as
+    values that must match positionally.  Provenance columns are compared
+    element-wise so a mismatch names the first offending row.
+    """
+    assert a.swp == b.swp, f"swp regime differs: {a.swp} vs {b.swp}"
+    assert len(a) == len(b), f"row count differs: {len(a)} vs {len(b)}"
+    for column in ("loop_names", "benchmarks", "suites", "languages"):
+        lhs, rhs = getattr(a, column), getattr(b, column)
+        if not np.array_equal(lhs, rhs):
+            row = int(np.flatnonzero(lhs != rhs)[0])
+            raise AssertionError(
+                f"{column} differ at row {row}: {lhs[row]!r} vs {rhs[row]!r}"
+            )
+    for column in ("X", "measured", "true_cycles", "entry_counts"):
+        lhs, rhs = getattr(a, column), getattr(b, column)
+        if lhs.tobytes() != rhs.tobytes():
+            diff = lhs != rhs
+            if np.issubdtype(lhs.dtype, np.floating):
+                diff &= ~(np.isnan(lhs) & np.isnan(rhs))
+            rows = np.unique(np.argwhere(diff)[:, 0])[:5]
+            raise AssertionError(
+                f"{column} are not bit-identical; differing rows "
+                f"{rows.tolist()} ({a.loop_names[rows].tolist()})"
+            )
+
 #: Names as they appear on disk: any unicode except surrogates and NUL
 #: (numpy's fixed-width unicode arrays cannot represent either faithfully).
 _NAME_ALPHABET = st.characters(
