@@ -4,16 +4,19 @@
 #
 #   PYTHONPATH=src bash scripts/chaos_smoke.sh
 #
-# Four scenarios, each a hard gate (set -e): a worker kill must fall back
+# Five scenarios, each a hard gate (set -e): a worker kill must fall back
 # to serial and still produce a table; a kill at a checkpoint must resume;
 # a corrupted cache entry must self-heal; a bit-flipped model artifact
-# must be quarantined and served from the registry's last good.
+# must be quarantined and served from the registry's last good; a serve
+# daemon killed -9 under concurrent clients must leave every client with
+# typed responses only (no hangs, no untyped crashes) and come back clean.
 set -euo pipefail
 
 export REPRO_CACHE_DIR="$(mktemp -d)"
 export REPRO_ARTIFACT_DIR="$(mktemp -d)"
 WORK="$(mktemp -d)"
-trap 'rm -rf "$REPRO_CACHE_DIR" "$REPRO_ARTIFACT_DIR" "$WORK"' EXIT
+DAEMON_PID=""
+trap 'test -n "$DAEMON_PID" && kill -9 "$DAEMON_PID" 2>/dev/null; rm -rf "$REPRO_CACHE_DIR" "$REPRO_ARTIFACT_DIR" "$WORK"' EXIT
 SCALE=(--scale 0.02 --seed 123)
 
 # A fault-plan seed whose byte-flip offset lands mid-file (array data,
@@ -76,5 +79,60 @@ echo "$out"; cat "$WORK/serve.err"
 grep -q "WARNING: serving last-good artifact model_good.rma" "$WORK/serve.err"
 grep -q '"ok": true' <<<"$out"
 test -f "$REPRO_ARTIFACT_DIR/model_victim.rma.corrupt"
+
+echo "== 5. daemon kill -9 under concurrent clients -> typed recovery =="
+start_daemon() {  # starts the daemon on an ephemeral port; sets DAEMON_PID/PORT
+  python -m repro serve --model "$REPRO_ARTIFACT_DIR/model_good.rma" \
+    --listen 127.0.0.1:0 >"$WORK/daemon.out" 2>"$WORK/daemon.err" &
+  DAEMON_PID=$!
+  for _ in $(seq 1 100); do
+    grep -q "daemon listening on" "$WORK/daemon.out" 2>/dev/null && break
+    sleep 0.1
+  done
+  grep -q "daemon listening on" "$WORK/daemon.out"
+  PORT=$(sed -n 's/.*daemon listening on .*:\([0-9]*\)$/\1/p' "$WORK/daemon.out")
+}
+
+start_daemon
+echo "daemon up on port $PORT (pid $DAEMON_PID)"
+# Three concurrent clients stream requests; the daemon is shot mid-traffic.
+# --expect-kill: transport failure is a recoverable outcome, hangs and
+# untyped output are not.
+client_pids=()
+for i in 1 2 3; do
+  python scripts/daemon_chaos_client.py 127.0.0.1 "$PORT" 2000 --expect-kill \
+    >"$WORK/client$i.out" 2>&1 &
+  client_pids+=($!)
+done
+sleep 0.5
+kill -9 "$DAEMON_PID"
+rc=0
+for pid in "${client_pids[@]}"; do wait "$pid" || rc=$?; done
+cat "$WORK"/client[123].out
+test "$rc" -eq 0
+DAEMON_PID=""
+
+# Restart: the daemon must come back clean and serve typed responses,
+# and answer a healthz probe with balanced gateway state.
+start_daemon
+echo "daemon restarted on port $PORT"
+python scripts/daemon_chaos_client.py 127.0.0.1 "$PORT" 200
+python - 127.0.0.1 "$PORT" <<'EOF'
+import json, socket, sys
+with socket.create_connection((sys.argv[1], int(sys.argv[2])), timeout=15) as sock:
+    stream = sock.makefile("rw", encoding="utf-8", newline="\n")
+    stream.write(json.dumps({"healthz": True}) + "\n")
+    stream.flush()
+    health = json.loads(stream.readline())["healthz"]
+counters = health["gateway"]
+assert counters["admitted"] == (
+    counters["served_ok"] + counters["served_error"] + counters["deadline_exceeded"]
+), counters
+assert health["batching"]["batched_requests"] == counters["admitted"], health
+print(f"healthz: {counters['admitted']} admitted, {counters['served_ok']} ok, "
+      f"{health['batching']['batches']} batch(es), checksum {health['artifact']['checksum'][:12]}")
+EOF
+kill "$DAEMON_PID" && wait "$DAEMON_PID" || true
+DAEMON_PID=""
 
 echo "chaos smoke: all scenarios recovered"

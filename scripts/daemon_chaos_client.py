@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Chaos-smoke client for the serve daemon.
+
+Streams feature requests at a daemon and validates the failure contract:
+every line received must be valid JSON that is either ``ok: true`` or a
+*typed* error from the serve taxonomy — never an untyped crash dump — and
+no read may hang (socket timeout).  With ``--expect-kill`` the daemon is
+allowed to die mid-traffic: transport failures (reset, EOF, timeout) are
+then *recoverable* outcomes and exit 0; without it they fail the run.
+
+    python scripts/daemon_chaos_client.py HOST PORT N [--expect-kill]
+"""
+
+import json
+import socket
+import sys
+
+TYPED_ERRORS = {
+    "invalid-json",
+    "malformed-request",
+    "bad-feature-vector",
+    "unparseable-loop",
+    "internal-error",
+    "overloaded",
+    "deadline-exceeded",
+}
+
+
+def main(argv) -> int:
+    host, port, n = argv[1], int(argv[2]), int(argv[3])
+    expect_kill = "--expect-kill" in argv[4:]
+    ok = typed = 0
+    try:
+        with socket.create_connection((host, port), timeout=15) as sock:
+            sock.settimeout(15)  # a hung read is always a failure
+            stream = sock.makefile("rw", encoding="utf-8", newline="\n")
+            for i in range(n):
+                request = {"id": i, "features": [float(i % 7)] * 38}
+                if i % 9 == 5:
+                    request["features"] = [1.0]  # typed-error fodder
+                stream.write(json.dumps(request) + "\n")
+                stream.flush()
+                line = stream.readline()
+                if not line:
+                    raise ConnectionError("daemon closed the connection")
+                response = json.loads(line)  # non-JSON output = hard fail
+                if response.get("ok"):
+                    ok += 1
+                elif response.get("error", {}).get("type") in TYPED_ERRORS:
+                    typed += 1
+                else:
+                    print(f"UNTYPED response: {line.strip()}", file=sys.stderr)
+                    return 1
+    except (ConnectionError, socket.timeout, OSError) as error:
+        if expect_kill:
+            print(f"client: daemon died as expected after {ok} ok "
+                  f"({type(error).__name__}); recovered cleanly")
+            return 0
+        print(f"client: unexpected transport failure: {error}", file=sys.stderr)
+        return 1
+    print(f"client: {ok} ok, {typed} typed error(s), no hangs")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

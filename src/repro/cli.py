@@ -323,21 +323,73 @@ def cmd_predict_file(args) -> int:
     return 0
 
 
+def _parse_listen(listen: str) -> tuple[str, int]:
+    """``HOST:PORT`` for ``serve --listen`` (``:0`` binds an ephemeral
+    port; a bare ``:PORT`` listens on localhost)."""
+    host, sep, port_text = listen.rpartition(":")
+    if not sep:
+        raise ValueError(f"--listen expects HOST:PORT, got {listen!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"--listen port must be an integer, got {port_text!r}") from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"--listen port out of range: {port}")
+    return host or "127.0.0.1", port
+
+
 def cmd_serve(args) -> int:
     """Answer JSON-lines prediction requests from stdin in one batch,
-    behind the bounded, deadline-aware gateway."""
+    behind the bounded, deadline-aware gateway — or, with ``--listen``,
+    run the micro-batching TCP daemon until interrupted."""
     import json
     import time
 
     from repro.registry import ArtifactError, ArtifactStore
     from repro.serve import (
+        DaemonConfig,
         GatewayConfig,
         PredictionEngine,
+        ServeDaemon,
         ServeGateway,
         load_serving_artifact,
     )
 
     _install_fault_plan_arg(args)
+    if args.listen:
+        try:
+            host, port = _parse_listen(args.listen)
+        except ValueError as error:
+            print(str(error))
+            return 2
+        config = DaemonConfig(
+            host=host,
+            port=port,
+            batch_window_ms=args.batch_window_ms,
+            max_batch=args.max_batch,
+            replicas=args.replicas,
+            queue_limit=args.queue_limit,
+            deadline_s=args.deadline_ms / 1e3 if args.deadline_ms else None,
+            reload_poll_s=args.reload_poll_s,
+            classifier=args.classifier,
+        )
+        try:
+            daemon = ServeDaemon(args.model, config, store=ArtifactStore())
+        except FileNotFoundError:
+            print(f"cannot load model {args.model}: no such file")
+            return 2
+        except ArtifactError as error:
+            print(f"cannot serve: {error}")
+            return 2
+        if daemon.loaded.fallback:
+            print(
+                f"WARNING: serving last-good artifact {daemon.loaded.path.name} "
+                f"instead of {args.model} ({'; '.join(daemon.loaded.failures)})",
+                file=sys.stderr,
+            )
+        daemon.run()
+        print(daemon.gateway.counters.summary(), file=sys.stderr)
+        return 0
     try:
         loaded = load_serving_artifact(args.model, store=ArtifactStore())
     except FileNotFoundError:
@@ -520,6 +572,11 @@ def cmd_bench(args) -> int:
     serve = report.stage("serve").detail
     if not serve.get("predictions_match", True):
         print("WARNING: served predictions disagree with retrain-per-request")
+    daemon = report.stage("daemon").detail
+    if not daemon.get("predictions_match", True):
+        print("WARNING: batched daemon predictions disagree with per-request")
+    if daemon.get("reload", {}).get("responses_dropped"):
+        print("WARNING: hot reload dropped responses under live traffic")
     path = write_report(report, args.out)
     print(f"wrote {path}")
     return 0
@@ -627,6 +684,39 @@ def main(argv=None) -> int:
         "--fault-plan",
         default=None,
         help="chaos-testing hook: inline JSON or a fault-plan file (never on by default)",
+    )
+    serve_parser.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="run as a TCP daemon with adaptive micro-batching instead of "
+        "reading stdin (:0 binds an ephemeral port)",
+    )
+    serve_parser.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=2.0,
+        help="daemon coalescing window: requests arriving within this many "
+        "milliseconds are merged into one vectorized engine batch (default: 2)",
+    )
+    serve_parser.add_argument(
+        "--max-batch",
+        type=_positive_int,
+        default=32,
+        help="daemon cap on requests per coalesced batch (default: 32)",
+    )
+    serve_parser.add_argument(
+        "--replicas",
+        type=_positive_int,
+        default=2,
+        help="daemon engine replicas sharing the loaded artifact (default: 2)",
+    )
+    serve_parser.add_argument(
+        "--reload-poll-s",
+        type=float,
+        default=None,
+        help="daemon registry poll interval for hot artifact reload "
+        "(default: no watcher; reload only via restart)",
     )
     serve_parser.set_defaults(handler=cmd_serve)
 

@@ -35,7 +35,11 @@ import numpy as np
 #: measurement + incremental cross-factor analysis vs the seed's
 #: measurement path; ``reference_seconds`` is shared with the ``measure``
 #: stage and marked ``reference_reused_from_measure`` in its detail).
-BENCH_SCHEMA_VERSION = 3
+#: v4: added the ``daemon`` stage (concurrent clients against the serve
+#: daemon over real sockets: per-request serving as the reference side,
+#: coalesced vectorized micro-batching as the optimized side, plus a hot
+#: artifact reload performed under the batched run's live traffic).
+BENCH_SCHEMA_VERSION = 4
 
 
 @dataclasses.dataclass(frozen=True)
@@ -53,6 +57,9 @@ class BenchConfig:
     n_greedy: int = 5
     serve_requests: int = 64
     serve_retrains: int = 3
+    daemon_clients: int = 8
+    daemon_requests: int = 48
+    daemon_replicas: int = 2
     quick: bool = False
 
     @classmethod
@@ -63,6 +70,8 @@ class BenchConfig:
             subsample=200,
             serve_requests=16,
             serve_retrains=2,
+            daemon_clients=4,
+            daemon_requests=16,
             quick=True,
         )
 
@@ -321,7 +330,7 @@ def _bench_select(dataset, config: BenchConfig) -> StageTiming:
     )
 
 
-def _bench_serve(dataset, config: BenchConfig) -> StageTiming:
+def _bench_serve(dataset, artifact, config: BenchConfig) -> StageTiming:
     """Time the deployment path: retrain-per-request (how ``repro predict``
     worked before model artifacts existed) against a served batch through
     a saved-then-loaded artifact and the prediction engine.
@@ -335,7 +344,7 @@ def _bench_serve(dataset, config: BenchConfig) -> StageTiming:
     from pathlib import Path
 
     from repro.heuristics import train_svm_heuristic
-    from repro.registry import load_artifact, train_model_artifact
+    from repro.registry import load_artifact
     from repro.serve import PredictionEngine
 
     n_requests = config.serve_requests
@@ -350,7 +359,6 @@ def _bench_serve(dataset, config: BenchConfig) -> StageTiming:
     per_request_reference = reference_timed / config.serve_retrains
     reference_seconds = per_request_reference * n_requests
 
-    artifact = train_model_artifact(dataset)  # offline: not part of either side
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "bench-model.rma"
         artifact.save(path)
@@ -383,9 +391,197 @@ def _bench_serve(dataset, config: BenchConfig) -> StageTiming:
     )
 
 
+def _daemon_traffic(address, config: BenchConfig, rows) -> dict:
+    """Drive ``daemon_clients`` concurrent pipelining clients at a running
+    daemon; returns wall, per-request p95, and the id -> factor map."""
+    import json as json_mod
+    import socket
+    import threading
+
+    host, port = address
+    per_client = config.daemon_requests
+    results: dict[int, dict] = {}
+    latencies: list[float] = []
+    lock = threading.Lock()
+    progress = {"received": 0}
+    barrier = threading.Barrier(config.daemon_clients + 1)
+
+    def client(client_index: int) -> None:
+        ids = [client_index * per_client + i for i in range(per_client)]
+        with socket.create_connection((host, port), timeout=60) as sock:
+            stream = sock.makefile("rw", encoding="utf-8", newline="\n")
+            barrier.wait()
+            sent = {}
+            for request_id in ids:
+                payload = {
+                    "id": request_id,
+                    "features": [float(v) for v in rows[request_id]],
+                }
+                sent[request_id] = time.perf_counter()
+                stream.write(json_mod.dumps(payload) + "\n")
+            stream.flush()
+            for _ in ids:
+                response = json_mod.loads(stream.readline())
+                received = time.perf_counter()
+                with lock:
+                    results[response["id"]] = response
+                    latencies.append(received - sent[response["id"]])
+                    progress["received"] += 1
+
+    threads = [
+        threading.Thread(target=client, args=(i,)) for i in range(config.daemon_clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    n_requests = config.daemon_clients * per_client
+    latencies.sort()
+    p95 = latencies[min(len(latencies) - 1, int(0.95 * len(latencies)))] if latencies else 0.0
+    return {
+        "wall_s": wall,
+        "n_requests": n_requests,
+        "received": progress["received"],
+        "throughput_rps": n_requests / wall if wall > 0 else 0.0,
+        "p95_ms": p95 * 1e3,
+        "responses": results,
+    }
+
+
+def _bench_daemon(dataset, artifact, config: BenchConfig) -> StageTiming:
+    """Time the network serve tier over real sockets, per-request vs
+    coalesced micro-batches, with a hot reload under the batched run.
+
+    Both sides are the same daemon and the same concurrent pipelining
+    clients; only the coalescing differs.  Reference: ``max_batch=1``,
+    window 0 — every request is its own gateway batch (the scalar engine
+    path).  Optimized: the default adaptive window, so concurrent clients'
+    requests merge into vectorized ``(B, width)`` predictions.  During the
+    batched run a provenance-tweaked copy of the artifact is stored and
+    hot-swapped in mid-traffic; the detail records that no accepted
+    request was dropped (``responses_dropped``, ``counters_balanced``) and
+    that every batched factor equals its per-request counterpart
+    (``predictions_match`` — the tweaked artifact trains to identical
+    weights, so a reload must not change answers).
+    """
+    import dataclasses as dc
+    import tempfile
+    from pathlib import Path
+
+    from repro.registry import ArtifactStore
+    from repro.serve import BackgroundDaemon, DaemonConfig, ServeDaemon
+
+    n_requests = config.daemon_clients * config.daemon_requests
+    rows = dataset.X[np.arange(n_requests) % len(dataset)]
+    queue_limit = 2 * n_requests
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ArtifactStore(Path(tmp))
+        path = store.store("bench", artifact)
+
+        per_request_config = DaemonConfig(
+            batch_window_ms=0.0,
+            max_batch=1,
+            replicas=config.daemon_replicas,
+            queue_limit=queue_limit,
+        )
+        with BackgroundDaemon(
+            ServeDaemon(path, per_request_config, store=store)
+        ) as daemon:
+            per_request = _daemon_traffic(daemon.address, config, rows)
+        per_request_ok = all(r.get("ok") for r in per_request["responses"].values())
+
+        batched_config = DaemonConfig(
+            replicas=config.daemon_replicas, queue_limit=queue_limit
+        )
+        reload_result = {"reloaded": False}
+
+        batched_daemon = ServeDaemon(path, batched_config, store=store)
+        checksum_before = batched_daemon.checksum
+
+        def reload_midway() -> None:
+            # Wait for the run to be genuinely live, then swap in a
+            # provenance-tweaked (bit-different, weight-identical) artifact.
+            target = max(1, n_requests // 4)
+            live = batched_daemon.gateway.counters
+            while (
+                live.served_ok < target
+                and live.served_ok + live.served_error + live.deadline_exceeded
+                < n_requests
+            ):
+                time.sleep(0.001)
+            tweaked = dc.replace(
+                artifact,
+                provenance={**artifact.provenance, "bench_reload": True},
+            )
+            store.store("bench-reload", tweaked)
+            reload_result["reloaded"] = batched_daemon.maybe_reload()
+
+        import threading
+
+        with BackgroundDaemon(batched_daemon) as daemon:
+            reloader = threading.Thread(target=reload_midway)
+            reloader.start()
+            batched = _daemon_traffic(daemon.address, config, rows)
+            reloader.join()
+        counters = batched_daemon.gateway.counters
+        batch_stats = batched_daemon.gateway.batch_stats
+
+    predictions_match = (
+        per_request_ok
+        and all(r.get("ok") for r in batched["responses"].values())
+        and len(per_request["responses"]) == n_requests
+        and len(batched["responses"]) == n_requests
+        and all(
+            per_request["responses"][i]["factor"] == batched["responses"][i]["factor"]
+            for i in range(n_requests)
+        )
+    )
+    return StageTiming(
+        stage="daemon",
+        reference_seconds=per_request["wall_s"],
+        optimized_seconds=batched["wall_s"],
+        detail={
+            "n_clients": config.daemon_clients,
+            "requests_per_client": config.daemon_requests,
+            "n_requests": n_requests,
+            "replicas": config.daemon_replicas,
+            "per_request": {
+                "wall_s": round(per_request["wall_s"], 4),
+                "throughput_rps": round(per_request["throughput_rps"], 1),
+                "p95_ms": round(per_request["p95_ms"], 3),
+            },
+            "batched": {
+                "wall_s": round(batched["wall_s"], 4),
+                "throughput_rps": round(batched["throughput_rps"], 1),
+                "p95_ms": round(batched["p95_ms"], 3),
+                "batches": batch_stats.batches,
+                "mean_batch": round(batch_stats.mean_batch(), 2),
+                "max_batch": batch_stats.max_batch,
+            },
+            "batched_speedup": round(
+                per_request["wall_s"] / batched["wall_s"], 3
+            ) if batched["wall_s"] > 0 else float("inf"),
+            "predictions_match": bool(predictions_match),
+            "reload": {
+                "reloaded": bool(reload_result["reloaded"]),
+                "checksum_before": checksum_before,
+                "checksum_after": batched_daemon.checksum,
+                "responses_dropped": n_requests - batched["received"],
+                "counters_balanced": bool(counters.balanced()),
+                "counters": dc.asdict(counters),
+            },
+        },
+    )
+
+
 def run_bench(config: BenchConfig | None = None) -> BenchReport:
-    """Run the full measure -> dedup -> label -> select -> serve bench,
-    serially."""
+    """Run the full measure -> dedup -> label -> select -> serve ->
+    daemon bench, serially."""
+    from repro.registry import train_model_artifact
     from repro.workloads import generate_suite
 
     config = config or BenchConfig()
@@ -394,11 +590,20 @@ def run_bench(config: BenchConfig | None = None) -> BenchReport:
     dedup_timing = _bench_dedup(suite, config, measure_timing, table_off, table_on)
     label_timing, dataset = _bench_label(table_off, config)
     select_timing = _bench_select(dataset, config)
-    serve_timing = _bench_serve(dataset, config)
+    artifact = train_model_artifact(dataset)  # offline: not part of any stage
+    serve_timing = _bench_serve(dataset, artifact, config)
+    daemon_timing = _bench_daemon(dataset, artifact, config)
     return BenchReport(
         config=config,
         date=datetime.date.today().isoformat(),
-        stages=(measure_timing, dedup_timing, label_timing, select_timing, serve_timing),
+        stages=(
+            measure_timing,
+            dedup_timing,
+            label_timing,
+            select_timing,
+            serve_timing,
+            daemon_timing,
+        ),
     )
 
 

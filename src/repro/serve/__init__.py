@@ -7,13 +7,18 @@ instead of crashes, and per-request latency/throughput counters flowing
 through :class:`~repro.instrument.MeasurementRollup`.
 
 :class:`ServeGateway` hardens that engine for service shape: a bounded
-queue with typed ``overloaded`` backpressure, per-request deadlines, and a
-graceful drain that never drops admitted work.
+queue with typed ``overloaded`` backpressure, per-client fair-share
+admission, per-request deadlines, batched execution over engine replicas,
+and a graceful drain that never drops admitted work.
 :func:`load_serving_artifact` is the circuit breaker in front of both — a
 corrupt artifact is quarantined and the registry's last good model is
-served in its place.
+served in its place.  :class:`ServeDaemon` is the network tier on top:
+an asyncio TCP front-end that coalesces concurrent clients' requests
+into vectorized engine batches, hot-reloads newer registry artifacts with
+zero downtime, and answers ``healthz`` probes.
 """
 
+from repro.serve.daemon import BackgroundDaemon, DaemonConfig, ServeDaemon
 from repro.serve.engine import (
     ERROR_BAD_FEATURE_VECTOR,
     ERROR_DEADLINE_EXCEEDED,
@@ -25,7 +30,12 @@ from repro.serve.engine import (
     PredictionEngine,
     error_response,
 )
-from repro.serve.gateway import GatewayConfig, GatewayCounters, ServeGateway
+from repro.serve.gateway import (
+    BatchStats,
+    GatewayConfig,
+    GatewayCounters,
+    ServeGateway,
+)
 from repro.serve.loader import LoadedArtifact, load_serving_artifact
 
 __all__ = [
@@ -36,10 +46,14 @@ __all__ = [
     "ERROR_MALFORMED_REQUEST",
     "ERROR_OVERLOADED",
     "ERROR_UNPARSEABLE_LOOP",
+    "BackgroundDaemon",
+    "BatchStats",
+    "DaemonConfig",
     "GatewayConfig",
     "GatewayCounters",
     "LoadedArtifact",
     "PredictionEngine",
+    "ServeDaemon",
     "ServeGateway",
     "error_response",
     "load_serving_artifact",

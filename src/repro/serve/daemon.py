@@ -1,0 +1,450 @@
+"""The network-native serve tier: a TCP daemon with micro-batching.
+
+``repro serve --listen HOST:PORT`` promotes the stdin/stdout JSON-lines
+protocol to a real daemon: many concurrent connections, each a stream of
+newline-delimited request objects, each answered by a newline-delimited
+response object matched by ``id``.  The wire format is *identical* to the
+batch path — a client that worked against ``repro serve --input`` works
+against the socket unchanged.
+
+What the daemon adds over one-process/one-client serving:
+
+* **Adaptive micro-batching.**  Requests from *all* connections funnel
+  into one coalescing loop: the first arrival opens a window of
+  ``batch_window_ms``; everything arriving before it closes (or before
+  ``max_batch`` is hit) is executed as one engine batch, and
+  ``PredictionEngine.handle_batch`` answers the batch's feature-vector
+  requests with a single vectorized ``(B, width)`` prediction per
+  classifier instead of B scalar calls.  Under light traffic the window
+  expires almost empty and latency stays near per-request; under load
+  batches fill up and throughput scales with the vector width — the
+  window adapts by doing nothing.
+* **Engine replicas.**  ``replicas`` independent
+  :class:`~repro.serve.engine.PredictionEngine` instances share one
+  loaded :class:`~repro.registry.ModelArtifact` (immutable, zero copies)
+  behind one :class:`~repro.serve.gateway.ServeGateway`; concurrent
+  batches are dealt round-robin so they execute in parallel workers.
+* **Admission at arrival.**  Every request is admitted or rejected the
+  moment it is read, tagged with its connection's peer address —
+  the gateway's queue bound and per-client fair share mean one flooding
+  connection is told ``overloaded`` while everyone else keeps being
+  served.
+* **Hot artifact reload.**  :meth:`ServeDaemon.maybe_reload` (and the
+  background watcher when ``reload_poll_s`` is set) notices a newer
+  last-good artifact in the registry, loads it through the PR-4
+  quarantine/fallback path, and swaps in fresh replicas between batches —
+  in-flight batches finish on the engines they started with, so reload
+  drops zero accepted requests.
+* **Introspection.**  A ``{"healthz": true}`` request is answered inline
+  (never queued) with gateway counters, batching stats, replica count,
+  and the loaded artifact's path + checksum — the daemon's whole state in
+  one probe.
+
+Shutdown is drain-shaped: stop accepting connections, flush the
+coalescing queue, then ``gateway.drain()`` — every admitted request gets
+its response before the sockets close.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import dataclasses
+import hashlib
+import json
+import threading
+import time
+from pathlib import Path
+
+from repro.instrument.report import MeasurementRollup
+from repro.machine.itanium2 import ITANIUM2
+from repro.machine.model import MachineModel
+from repro.registry.artifact import ArtifactStore, load_or_quarantine
+from repro.serve.engine import (
+    ERROR_INVALID_JSON,
+    PredictionEngine,
+    _InvalidLine,
+    error_response,
+)
+from repro.serve.gateway import GatewayConfig, ServeGateway
+from repro.serve.loader import load_serving_artifact
+
+
+@dataclasses.dataclass(frozen=True)
+class DaemonConfig:
+    """Tunables for one :class:`ServeDaemon`.
+
+    ``batch_window_ms`` is the coalescing window: how long the batch loop
+    holds the first request of a batch open for company.  Larger windows
+    trade tail latency for bigger (faster-per-request) vectorized batches;
+    ``0`` disables coalescing entirely (every request is its own batch).
+    ``port=0`` binds an ephemeral port (the bound address is on
+    :attr:`ServeDaemon.address` after start).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    batch_window_ms: float = 2.0
+    max_batch: int = 32
+    replicas: int = 2
+    queue_limit: int = 256
+    deadline_s: float | None = None
+    reload_poll_s: float | None = None
+    classifier: str = "svm"
+
+    def __post_init__(self) -> None:
+        if self.batch_window_ms < 0:
+            raise ValueError(f"batch_window_ms must be >= 0, got {self.batch_window_ms}")
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {self.replicas}")
+
+
+def _file_checksum(path: Path) -> str:
+    return hashlib.sha256(Path(path).read_bytes()).hexdigest()
+
+
+class ServeDaemon:
+    """One artifact, N engine replicas, one socket, shared micro-batching.
+
+    Construct, then either drive the asyncio lifecycle directly
+    (``await start()`` / ``await stop()`` on a running loop) or use
+    :class:`BackgroundDaemon` / :meth:`run` which own a loop for you.
+    """
+
+    def __init__(
+        self,
+        model_path: str | Path,
+        config: DaemonConfig | None = None,
+        store: ArtifactStore | None = None,
+        machine: MachineModel = ITANIUM2,
+    ):
+        self.config = config or DaemonConfig()
+        self._machine = machine
+        self._store = store if store is not None else ArtifactStore()
+        self.loaded = load_serving_artifact(model_path, store=self._store, machine=machine)
+        self.checksum = _file_checksum(self.loaded.path)
+        self._artifact_mtime = self.loaded.path.stat().st_mtime
+        self.rollup = MeasurementRollup()
+        self.gateway = ServeGateway(
+            self._build_replicas(self.loaded.artifact),
+            GatewayConfig(
+                max_workers=self.config.replicas,
+                queue_limit=self.config.queue_limit,
+                deadline_s=self.config.deadline_s,
+            ),
+        )
+        self.reloads = 0
+        self._reload_lock = threading.Lock()
+        self._started = time.monotonic()
+        self._server: asyncio.AbstractServer | None = None
+        self._queue: asyncio.Queue | None = None
+        self._batch_task: asyncio.Task | None = None
+        self._watch_task: asyncio.Task | None = None
+        self._connections: set = set()
+        self._deliveries: set = set()
+        self.address: tuple[str, int] | None = None
+
+    def _build_replicas(self, artifact) -> tuple[PredictionEngine, ...]:
+        """N engines over one immutable artifact — shared weights, shared
+        rollup, no copies."""
+        return tuple(
+            PredictionEngine(artifact, classifier=self.config.classifier, rollup=self.rollup)
+            for _ in range(self.config.replicas)
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    async def start(self) -> None:
+        """Bind the socket and start the batch loop (and watcher, if any)."""
+        self._queue = asyncio.Queue()
+        self._batch_task = asyncio.ensure_future(self._batch_loop())
+        if self.config.reload_poll_s is not None:
+            self._watch_task = asyncio.ensure_future(self._watch_registry())
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+
+    async def stop(self) -> None:
+        """Drain-shaped shutdown: no request admitted before the sockets
+        closed goes unanswered."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._watch_task is not None:
+            self._watch_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._watch_task
+        if self._batch_task is not None:
+            # The sentinel queues *behind* any still-coalescing tokens, so
+            # the loop executes every admitted request before exiting.
+            await self._queue.put(None)
+            await self._batch_task
+        await asyncio.get_event_loop().run_in_executor(None, self.gateway.drain)
+        # Every future is resolved now; let in-flight response writes land,
+        # then cancel handlers still parked on an idle connection's readline.
+        if self._deliveries:
+            await asyncio.gather(*tuple(self._deliveries), return_exceptions=True)
+        for task in tuple(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*tuple(self._connections), return_exceptions=True)
+
+    # ------------------------------------------------------------------
+    # hot reload
+
+    def maybe_reload(self) -> bool:
+        """Swap in the registry's newest artifact if it is newer than ours.
+
+        Thread-safe and cheap when nothing changed (one registry scan +
+        stat).  On reload the gateway's replicas are replaced atomically:
+        batches already executing keep their engines, every later batch
+        runs the new model.  Returns whether a swap happened.
+        """
+        with self._reload_lock:
+            newest: tuple[float, Path] | None = None
+            for path in self._store.entries():
+                try:
+                    mtime = path.stat().st_mtime
+                except FileNotFoundError:
+                    continue
+                if newest is None or mtime > newest[0]:
+                    newest = (mtime, path)
+            if newest is None:
+                return False
+            mtime, path = newest
+            if path == self.loaded.path and mtime <= self._artifact_mtime:
+                return False
+            if mtime < self._artifact_mtime:
+                return False
+            try:
+                # Through the quarantine path: a corrupt "newer" artifact
+                # is renamed aside and we keep serving what we have.
+                artifact = load_or_quarantine(path, machine=self._machine)
+            except Exception:
+                return False
+            checksum = _file_checksum(path)
+            if checksum == self.checksum:
+                # Re-saved identical bytes (deterministic serialization):
+                # remember the newer mtime, skip the swap.
+                self._artifact_mtime = mtime
+                return False
+            self.gateway.swap_replicas(self._build_replicas(artifact))
+            self.loaded = dataclasses.replace(
+                self.loaded, artifact=artifact, path=path, fallback=False
+            )
+            self.checksum = checksum
+            self._artifact_mtime = mtime
+            self.reloads += 1
+            return True
+
+    async def _watch_registry(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.reload_poll_s)
+            await asyncio.get_event_loop().run_in_executor(None, self.maybe_reload)
+
+    # ------------------------------------------------------------------
+    # introspection
+
+    def healthz(self) -> dict:
+        counters = self.gateway.counters
+        stats = self.gateway.batch_stats
+        return {
+            "ok": True,
+            "healthz": {
+                "uptime_s": round(time.monotonic() - self._started, 3),
+                "artifact": {
+                    "path": str(self.loaded.path),
+                    "checksum": self.checksum,
+                    "fallback": self.loaded.fallback,
+                    "reloads": self.reloads,
+                },
+                "gateway": dataclasses.asdict(counters),
+                "batching": {
+                    "batches": stats.batches,
+                    "batched_requests": stats.batched_requests,
+                    "max_batch": stats.max_batch,
+                    "mean_batch": round(stats.mean_batch(), 3),
+                    "window_ms": self.config.batch_window_ms,
+                    "max_batch_limit": self.config.max_batch,
+                },
+                "replicas": len(self.gateway.replicas),
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # the coalescing loop
+
+    async def _batch_loop(self) -> None:
+        """Pull admitted tokens off the shared queue; coalesce arrivals
+        within ``batch_window_ms`` (up to ``max_batch``) into one gateway
+        batch.  A ``None`` sentinel — queued behind all remaining tokens at
+        shutdown — ends the loop once everything before it has executed."""
+        window_s = self.config.batch_window_ms / 1e3
+        loop = asyncio.get_event_loop()
+        while True:
+            token = await self._queue.get()
+            if token is None:
+                return
+            batch = [token]
+            deadline = loop.time() + window_s
+            while len(batch) < self.config.max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    # Window expired: sweep whatever already arrived, then go.
+                    try:
+                        while len(batch) < self.config.max_batch:
+                            extra = self._queue.get_nowait()
+                            if extra is None:
+                                self.gateway.execute_batch(batch)
+                                return
+                            batch.append(extra)
+                    except asyncio.QueueEmpty:
+                        pass
+                    break
+                try:
+                    extra = await asyncio.wait_for(self._queue.get(), timeout=remaining)
+                except asyncio.TimeoutError:
+                    break
+                if extra is None:
+                    self.gateway.execute_batch(batch)
+                    return
+                batch.append(extra)
+            self.gateway.execute_batch(batch)
+
+    # ------------------------------------------------------------------
+    # per-connection protocol
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peer = writer.get_extra_info("peername")
+        client = f"{peer[0]}:{peer[1]}" if peer else "unknown"
+        write_lock = asyncio.Lock()
+        deliveries: set[asyncio.Task] = set()
+        task = asyncio.current_task()
+        self._connections.add(task)
+        task.add_done_callback(self._connections.discard)
+
+        async def write_response(response: dict) -> None:
+            async with write_lock:
+                writer.write((json.dumps(response) + "\n").encode("utf-8"))
+                await writer.drain()
+
+        async def deliver(future) -> None:
+            with contextlib.suppress(ConnectionError):
+                await write_response(await asyncio.wrap_future(future))
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                text = line.decode("utf-8", errors="replace").strip()
+                if not text:
+                    continue
+                try:
+                    request = json.loads(text)
+                except json.JSONDecodeError as error:
+                    request = _InvalidLine(str(error))
+                if isinstance(request, dict) and request.get("healthz"):
+                    await write_response({**self.healthz(), "id": request.get("id")})
+                    continue
+                token = self.gateway.admit(request, client=client)
+                if token.admitted:
+                    await self._queue.put(token)
+                # Responses are written in completion order, matched to
+                # requests by id — a pipelining client must tag requests.
+                delivery = asyncio.ensure_future(deliver(token.future))
+                for registry in (deliveries, self._deliveries):
+                    registry.add(delivery)
+                    delivery.add_done_callback(registry.discard)
+            if deliveries:
+                await asyncio.gather(*deliveries, return_exceptions=True)
+        except ConnectionError:
+            pass
+        except asyncio.CancelledError:
+            # Shutdown cancels handlers parked on readline after every
+            # response has been written; the connection just closes.
+            pass
+        finally:
+            with contextlib.suppress(ConnectionError):
+                writer.close()
+                await writer.wait_closed()
+
+    # ------------------------------------------------------------------
+    # blocking entry points
+
+    def run(self) -> None:
+        """Serve until interrupted (the CLI's ``--listen`` path).
+
+        SIGINT/SIGTERM trigger the drain-shaped shutdown: stop accepting,
+        answer everything admitted, then exit."""
+        import signal
+
+        loop = asyncio.new_event_loop()
+        try:
+            asyncio.set_event_loop(loop)
+            loop.run_until_complete(self.start())
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                with contextlib.suppress(NotImplementedError, RuntimeError):
+                    loop.add_signal_handler(signum, loop.stop)
+            host, port = self.address
+            print(f"daemon listening on {host}:{port}", flush=True)
+            try:
+                loop.run_forever()
+            except KeyboardInterrupt:
+                pass
+            loop.run_until_complete(self.stop())
+        finally:
+            asyncio.set_event_loop(None)
+            loop.close()
+
+
+class BackgroundDaemon:
+    """Run a :class:`ServeDaemon` on a background thread (tests, bench).
+
+    ``with BackgroundDaemon(daemon) as d:`` yields once the socket is
+    bound (``d.address`` is live); exit performs the full drain-shaped
+    shutdown before returning.
+    """
+
+    def __init__(self, daemon: ServeDaemon):
+        self.daemon = daemon
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    def __enter__(self) -> ServeDaemon:
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            self._thread.join()
+            raise self._startup_error
+        return self.daemon
+
+    def _serve(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self.daemon.start())
+        except BaseException as error:  # surface bind failures to __enter__
+            self._startup_error = error
+            self._ready.set()
+            return
+        self._ready.set()
+        self._loop.run_forever()
+        self._loop.run_until_complete(self.daemon.stop())
+        self._loop.close()
+
+    def __exit__(self, *exc) -> None:
+        if self._loop is not None and self._startup_error is None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join()

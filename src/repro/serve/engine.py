@@ -115,6 +115,10 @@ class PredictionEngine:
         self.artifact = artifact
         self.default_classifier = classifier
         self.rollup = rollup if rollup is not None else MeasurementRollup()
+        # Resolve each classifier's heuristic once; every request (and the
+        # vectorized batch path) reads this immutable table instead of
+        # re-asking the artifact per prediction.
+        self._heuristics = {name: artifact.heuristic(name) for name in _CLASSIFIERS}
         # Requests carry full-catalog vectors when the model selects a
         # subset (the heuristic applies it); models trained without a
         # subset dictate their own input width.
@@ -147,6 +151,78 @@ class PredictionEngine:
         response = {"id": request_id, "ok": True, "latency_ms": round(latency * 1e3, 3)}
         response.update(payload)
         return response
+
+    def handle_batch(self, requests) -> list[dict]:
+        """Answer a batch with one vectorized prediction per classifier.
+
+        Feature-vector requests that pass validation are stacked into a
+        single ``(B, width)`` matrix and answered by one
+        ``predict_features`` call per classifier — the micro-batching fast
+        path the serve daemon coalesces traffic into.  Everything else
+        (source requests, malformed input) falls through to :meth:`handle`
+        in place, so the error taxonomy and response shapes are identical
+        to per-request serving.  Responses come back in request order.
+
+        With a fault plan active the batch is served request-by-request:
+        the ``serve.delay`` / ``serve.internal`` / per-request injection
+        semantics only exist on the scalar path, and chaos runs must keep
+        them.
+        """
+        requests = list(requests)
+        if len(requests) <= 1 or get_injector().active:
+            return [self.handle(request) for request in requests]
+        start = time.perf_counter()
+        responses: list[dict | None] = [None] * len(requests)
+        groups: dict[str, list[tuple[int, np.ndarray]]] = {}
+        for index, request in enumerate(requests):
+            vectorized = self._vectorizable(request)
+            if vectorized is None:
+                responses[index] = self.handle(request)
+            else:
+                classifier, vector = vectorized
+                groups.setdefault(classifier, []).append((index, vector))
+        for classifier, members in groups.items():
+            try:
+                matrix = np.stack([vector for _, vector in members])
+                factors = self._heuristics[classifier].predict_features(matrix)
+            except Exception:
+                # The taxonomy's floor, batch edition: if the vectorized
+                # call fails, each member is re-answered individually so a
+                # defect surfaces as typed per-request responses, never a
+                # crashed batch.
+                for index, _ in members:
+                    responses[index] = self.handle(requests[index])
+                continue
+            latency = time.perf_counter() - start
+            latency_ms = round(latency * 1e3, 3)
+            for (index, _), factor in zip(members, factors):
+                request = requests[index]
+                self._record(int(factor), 1, latency)
+                responses[index] = {
+                    "id": request.get("id"),
+                    "ok": True,
+                    "latency_ms": latency_ms,
+                    "factor": int(factor),
+                    "classifier": classifier,
+                }
+        return responses
+
+    def _vectorizable(self, request) -> tuple[str, np.ndarray] | None:
+        """``(classifier, vector)`` when a request can join a stacked
+        batch; ``None`` routes it through :meth:`handle` (which emits the
+        typed error for anything actually malformed)."""
+        if not isinstance(request, dict):
+            return None
+        if "features" not in request or "source" in request:
+            return None
+        classifier = request.get("classifier", self.default_classifier)
+        if classifier not in _CLASSIFIERS:
+            return None
+        try:
+            vector = self._coerce_features(request["features"])
+        except _MalformedRequest:
+            return None
+        return classifier, vector
 
     def serve_batch(self, requests, max_workers: int | None = None) -> list[dict]:
         """Answer a batch; responses come back in request order.
@@ -216,7 +292,9 @@ class PredictionEngine:
         }
         return payload, len(loops)
 
-    def _predict_features(self, features, classifier: str) -> int:
+    def _coerce_features(self, features) -> np.ndarray:
+        """Validate one feature payload into a ``(width,)`` float vector;
+        raises :class:`_MalformedRequest` on any structural defect."""
         if not isinstance(features, (list, tuple)):
             raise _MalformedRequest(
                 ERROR_BAD_FEATURE_VECTOR, "'features' must be a list of numbers"
@@ -236,7 +314,11 @@ class PredictionEngine:
             raise _MalformedRequest(
                 ERROR_BAD_FEATURE_VECTOR, "'features' contains non-finite entries"
             )
-        heuristic = self.artifact.heuristic(classifier)
+        return vector
+
+    def _predict_features(self, features, classifier: str) -> int:
+        vector = self._coerce_features(features)
+        heuristic = self._heuristics[classifier]
         return int(heuristic.predict_features(vector[None, :])[0])
 
     def _predict_source(self, source, classifier: str) -> list[dict]:
@@ -248,7 +330,7 @@ class PredictionEngine:
             entries = parse_program(source)
         except (LexError, ParseError) as error:
             raise _MalformedRequest(ERROR_UNPARSEABLE_LOOP, str(error)) from None
-        heuristic = self.artifact.heuristic(classifier)
+        heuristic = self._heuristics[classifier]
         return [
             {"loop": entry.loop.name, "factor": int(heuristic.predict_loop(entry.loop))}
             for entry in entries

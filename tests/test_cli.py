@@ -317,3 +317,36 @@ class TestMeasureCommand:
 
         assert main([*self.MEASURE, *cache]) == 0
         assert "already cached" in capsys.readouterr().out
+
+
+class TestServeDaemonFlags:
+    def test_parse_listen_forms(self):
+        from repro.cli import _parse_listen
+
+        assert _parse_listen("127.0.0.1:9000") == ("127.0.0.1", 9000)
+        assert _parse_listen(":0") == ("127.0.0.1", 0)
+        assert _parse_listen("0.0.0.0:80") == ("0.0.0.0", 80)
+
+    def test_parse_listen_rejects_garbage(self):
+        import pytest
+
+        from repro.cli import _parse_listen
+
+        with pytest.raises(ValueError, match="HOST:PORT"):
+            _parse_listen("9000")
+        with pytest.raises(ValueError, match="integer"):
+            _parse_listen("localhost:http")
+        with pytest.raises(ValueError, match="out of range"):
+            _parse_listen("localhost:70000")
+
+    def test_listen_with_bad_address_fails_fast(self, model_path, capsys):
+        rc = main(["serve", "--model", str(model_path), "--listen", "nonsense"])
+        assert rc == 2
+        assert "HOST:PORT" in capsys.readouterr().out
+
+    def test_listen_with_missing_model_fails_fast(self, tmp_path, capsys):
+        rc = main(
+            ["serve", "--model", str(tmp_path / "ghost.rma"), "--listen", ":0"]
+        )
+        assert rc == 2
+        assert "no such file" in capsys.readouterr().out

@@ -1,0 +1,344 @@
+"""The serve daemon: protocol over real sockets, micro-batching, hot
+reload, healthz, and drain-shaped shutdown.
+
+Every test runs a real asyncio TCP server on an ephemeral port via
+:class:`BackgroundDaemon` and talks to it with plain blocking sockets —
+the same way an external client would.
+"""
+
+import dataclasses
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.registry import ArtifactStore, train_model_artifact
+from repro.serve import (
+    ERROR_BAD_FEATURE_VECTOR,
+    ERROR_INVALID_JSON,
+    ERROR_OVERLOADED,
+    BackgroundDaemon,
+    DaemonConfig,
+    ServeDaemon,
+)
+
+from tests.test_model_artifacts import synthetic_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return synthetic_dataset()
+
+
+@pytest.fixture(scope="module")
+def artifact(dataset):
+    return train_model_artifact(dataset)
+
+
+@pytest.fixture
+def store(tmp_path, artifact):
+    store = ArtifactStore(tmp_path)
+    store.store("base", artifact)
+    return store
+
+
+def _features(dataset, row=0):
+    return [float(v) for v in dataset.X[row]]
+
+
+class _Client:
+    """A blocking JSON-lines client for one daemon connection."""
+
+    def __init__(self, address):
+        self.sock = socket.create_connection(address, timeout=30)
+        self.stream = self.sock.makefile("rw", encoding="utf-8", newline="\n")
+
+    def send(self, request: dict) -> None:
+        self.stream.write(json.dumps(request) + "\n")
+        self.stream.flush()
+
+    def send_raw(self, line: str) -> None:
+        self.stream.write(line + "\n")
+        self.stream.flush()
+
+    def recv(self) -> dict:
+        return json.loads(self.stream.readline())
+
+    def ask(self, request: dict) -> dict:
+        self.send(request)
+        return self.recv()
+
+    def close(self) -> None:
+        self.sock.close()
+
+
+def _run(store, config=None, **kwargs):
+    daemon = ServeDaemon(
+        store.path_for("base"), config or DaemonConfig(**kwargs), store=store
+    )
+    return BackgroundDaemon(daemon)
+
+
+class TestProtocol:
+    def test_feature_request_round_trip(self, store, dataset):
+        with _run(store) as daemon:
+            client = _Client(daemon.address)
+            response = client.ask({"id": 1, "features": _features(dataset)})
+            client.close()
+        assert response["ok"] is True
+        assert response["id"] == 1
+        assert 1 <= response["factor"] <= 8
+
+    def test_error_taxonomy_over_the_wire(self, store, dataset):
+        with _run(store) as daemon:
+            client = _Client(daemon.address)
+            client.send_raw("{torn json")
+            invalid = client.recv()
+            bad = client.ask({"id": 2, "features": [1.0]})
+            client.close()
+        assert invalid["ok"] is False
+        assert invalid["error"]["type"] == ERROR_INVALID_JSON
+        assert bad["ok"] is False
+        assert bad["error"]["type"] == ERROR_BAD_FEATURE_VECTOR
+        assert bad["id"] == 2
+
+    def test_blank_lines_are_skipped(self, store, dataset):
+        with _run(store) as daemon:
+            client = _Client(daemon.address)
+            client.send_raw("")
+            response = client.ask({"id": 3, "features": _features(dataset)})
+            client.close()
+        assert response["id"] == 3
+
+    def test_pipelined_requests_all_answered(self, store, dataset):
+        n = 40
+        with _run(store) as daemon:
+            client = _Client(daemon.address)
+            for i in range(n):
+                client.send({"id": i, "features": _features(dataset, i % 40)})
+            responses = [client.recv() for _ in range(n)]
+            client.close()
+        # Completion-ordered, id-matched: every id exactly once, all ok.
+        assert sorted(r["id"] for r in responses) == list(range(n))
+        assert all(r["ok"] for r in responses)
+
+
+class TestMicroBatching:
+    def test_concurrent_clients_coalesce_into_batches(self, store, dataset):
+        n_clients, per_client = 4, 25
+        with _run(store, batch_window_ms=5.0, max_batch=32) as daemon:
+            barrier = threading.Barrier(n_clients)
+            failures = []
+
+            def client_thread(index):
+                try:
+                    client = _Client(daemon.address)
+                    barrier.wait()
+                    for i in range(per_client):
+                        client.send(
+                            {
+                                "id": index * per_client + i,
+                                "features": _features(dataset, i % 40),
+                            }
+                        )
+                    responses = [client.recv() for _ in range(per_client)]
+                    assert all(r["ok"] for r in responses)
+                    client.close()
+                except Exception as error:  # pragma: no cover - diagnostic
+                    failures.append(error)
+
+            threads = [
+                threading.Thread(target=client_thread, args=(i,))
+                for i in range(n_clients)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            stats = daemon.gateway.batch_stats
+        assert not failures
+        total = n_clients * per_client
+        assert stats.batched_requests == total
+        # Coalescing happened: far fewer engine batches than requests.
+        assert stats.batches < total
+        assert stats.max_batch > 1
+        assert daemon.gateway.counters.balanced()
+
+    def test_max_batch_one_serves_per_request(self, store, dataset):
+        with _run(store, batch_window_ms=0.0, max_batch=1) as daemon:
+            client = _Client(daemon.address)
+            for i in range(8):
+                client.send({"id": i, "features": _features(dataset)})
+            responses = [client.recv() for _ in range(8)]
+            client.close()
+            stats = daemon.gateway.batch_stats
+        assert all(r["ok"] for r in responses)
+        assert stats.max_batch == 1
+        assert stats.batches == 8
+
+    def test_flooding_client_gets_typed_overloaded(self, store, dataset):
+        # Queue of 8, one client blasting 200 pipelined requests: the
+        # excess must come back as typed overloaded errors, never a hang
+        # or a closed connection.
+        with _run(store, queue_limit=8, batch_window_ms=0.0) as daemon:
+            client = _Client(daemon.address)
+            n = 200
+            def pump():
+                for i in range(n):
+                    client.send({"id": i, "features": _features(dataset)})
+            pumper = threading.Thread(target=pump)
+            pumper.start()
+            responses = [client.recv() for _ in range(n)]
+            pumper.join()
+            client.close()
+        assert sorted(r["id"] for r in responses) == list(range(n))
+        rejected = [r for r in responses if not r["ok"]]
+        for response in rejected:
+            assert response["error"]["type"] == ERROR_OVERLOADED
+        assert daemon.gateway.counters.balanced()
+
+
+class TestHealthz:
+    def test_healthz_reports_state(self, store, dataset):
+        with _run(store, replicas=3) as daemon:
+            client = _Client(daemon.address)
+            client.ask({"id": 0, "features": _features(dataset)})
+            response = client.ask({"healthz": True, "id": "probe"})
+            client.close()
+        assert response["ok"] is True
+        assert response["id"] == "probe"
+        health = response["healthz"]
+        assert health["replicas"] == 3
+        assert health["artifact"]["checksum"] == daemon.checksum
+        assert health["artifact"]["fallback"] is False
+        assert health["artifact"]["reloads"] == 0
+        assert health["gateway"]["admitted"] >= 1
+        assert health["batching"]["window_ms"] == 2.0
+        assert health["uptime_s"] >= 0.0
+
+    def test_healthz_is_never_queued(self, store):
+        # healthz answers inline even when the queue is saturated.
+        with _run(store, queue_limit=1) as daemon:
+            client = _Client(daemon.address)
+            response = client.ask({"healthz": True})
+            client.close()
+        assert response["ok"] is True
+
+
+class TestHotReload:
+    def _tweaked(self, artifact, tag):
+        return dataclasses.replace(
+            artifact, provenance={**artifact.provenance, "reload": tag}
+        )
+
+    def test_reload_swaps_newer_artifact(self, store, artifact, dataset):
+        with _run(store) as daemon:
+            client = _Client(daemon.address)
+            before = client.ask({"id": 0, "features": _features(dataset)})
+            checksum_before = daemon.checksum
+            time.sleep(0.02)  # newer mtime beyond fs granularity
+            store.store("newer", self._tweaked(artifact, 1))
+            assert daemon.maybe_reload() is True
+            after = client.ask({"id": 1, "features": _features(dataset)})
+            client.close()
+        assert daemon.reloads == 1
+        assert daemon.checksum != checksum_before
+        assert daemon.loaded.path.name == "model_newer.rma"
+        # Weight-identical retrain: answers must not change.
+        assert before["factor"] == after["factor"]
+
+    def test_reload_skips_when_nothing_newer(self, store):
+        with _run(store) as daemon:
+            assert daemon.maybe_reload() is False
+            assert daemon.reloads == 0
+
+    def test_reload_skips_identical_bytes(self, store, artifact):
+        with _run(store) as daemon:
+            time.sleep(0.02)
+            store.store("copy", artifact)  # deterministic bytes: same checksum
+            assert daemon.maybe_reload() is False
+            assert daemon.reloads == 0
+
+    def test_corrupt_newer_artifact_is_not_swapped_in(self, store, artifact, dataset):
+        with _run(store) as daemon:
+            time.sleep(0.02)
+            bad = store.store("bad", self._tweaked(artifact, 2))
+            bad.write_bytes(b"rotten bytes")
+            assert daemon.maybe_reload() is False
+            client = _Client(daemon.address)
+            response = client.ask({"id": 0, "features": _features(dataset)})
+            client.close()
+        assert response["ok"] is True
+        assert daemon.loaded.path.name == "model_base.rma"
+
+    def test_watcher_reloads_without_being_asked(self, store, artifact):
+        with _run(store, reload_poll_s=0.05) as daemon:
+            time.sleep(0.02)
+            store.store("watched", self._tweaked(artifact, 3))
+            deadline = time.time() + 5.0
+            while daemon.reloads == 0 and time.time() < deadline:
+                time.sleep(0.02)
+        assert daemon.reloads == 1
+
+    def test_reload_under_live_traffic_drops_nothing(self, store, artifact, dataset):
+        n = 120
+        with _run(store, batch_window_ms=1.0) as daemon:
+            client = _Client(daemon.address)
+            received = []
+
+            def reader():
+                received.extend(client.recv() for _ in range(n))
+
+            reading = threading.Thread(target=reader)
+            reading.start()
+            for i in range(n):
+                client.send({"id": i, "features": _features(dataset, i % 40)})
+                if i == n // 3:
+                    time.sleep(0.02)
+                    store.store("live", self._tweaked(artifact, 4))
+                    assert daemon.maybe_reload() is True
+            reading.join()
+            client.close()
+        assert len(received) == n
+        assert all(r["ok"] for r in received)
+        assert daemon.reloads == 1
+        assert daemon.gateway.counters.balanced()
+
+
+class TestLifecycle:
+    def test_shutdown_answers_everything_admitted(self, store, dataset):
+        # Close the daemon while responses may still be in flight: the
+        # counters must balance — nothing admitted goes unanswered.
+        with _run(store) as daemon:
+            client = _Client(daemon.address)
+            for i in range(30):
+                client.send({"id": i, "features": _features(dataset)})
+            responses = [client.recv() for _ in range(30)]
+            client.close()
+        counters = daemon.gateway.counters
+        assert counters.balanced()
+        assert len(responses) == 30
+
+    def test_idle_connection_does_not_block_shutdown(self, store):
+        start = time.time()
+        with _run(store) as daemon:
+            idle = socket.create_connection(daemon.address, timeout=10)
+        assert time.time() - start < 10.0
+        idle.close()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="batch_window_ms"):
+            DaemonConfig(batch_window_ms=-1.0)
+        with pytest.raises(ValueError, match="max_batch"):
+            DaemonConfig(max_batch=0)
+        with pytest.raises(ValueError, match="replicas"):
+            DaemonConfig(replicas=0)
+
+    def test_replicas_share_one_artifact_object(self, store):
+        daemon = ServeDaemon(store.path_for("base"), DaemonConfig(replicas=4), store=store)
+        engines = daemon.gateway.replicas
+        assert len(engines) == 4
+        assert all(e.artifact is engines[0].artifact for e in engines)
+        daemon.gateway.drain()

@@ -478,3 +478,212 @@ class TestLoader:
         assert loaded.fallback is True
         assert loaded.path == good
         assert len(loaded.failures) == 1
+
+
+class TestEngineBatchPath:
+    """The vectorized ``handle_batch`` fast path must be answer-identical
+    to per-request ``handle`` — same factors, same error taxonomy, same
+    ordering — because the daemon swaps freely between them."""
+
+    def _mixed(self, dataset, n=10):
+        batch = []
+        for i in range(n):
+            if i % 5 == 3:
+                batch.append({"id": i, "features": [1.0]})  # wrong width
+            elif i % 5 == 4:
+                batch.append({"id": i, "source": GOOD_SOURCE})
+            else:
+                classifier = "nn" if i % 2 else "svm"
+                batch.append(
+                    {
+                        "id": i,
+                        "features": _features(dataset, i % len(dataset)),
+                        "classifier": classifier,
+                    }
+                )
+        return batch
+
+    def test_vectorized_matches_per_request(self, engine, dataset):
+        batch = self._mixed(dataset)
+        serial = [engine.handle(r) for r in batch]
+        batched = engine.handle_batch(batch)
+        assert [r["id"] for r in batched] == [r["id"] for r in serial]
+        for a, b in zip(serial, batched):
+            assert a["ok"] == b["ok"]
+            assert a.get("factor") == b.get("factor")
+            assert a.get("classifier") == b.get("classifier")
+            if not a["ok"]:
+                assert a["error"]["type"] == b["error"]["type"]
+
+    def test_single_request_batch_uses_scalar_path(self, engine, dataset):
+        [response] = engine.handle_batch([{"id": 0, "features": _features(dataset)}])
+        assert response["ok"] is True
+
+    def test_batch_with_fault_plan_keeps_injection_semantics(self, engine, dataset):
+        plan = FaultPlan(rules=(FaultRule(op="serve.internal", match="1"),))
+        batch = [
+            {"id": 0, "features": _features(dataset)},
+            {"id": 1, "features": _features(dataset)},
+            {"id": 2, "features": _features(dataset)},
+        ]
+        with fault_plan(plan):
+            responses = engine.handle_batch(batch)
+        assert [r["ok"] for r in responses] == [True, False, True]
+        assert responses[1]["error"]["type"] == ERROR_INTERNAL
+
+    def test_batch_accounts_every_request_in_rollup(self, artifact, dataset):
+        rollup = MeasurementRollup()
+        engine = PredictionEngine(artifact, rollup=rollup)
+        engine.handle_batch(self._mixed(dataset, n=10))
+        assert rollup.n_units == 10
+
+    def test_heuristics_cached_at_init(self, engine):
+        # One resolved heuristic per classifier, reused across requests —
+        # the per-call rebuild this replaced was pure overhead.
+        assert set(engine._heuristics) == {"nn", "svm"}
+        assert engine._heuristics["svm"] is engine._heuristics["svm"]
+
+
+class TestGatewayBatchedExecution:
+    def test_admit_then_execute_batch_resolves_all(self, engine, dataset):
+        with ServeGateway(engine) as gateway:
+            tokens = [
+                gateway.admit({"id": i, "features": _features(dataset)})
+                for i in range(5)
+            ]
+            assert all(t.admitted for t in tokens)
+            gateway.execute_batch(tokens)
+            responses = [t.future.result(timeout=5.0) for t in tokens]
+        assert all(r["ok"] for r in responses)
+        assert gateway.batch_stats.batches == 1
+        assert gateway.batch_stats.batched_requests == 5
+        assert gateway.batch_stats.max_batch == 5
+        assert gateway.counters.balanced()
+
+    def test_rejected_token_carries_resolved_future(self, engine, dataset):
+        gateway = ServeGateway(engine)
+        gateway.drain()
+        token = gateway.admit({"id": 0, "features": _features(dataset)})
+        assert token.admitted is False
+        response = token.future.result(timeout=0.1)
+        assert response["error"]["type"] == ERROR_OVERLOADED
+
+    def test_execute_batch_after_shutdown_rolls_back(self, engine, dataset):
+        # Same race as submit-after-shutdown, batch edition: tokens must
+        # resolve typed and the admission bookkeeping must be undone.
+        gateway = ServeGateway(engine)
+        token = gateway.admit({"id": 0, "features": _features(dataset)}, client="c")
+        gateway._pool.shutdown(wait=True)
+        gateway.execute_batch([token])
+        response = token.future.result(timeout=1.0)
+        assert response["error"]["type"] == ERROR_OVERLOADED
+        assert gateway.counters.admitted == 0
+        assert gateway.counters.overloaded == 1
+        assert gateway._pending == 0
+        assert gateway._client_pending == {}
+
+    def test_replicas_round_robin_and_swap(self, artifact, dataset):
+        replicas = [PredictionEngine(artifact) for _ in range(2)]
+        gateway = ServeGateway(replicas)
+        assert gateway.engine is replicas[0]
+        assert gateway.replicas == tuple(replicas)
+        fresh = [PredictionEngine(artifact) for _ in range(3)]
+        gateway.swap_replicas(fresh)
+        assert gateway.replicas == tuple(fresh)
+        with gateway:
+            response = gateway.submit(
+                {"id": 0, "features": _features(dataset)}
+            ).result(timeout=5.0)
+        assert response["ok"] is True
+
+    def test_empty_replicas_rejected(self, engine):
+        with pytest.raises(ValueError, match="replica"):
+            ServeGateway([])
+        gateway = ServeGateway(engine)
+        with pytest.raises(ValueError, match="replica"):
+            gateway.swap_replicas([])
+        gateway.drain()
+
+
+class TestHeadOfLineBlocking:
+    def test_slow_request_does_not_idle_the_window(self, engine, dataset):
+        # Regression: serve_batch used to wait on the *oldest* in-flight
+        # future before submitting more.  With ids 0 and 2 slowed, the old
+        # code serialized the two 0.4s sleeps (>= 0.8s wall); waiting on
+        # *any* completion lets them overlap on the two workers (~0.4s).
+        plan = FaultPlan(
+            rules=(
+                FaultRule(op="serve.delay", match="0", delay_s=0.4),
+                FaultRule(op="serve.delay", match="2", delay_s=0.4),
+            )
+        )
+        config = GatewayConfig(max_workers=2, queue_limit=2)
+        batch = [{"id": i, "features": _features(dataset)} for i in range(4)]
+        with fault_plan(plan):
+            with ServeGateway(engine, config) as gateway:
+                start = time.perf_counter()
+                responses = gateway.serve_batch(batch)
+                wall = time.perf_counter() - start
+        assert all(r["ok"] for r in responses)
+        assert [r["id"] for r in responses] == [0, 1, 2, 3]
+        assert wall < 0.75, f"head-of-line blocking: batch took {wall:.3f}s"
+
+
+class TestMultiClientFairness:
+    def test_flooder_cannot_starve_a_second_client(self, engine, dataset):
+        # Every request sleeps 0.3s, so admissions stay pending while both
+        # clients burst 12 requests into a queue of 8.  Fair share caps
+        # each client at queue_limit // 2 = 4 slots: the flooder's excess
+        # is rejected while the second client's first 4 are admitted.
+        plan = FaultPlan(
+            rules=(FaultRule(op="serve.delay", match="*", times=0, delay_s=0.3),)
+        )
+        config = GatewayConfig(max_workers=2, queue_limit=8)
+        with fault_plan(plan):
+            gateway = ServeGateway(engine, config)
+            futures = {"a": [], "b": []}
+            for client in ("a", "b"):
+                for i in range(12):
+                    futures[client].append(
+                        gateway.submit(
+                            {"id": f"{client}-{i}", "features": _features(dataset)},
+                            client=client,
+                        )
+                    )
+            outcomes = {
+                client: [f.result(timeout=10.0) for f in futures[client]]
+                for client in futures
+            }
+            gateway.drain()
+
+        served = {c: sum(1 for r in rs if r["ok"]) for c, rs in outcomes.items()}
+        rejected = {c: sum(1 for r in rs if not r["ok"]) for c, rs in outcomes.items()}
+        # Neither client observes all the rejections; both get served.
+        assert served["a"] == 4 and served["b"] == 4
+        assert rejected["a"] == 8 and rejected["b"] == 8
+        for responses in outcomes.values():
+            for response in responses:
+                if not response["ok"]:
+                    assert response["error"]["type"] == ERROR_OVERLOADED
+        # The flooder's rejections are fair-share (the queue had room);
+        # the second client's overflow hits the global bound.
+        assert any(
+            "fair share" in r["error"]["message"]
+            for r in outcomes["a"]
+            if not r["ok"]
+        )
+        # Counters sum correctly across clients.
+        assert gateway.counters.admitted == served["a"] + served["b"]
+        assert gateway.counters.overloaded == rejected["a"] + rejected["b"]
+        assert gateway.counters.served_ok == gateway.counters.admitted
+        assert gateway.counters.balanced()
+
+    def test_untagged_requests_skip_fairness(self, engine, dataset):
+        # No client identity -> only the global queue bound applies.
+        config = GatewayConfig(max_workers=2, queue_limit=4)
+        with ServeGateway(engine, config) as gateway:
+            responses = gateway.serve_batch(
+                [{"id": i, "features": _features(dataset)} for i in range(8)]
+            )
+        assert all(r["ok"] for r in responses)
+        assert gateway.counters.overloaded == 0
