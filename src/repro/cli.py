@@ -325,10 +325,22 @@ def cmd_predict_file(args) -> int:
 
 def _parse_listen(listen: str) -> tuple[str, int]:
     """``HOST:PORT`` for ``serve --listen`` (``:0`` binds an ephemeral
-    port; a bare ``:PORT`` listens on localhost)."""
+    port; a bare ``:PORT`` listens on localhost; IPv6 hosts are bracketed,
+    ``[::1]:PORT``)."""
     host, sep, port_text = listen.rpartition(":")
     if not sep:
         raise ValueError(f"--listen expects HOST:PORT, got {listen!r}")
+    if host.startswith("[") and host.endswith("]"):
+        host = host[1:-1]
+        if not host:
+            raise ValueError(f"--listen bracketed host is empty, got {listen!r}")
+    elif ":" in host or "]" in host or "]" in port_text:
+        # An unbracketed IPv6 literal splits ambiguously on ':' (is the
+        # last group a port?); require the standard bracketed form.
+        raise ValueError(
+            f"--listen IPv6 hosts must be bracketed with a port, "
+            f"e.g. [::1]:8080; got {listen!r}"
+        )
     try:
         port = int(port_text)
     except ValueError:

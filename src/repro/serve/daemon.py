@@ -144,6 +144,7 @@ class ServeDaemon:
         self._watch_task: asyncio.Task | None = None
         self._connections: set = set()
         self._deliveries: set = set()
+        self._closing = False
         self.address: tuple[str, int] | None = None
 
     def _build_replicas(self, artifact) -> tuple[PredictionEngine, ...]:
@@ -180,9 +181,16 @@ class ServeDaemon:
             with contextlib.suppress(asyncio.CancelledError):
                 await self._watch_task
         if self._batch_task is not None:
-            # The sentinel queues *behind* any still-coalescing tokens, so
-            # the loop executes every admitted request before exiting.
-            await self._queue.put(None)
+            # Stop admitting *before* the sentinel goes on the queue.  Both
+            # the flag-then-sentinel here and a handler's check-then-enqueue
+            # run without yielding to the loop, so no handler can slip a
+            # token behind the sentinel: it either enqueued first (the loop
+            # executes it) or it sees ``_closing`` and rejects the read with
+            # a typed error.  The sentinel itself queues behind any
+            # still-coalescing tokens, so the loop executes every admitted
+            # request before exiting.
+            self._closing = True
+            self._queue.put_nowait(None)
             await self._batch_task
         await asyncio.get_event_loop().run_in_executor(None, self.gateway.drain)
         # Every future is resolved now; let in-flight response writes land,
@@ -289,9 +297,11 @@ class ServeDaemon:
         while True:
             token = await self._queue.get()
             if token is None:
+                self._flush_queue([])
                 return
             batch = [token]
             deadline = loop.time() + window_s
+            closing = False
             while len(batch) < self.config.max_batch:
                 remaining = deadline - loop.time()
                 if remaining <= 0:
@@ -300,8 +310,8 @@ class ServeDaemon:
                         while len(batch) < self.config.max_batch:
                             extra = self._queue.get_nowait()
                             if extra is None:
-                                self.gateway.execute_batch(batch)
-                                return
+                                closing = True
+                                break
                             batch.append(extra)
                     except asyncio.QueueEmpty:
                         pass
@@ -311,10 +321,27 @@ class ServeDaemon:
                 except asyncio.TimeoutError:
                     break
                 if extra is None:
-                    self.gateway.execute_batch(batch)
-                    return
+                    closing = True
+                    break
                 batch.append(extra)
+            if closing:
+                self._flush_queue(batch)
+                return
             self.gateway.execute_batch(batch)
+
+    def _flush_queue(self, batch: list) -> None:
+        """Sentinel seen: execute the final batch plus any tokens still on
+        the queue, so nothing admitted is left with an unresolved future —
+        belt-and-braces behind the ``_closing`` admission gate."""
+        while True:
+            try:
+                extra = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if extra is not None:
+                batch.append(extra)
+        for start in range(0, len(batch), self.config.max_batch):
+            self.gateway.execute_batch(batch[start : start + self.config.max_batch])
 
     # ------------------------------------------------------------------
     # per-connection protocol
@@ -353,6 +380,18 @@ class ServeDaemon:
                     request = _InvalidLine(str(error))
                 if isinstance(request, dict) and request.get("healthz"):
                     await write_response({**self.healthz(), "id": request.get("id")})
+                    continue
+                if self._closing:
+                    # Shutdown has begun: the batch loop is (or is about to
+                    # be) gone, so admitting would strand a token with an
+                    # unresolved future behind the sentinel.  Refuse with a
+                    # typed error instead — the drain guarantee covers what
+                    # was admitted, not what arrives mid-shutdown.
+                    await write_response(
+                        self.gateway.reject(
+                            request, "daemon is shutting down; retry elsewhere"
+                        )
+                    )
                     continue
                 token = self.gateway.admit(request, client=client)
                 if token.admitted:

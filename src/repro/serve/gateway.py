@@ -255,6 +255,19 @@ class ServeGateway:
                 )
         return None
 
+    def reject(self, request, message: str) -> dict:
+        """A typed ``overloaded`` rejection, counted like any other.
+
+        For callers that must refuse a request *without* consulting
+        admission control — the daemon uses this for reads that arrive
+        after shutdown has begun, when admitting would enqueue a token no
+        batch loop is left to execute.
+        """
+        request_id = request.get("id") if isinstance(request, dict) else None
+        with self._lock:
+            self.counters.overloaded += 1
+        return error_response(request_id, ERROR_OVERLOADED, message)
+
     def execute_batch(self, tokens) -> None:
         """Run admitted tokens as one engine batch on the next replica.
 

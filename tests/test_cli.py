@@ -327,6 +327,23 @@ class TestServeDaemonFlags:
         assert _parse_listen(":0") == ("127.0.0.1", 0)
         assert _parse_listen("0.0.0.0:80") == ("0.0.0.0", 80)
 
+    def test_parse_listen_ipv6(self):
+        import pytest
+
+        from repro.cli import _parse_listen
+
+        # Bracketed literals parse to the bare address getaddrinfo wants.
+        assert _parse_listen("[::1]:8080") == ("::1", 8080)
+        assert _parse_listen("[fe80::1]:0") == ("fe80::1", 0)
+        # Unbracketed/portless IPv6 is ambiguous on ':' — clear error, not
+        # a mis-split host like ':' or an unresolvable '[::1]'.
+        with pytest.raises(ValueError, match="bracketed"):
+            _parse_listen("::1")
+        with pytest.raises(ValueError, match="bracketed"):
+            _parse_listen("[::1]")
+        with pytest.raises(ValueError, match="empty"):
+            _parse_listen("[]:8080")
+
     def test_parse_listen_rejects_garbage(self):
         import pytest
 

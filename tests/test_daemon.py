@@ -321,6 +321,67 @@ class TestLifecycle:
         assert counters.balanced()
         assert len(responses) == 30
 
+    def test_request_during_shutdown_gets_typed_rejection(self, store, dataset):
+        # Once stop() has begun, the batch loop is gone: a request read
+        # after that moment must be refused with a typed overloaded error
+        # — admitting it would strand a token behind the sentinel with a
+        # future nothing resolves, deadlocking stop() on its deliveries.
+        with _run(store) as daemon:
+            client = _Client(daemon.address)
+            ok = client.ask({"id": 0, "features": _features(dataset)})
+            daemon._closing = True  # stop() in progress, handler still alive
+            rejected = client.ask({"id": 1, "features": _features(dataset)})
+            client.close()
+        assert ok["ok"] is True
+        assert rejected["ok"] is False
+        assert rejected["id"] == 1
+        assert rejected["error"]["type"] == ERROR_OVERLOADED
+        assert daemon.gateway.counters.overloaded >= 1
+        assert daemon.gateway.counters.balanced()
+
+    def test_shutdown_under_live_traffic_never_hangs(self, store, dataset):
+        # Clients keep sending while stop() runs.  Every response that
+        # arrives must be ok or a typed error, counters must balance, and
+        # stop() must return — the shutdown race left tokens queued behind
+        # the sentinel and hung forever on their deliveries.
+        stop_flag = threading.Event()
+        responses: list[dict] = []
+        failures: list[Exception] = []
+
+        def pump(address):
+            try:
+                client = _Client(address)
+                try:
+                    i = 0
+                    while not stop_flag.is_set():
+                        client.send({"id": i, "features": _features(dataset, i % 40)})
+                        responses.append(client.recv())
+                        i += 1
+                finally:
+                    client.close()
+            except (OSError, ValueError):
+                pass  # connection torn down mid-exchange by shutdown
+            except Exception as error:  # pragma: no cover - diagnostic
+                failures.append(error)
+
+        start = time.time()
+        with _run(store, batch_window_ms=1.0) as daemon:
+            threads = [
+                threading.Thread(target=pump, args=(daemon.address,))
+                for _ in range(3)
+            ]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.3)  # traffic flowing; exit triggers stop() under it
+        stop_flag.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert time.time() - start < 30.0
+        assert not failures
+        for response in responses:
+            assert response["ok"] or response["error"]["type"]
+        assert daemon.gateway.counters.balanced()
+
     def test_idle_connection_does_not_block_shutdown(self, store):
         start = time.time()
         with _run(store) as daemon:

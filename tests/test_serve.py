@@ -543,6 +543,31 @@ class TestEngineBatchPath:
         assert set(engine._heuristics) == {"nn", "svm"}
         assert engine._heuristics["svm"] is engine._heuristics["svm"]
 
+    def test_batched_latency_clocks_own_group_only(self, engine, dataset, monkeypatch):
+        # A vectorized member's latency_ms must reflect its group's own
+        # stack+predict, not wall time spent scalar-handling unrelated
+        # neighbours earlier in the batch — otherwise batched latencies
+        # are inflated and non-comparable with the per-request path.
+        slow_s = 0.25
+        original = PredictionEngine.handle
+
+        def slow_handle(self, request):
+            import time
+
+            time.sleep(slow_s)
+            return original(self, request)
+
+        monkeypatch.setattr(PredictionEngine, "handle", slow_handle)
+        batch = [
+            {"id": "scalar", "source": GOOD_SOURCE},  # non-vectorizable, slow
+            {"id": 0, "features": _features(dataset, 0)},
+            {"id": 1, "features": _features(dataset, 1)},
+        ]
+        responses = engine.handle_batch(batch)
+        assert all(r["ok"] for r in responses)
+        for response in responses[1:]:
+            assert response["latency_ms"] < slow_s * 1e3 / 2
+
 
 class TestGatewayBatchedExecution:
     def test_admit_then_execute_batch_resolves_all(self, engine, dataset):
