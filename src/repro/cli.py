@@ -203,14 +203,31 @@ def _trained_heuristic(args):
     if getattr(args, "model", None):
         artifact = _load_model(args.model)
         return None if artifact is None else artifact.heuristic(args.classifier)
-    from repro.heuristics import train_nn_heuristic, train_svm_heuristic
+    from repro.heuristics import (
+        train_ensemble_heuristic,
+        train_forest_heuristic,
+        train_mlp_heuristic,
+        train_nn_heuristic,
+        train_svm_heuristic,
+    )
     from repro.ml import selected_feature_union
 
     artifacts = _artifacts(args)
     dataset = artifacts.dataset
     indices = selected_feature_union(dataset.X, dataset.labels, subsample=500)
-    trainer = train_svm_heuristic if args.classifier == "svm" else train_nn_heuristic
-    return trainer(dataset, feature_indices=indices)
+    trainers = {
+        "nn": train_nn_heuristic,
+        "svm": train_svm_heuristic,
+        "mlp": train_mlp_heuristic,
+        "forest": train_forest_heuristic,
+    }
+    if args.classifier == "ensemble":
+        members = {
+            name: trainer(dataset, feature_indices=indices)
+            for name, trainer in trainers.items()
+        }
+        return train_ensemble_heuristic(dataset, members, feature_indices=indices)
+    return trainers[args.classifier](dataset, feature_indices=indices)
 
 
 def _load_model(path):
@@ -253,7 +270,8 @@ def cmd_train(args) -> int:
     )
     path = artifact.save(args.out)
     print(
-        f"trained NN + SVM on {len(dataset)} loops "
+        f"trained NN + SVM + MLP + forest + calibrated ensemble on "
+        f"{len(dataset)} loops "
         f"({len(artifact.feature_names)} selected features: "
         f"{', '.join(artifact.feature_names)})"
     )
@@ -274,8 +292,18 @@ def cmd_predict(args) -> int:
     heuristic = _trained_heuristic(args)
     if heuristic is None:
         return 2
-    factor = heuristic.predict_loop(loop)
-    print(f"{args.classifier.upper()} predicts unroll factor {factor} for kernel {args.kernel!r}")
+    if args.classifier == "ensemble":
+        factor, confidence = heuristic.predict_loop_detail(loop)
+        print(
+            f"ENSEMBLE predicts unroll factor {factor} for kernel "
+            f"{args.kernel!r} (confidence {confidence:.1%})"
+        )
+    else:
+        factor = heuristic.predict_loop(loop)
+        print(
+            f"{args.classifier.upper()} predicts unroll factor {factor} "
+            f"for kernel {args.kernel!r}"
+        )
     sweep = CostModel(swp=args.swp).sweep(loop)
     best = min(sweep, key=lambda u: sweep[u].total_cycles)
     print(f"simulator-optimal factor: {best}")
@@ -589,6 +617,10 @@ def cmd_bench(args) -> int:
         print("WARNING: batched daemon predictions disagree with per-request")
     if daemon.get("reload", {}).get("responses_dropped"):
         print("WARNING: hot reload dropped responses under live traffic")
+    families = report.stage("families").detail
+    if not families.get("predictions_match", True):
+        print("WARNING: family predictions diverge (scalar/batched, "
+              "restricted-ensemble, or save/load round trip)")
     path = write_report(report, args.out)
     print(f"wrote {path}")
     return 0
@@ -647,7 +679,7 @@ def main(argv=None) -> int:
             )
         elif extra == "predict":
             p.add_argument("kernel", help="library kernel name (e.g. daxpy)")
-            p.add_argument("--classifier", choices=("nn", "svm"), default="svm")
+            p.add_argument("--classifier", choices=("nn", "svm", "mlp", "forest", "ensemble"), default="svm")
             p.add_argument(
                 "--model",
                 default=None,
@@ -655,7 +687,7 @@ def main(argv=None) -> int:
             )
         elif extra == "predict-file":
             p.add_argument("file", help="loop-language source file")
-            p.add_argument("--classifier", choices=("nn", "svm"), default="svm")
+            p.add_argument("--classifier", choices=("nn", "svm", "mlp", "forest", "ensemble"), default="svm")
             p.add_argument(
                 "--model",
                 default=None,
@@ -668,7 +700,7 @@ def main(argv=None) -> int:
         "serve", help="answer JSON-lines prediction requests from stdin"
     )
     serve_parser.add_argument("--model", required=True, help="trained model artifact")
-    serve_parser.add_argument("--classifier", choices=("nn", "svm"), default="svm")
+    serve_parser.add_argument("--classifier", choices=("nn", "svm", "mlp", "forest", "ensemble"), default="svm")
     serve_parser.add_argument(
         "--workers",
         type=_positive_int,

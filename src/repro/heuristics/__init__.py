@@ -1,7 +1,12 @@
 """Unroll-factor heuristics: hand-written, learned, and oracle."""
 
 from repro.heuristics.learned import (
+    EnsembleHeuristic,
     LearnedHeuristic,
+    restore_ensemble_heuristic,
+    train_ensemble_heuristic,
+    train_forest_heuristic,
+    train_mlp_heuristic,
     train_nn_heuristic,
     train_output_code_svm_heuristic,
     train_svm_heuristic,
@@ -14,12 +19,17 @@ from repro.heuristics.orc import (
 )
 
 __all__ = [
+    "EnsembleHeuristic",
     "FixedFactorHeuristic",
     "LearnedHeuristic",
     "ORCHeuristic",
     "OracleHeuristic",
     "orc_unroll_factor_no_swp",
     "orc_unroll_factor_swp",
+    "restore_ensemble_heuristic",
+    "train_ensemble_heuristic",
+    "train_forest_heuristic",
+    "train_mlp_heuristic",
     "train_nn_heuristic",
     "train_output_code_svm_heuristic",
     "train_svm_heuristic",

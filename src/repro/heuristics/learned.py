@@ -17,15 +17,23 @@ from repro.ir.loop import Loop
 from repro.machine.itanium2 import ITANIUM2
 from repro.machine.model import MachineModel
 from repro.ml.dataset import LoopDataset
+from repro.ml.ensemble import CalibratedEnsemble, train_calibrated_ensemble
+from repro.ml.mlp import MLPClassifier
 from repro.ml.multiclass import OutputCodeClassifier
 from repro.ml.near_neighbor import NearNeighborClassifier
 from repro.ml.pairwise import PairwiseLSSVM
+from repro.ml.trees import RandomForest
 
 #: Classifier types a :class:`LearnedHeuristic` can round-trip through a
-#: model artifact (see :mod:`repro.registry`).
+#: model artifact (see :mod:`repro.registry`).  The calibrated ensemble is
+#: deliberately absent: its members are serialised once under their own
+#: family keys and only its small head rides along (see
+#: :meth:`~repro.ml.ensemble.CalibratedEnsemble.head_state`).
 _CLASSIFIER_KINDS = {
     NearNeighborClassifier: "near-neighbor",
     PairwiseLSSVM: "pairwise-lssvm",
+    MLPClassifier: "mlp",
+    RandomForest: "random-forest",
 }
 _CLASSIFIER_TYPES = {kind: cls for cls, kind in _CLASSIFIER_KINDS.items()}
 
@@ -123,6 +131,103 @@ def train_svm_heuristic(
     svm = make_tuned_pairwise_svm()
     svm.fit(X, dataset.labels)
     return LearnedHeuristic(svm, feature_indices, machine, name="svm")
+
+
+def train_mlp_heuristic(
+    dataset: LoopDataset,
+    feature_indices: np.ndarray | None = None,
+    seed: int = 0,
+    machine: MachineModel = ITANIUM2,
+) -> LearnedHeuristic:
+    """Fit the NumPy MLP heuristic (seeded deterministic init, early
+    stopping on a held-out fold)."""
+    X = dataset.X if feature_indices is None else dataset.X[:, feature_indices]
+    mlp = MLPClassifier(seed=seed)
+    mlp.fit(X, dataset.labels)
+    return LearnedHeuristic(mlp, feature_indices, machine, name="mlp")
+
+
+def train_forest_heuristic(
+    dataset: LoopDataset,
+    feature_indices: np.ndarray | None = None,
+    seed: int = 0,
+    machine: MachineModel = ITANIUM2,
+) -> LearnedHeuristic:
+    """Fit the bagged random-forest heuristic (seeded bootstrap, per-split
+    feature subsampling)."""
+    X = dataset.X if feature_indices is None else dataset.X[:, feature_indices]
+    forest = RandomForest(seed=seed)
+    forest.fit(X, dataset.labels)
+    return LearnedHeuristic(forest, feature_indices, machine, name="forest")
+
+
+class EnsembleHeuristic(LearnedHeuristic):
+    """The calibrated ensemble speaking the heuristic interface, plus the
+    detail channel (confidence + per-family votes) the serve layer
+    surfaces.  Serialisation goes through the registry's head + members
+    scheme, never through :meth:`LearnedHeuristic.get_state`."""
+
+    def predict_detail(self, X: np.ndarray):
+        """Batch :meth:`~repro.ml.ensemble.CalibratedEnsemble.predict_detail`
+        on full-catalog feature rows (the subset is applied here)."""
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        if self.feature_indices is not None:
+            X = X[:, self.feature_indices]
+        return self.classifier.predict_detail(X)
+
+    def predict_loop_detail(self, loop: Loop):
+        """``(factor, confidence)`` for one loop."""
+        vector = extract_features(loop, self.machine)
+        if self.feature_indices is not None:
+            vector = vector[self.feature_indices]
+        detail = self.classifier.predict_detail(vector[None, :])
+        return int(detail.labels[0]), float(detail.confidence[0])
+
+    def get_state(self) -> dict:
+        raise TypeError(
+            "the ensemble serialises as head + member states via the "
+            "registry, not through LearnedHeuristic.get_state"
+        )
+
+
+def train_ensemble_heuristic(
+    dataset: LoopDataset,
+    members: dict[str, LearnedHeuristic],
+    feature_indices: np.ndarray | None = None,
+    seed: int = 0,
+    n_folds: int = 3,
+    machine: MachineModel = ITANIUM2,
+) -> EnsembleHeuristic:
+    """Fit the calibrated ensemble head over pre-fitted family heuristics.
+
+    ``members`` maps family name -> trained :class:`LearnedHeuristic`
+    (each family is fitted exactly once, by its own trainer); calibration
+    temperatures and weights come from seeded cross-val folds refit inside
+    :func:`~repro.ml.ensemble.train_calibrated_ensemble`.
+    """
+    X = dataset.X if feature_indices is None else dataset.X[:, feature_indices]
+    ensemble = train_calibrated_ensemble(
+        X,
+        dataset.labels,
+        members={name: heuristic.classifier for name, heuristic in members.items()},
+        seed=seed,
+        n_folds=n_folds,
+    )
+    return EnsembleHeuristic(ensemble, feature_indices, machine, name="ensemble")
+
+
+def restore_ensemble_heuristic(
+    members: dict[str, LearnedHeuristic],
+    head: dict,
+    feature_indices: np.ndarray | None = None,
+    machine: MachineModel = ITANIUM2,
+) -> EnsembleHeuristic:
+    """Rebuild the ensemble heuristic from restored family heuristics plus
+    the serialised calibration head; predictions are bit-identical."""
+    ensemble = CalibratedEnsemble.from_members(
+        {name: heuristic.classifier for name, heuristic in members.items()}, head
+    )
+    return EnsembleHeuristic(ensemble, feature_indices, machine, name="ensemble")
 
 
 def train_output_code_svm_heuristic(

@@ -34,11 +34,18 @@ from repro.ml.multiclass import (
     identity_code,
     random_code,
 )
+from repro.ml.ensemble import (
+    FAMILY_NAMES,
+    CalibratedEnsemble,
+    EnsemblePrediction,
+    train_calibrated_ensemble,
+)
+from repro.ml.mlp import MLPClassifier
 from repro.ml.near_neighbor import DEFAULT_RADIUS, NearNeighborClassifier, NNPrediction
 from repro.ml.lsh import LSHNearNeighbor
 from repro.ml.regression import KernelRidgeRegressor, loocv_regression_predictions
 from repro.ml.svm import LSSVM, TUNED_SVM_PARAMS, multiscale_rbf_kernel, rbf_kernel
-from repro.ml.trees import BoostedTrees, DecisionTree, binary_unroll_labels
+from repro.ml.trees import BoostedTrees, DecisionTree, RandomForest, binary_unroll_labels
 from repro.ml.tuning import (
     TuningResult,
     cross_val_accuracy,
@@ -50,10 +57,16 @@ from repro.ml.tuning import (
 
 __all__ = [
     "DEFAULT_RADIUS",
+    "FAMILY_NAMES",
+    "CalibratedEnsemble",
+    "EnsemblePrediction",
     "LDAProjection",
     "LSSVM",
     "BoostedTrees",
     "DecisionTree",
+    "MLPClassifier",
+    "RandomForest",
+    "train_calibrated_ensemble",
     "KernelRidgeRegressor",
     "LSHNearNeighbor",
     "LoopDataset",

@@ -128,6 +128,42 @@ class NearNeighborClassifier:
         X = np.atleast_2d(np.asarray(X, dtype=np.float64))
         return np.array([self.predict_one(x).confidence for x in X])
 
+    @property
+    def classes_(self) -> np.ndarray:
+        """Distinct training labels, ascending (the proba column order)."""
+        self._require_fitted()
+        return np.unique(self._y)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Per-query class distribution over :attr:`classes_`: the
+        in-radius neighbor vote shares (the paper's confidence signal as a
+        full distribution).  A query with no in-radius neighbors gets a
+        one-hot on its single nearest neighbor's label.
+
+        Note the distribution's argmax can differ from :meth:`predict` on
+        vote ties, where prediction falls back to the nearest neighbor;
+        consumers that must agree with ``predict`` exactly (the calibrated
+        ensemble's single-family mode) use ``predict`` for the label and
+        this distribution only for confidence.
+        """
+        self._require_fitted()
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        classes = self.classes_
+        out = np.zeros((len(X), len(classes)))
+        for i, x in enumerate(X):
+            q = self._normalizer.transform(x)
+            distances = np.sqrt(((self._X - q) ** 2).sum(axis=1))
+            in_radius = distances <= self.radius
+            if in_radius.any():
+                votes = np.bincount(
+                    np.searchsorted(classes, self._y[in_radius]), minlength=len(classes)
+                )
+                out[i] = votes / votes.sum()
+            else:
+                nearest = int(np.argmin(distances))
+                out[i, np.searchsorted(classes, self._y[nearest])] = 1.0
+        return out
+
     # ------------------------------------------------------------------
 
     def loocv_predictions(self) -> np.ndarray:

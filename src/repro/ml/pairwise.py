@@ -200,6 +200,36 @@ class PairwiseLSSVM:
         }
         return self._vote(decisions, len(Z))
 
+    @property
+    def classes_(self) -> np.ndarray:
+        """Distinct training labels, ascending (the proba column order)."""
+        self._require_fitted()
+        return np.unique(self._y)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Per-query class distribution over :attr:`classes_`: each pair
+        machine casts one vote, so the vote shares form a distribution
+        (every row sums to the machine count, normalised to 1).  Vote ties
+        that :meth:`predict` breaks by accumulated margin keep their tied
+        shares here; consumers needing exact ``predict`` agreement use the
+        label from ``predict`` and this distribution for confidence only.
+        """
+        self._require_fitted()
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        Z = self._prepare(X)
+        present = self.classes_
+        column = {int(c): k for k, c in enumerate(present)}
+        votes = np.zeros((len(Z), len(present)))
+        for (a, b), machine in self._machines.items():
+            values = np.asarray(machine.decision_values(Z), dtype=np.float64).ravel()
+            winner_a = values >= 0.0
+            votes[winner_a, column[a]] += 1.0
+            votes[~winner_a, column[b]] += 1.0
+        totals = votes.sum(axis=1, keepdims=True)
+        if not self._machines:  # degenerate single-class fit
+            return np.ones((len(Z), len(present))) / len(present)
+        return votes / totals
+
     def loocv_predictions(self) -> np.ndarray:
         """Exact LOO labels over the training set."""
         self._require_fitted()

@@ -13,6 +13,13 @@ This module implements that baseline from scratch — CART-style trees with
 Gini impurity and AdaBoost (discrete SAMME for the binary case) — so the
 ablation bench can quantify the paper's argument on our data: high binary
 accuracy, mediocre realized performance.
+
+It also supplies :class:`RandomForest`, the bagged multi-class predictor
+the calibrated ensemble (:mod:`repro.ml.ensemble`) uses: seeded bootstrap
+resampling, per-split feature subsampling, and order-invariant averaging of
+per-tree leaf class distributions.  Both the tree and the forest serialise
+their fitted structure (:meth:`DecisionTree.get_state`) so the registry can
+restore them bit-identically without refitting.
 """
 
 from __future__ import annotations
@@ -44,11 +51,21 @@ class DecisionTree:
     set; prediction returns the majority class of the reached leaf.
     """
 
-    def __init__(self, max_depth: int = 4, min_leaf: int = 5):
+    def __init__(
+        self,
+        max_depth: int = 4,
+        min_leaf: int = 5,
+        max_features: int | None = None,
+        rng: np.random.Generator | None = None,
+    ):
         if max_depth < 1:
             raise ValueError("max_depth must be >= 1")
+        if max_features is not None and max_features < 1:
+            raise ValueError("max_features must be >= 1")
         self.max_depth = max_depth
         self.min_leaf = min_leaf
+        self.max_features = max_features
+        self._rng = rng
         self._root: _Node | None = None
         self._classes: np.ndarray | None = None
 
@@ -86,6 +103,15 @@ class DecisionTree:
         right = self._grow(X[~goes_left], class_index[~goes_left], weight[~goes_left], depth + 1)
         return _Node(feature=feature, threshold=threshold, left=left, right=right)
 
+    def _candidate_features(self, d: int):
+        """Features to consider at one split: all of them, or a seeded
+        random subset (the forest's per-split feature subsampling).  The
+        subset is sorted so the first-feature-wins tie-break stays
+        deterministic."""
+        if self.max_features is None or self._rng is None or self.max_features >= d:
+            return range(d)
+        return np.sort(self._rng.choice(d, size=self.max_features, replace=False))
+
     def _best_split(self, X, class_index, weight):
         n, d = X.shape
         k = len(self._classes)
@@ -93,7 +119,11 @@ class DecisionTree:
         total_weight = weight.sum()
         parent_gini = 1.0 - (parent**2).sum()
         best = (-1, 0.0, 0.0)
-        for feature in range(d):
+        lo, hi = self.min_leaf - 1, n - self.min_leaf
+        if hi <= lo:
+            return best
+        positions = np.arange(lo, hi)
+        for feature in self._candidate_features(d):
             order = np.argsort(X[:, feature], kind="stable")
             values = X[order, feature]
             w = weight[order]
@@ -101,20 +131,28 @@ class DecisionTree:
             onehot[np.arange(n), class_index[order]] = w
             left_counts = np.cumsum(onehot, axis=0)
             left_weight = np.cumsum(w)
-            # Candidate split after position i (between distinct values).
-            for i in range(self.min_leaf - 1, n - self.min_leaf):
-                if values[i] == values[i + 1]:
-                    continue
-                wl = left_weight[i]
-                wr = total_weight - wl
-                if wl <= 0 or wr <= 0:
-                    continue
-                pl = left_counts[i] / wl
-                pr = (left_counts[-1] - left_counts[i]) / wr
-                gini = (wl * (1 - (pl**2).sum()) + wr * (1 - (pr**2).sum())) / total_weight
-                gain = parent_gini - gini
-                if gain > best[2]:
-                    best = (feature, 0.5 * (values[i] + values[i + 1]), gain)
+            # Candidate split after position i (between distinct values);
+            # all positions scored in one vectorized sweep.
+            wl = left_weight[positions]
+            wr = total_weight - wl
+            valid = (values[positions] != values[positions + 1]) & (wl > 0) & (wr > 0)
+            if not valid.any():
+                continue
+            idx = positions[valid]
+            wlv, wrv = wl[valid], wr[valid]
+            pl = left_counts[idx] / wlv[:, None]
+            pr = (left_counts[-1] - left_counts[idx]) / wrv[:, None]
+            gini = (
+                wlv * (1 - (pl**2).sum(axis=1)) + wrv * (1 - (pr**2).sum(axis=1))
+            ) / total_weight
+            gain = parent_gini - gini
+            pick = int(np.argmax(gain))  # first max: lowest threshold wins ties
+            if gain[pick] > best[2]:
+                best = (
+                    int(feature),
+                    0.5 * (values[idx[pick]] + values[idx[pick] + 1]),
+                    float(gain[pick]),
+                )
         return best
 
     # ------------------------------------------------------------------
@@ -137,6 +175,216 @@ class DecisionTree:
             raise RuntimeError("tree is not fitted")
         X = np.atleast_2d(np.asarray(X, dtype=np.float64))
         return np.vstack([self._leaf_for(x).distribution for x in X])
+
+    # ------------------------------------------------------------------
+    # Persistence (consumed by repro.registry model artifacts).
+    # ------------------------------------------------------------------
+
+    def get_state(self) -> dict:
+        """The fitted tree as flat node arrays (preorder): split feature,
+        threshold, child indices (-1 for leaves), and per-leaf class
+        distributions.  The growth rng is *not* stored — prediction never
+        draws from it — so restore cannot drift."""
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        nodes: list[_Node] = []
+
+        def visit(node: _Node) -> int:
+            index = len(nodes)
+            nodes.append(node)
+            if not node.is_leaf:
+                visit(node.left)
+                visit(node.right)
+            return index
+
+        visit(self._root)
+        index_of = {id(node): i for i, node in enumerate(nodes)}
+        k = len(self._classes)
+        feature = np.full(len(nodes), -1, dtype=np.int64)
+        threshold = np.zeros(len(nodes))
+        left = np.full(len(nodes), -1, dtype=np.int64)
+        right = np.full(len(nodes), -1, dtype=np.int64)
+        distribution = np.zeros((len(nodes), k))
+        for i, node in enumerate(nodes):
+            if node.is_leaf:
+                distribution[i] = node.distribution
+            else:
+                feature[i] = node.feature
+                threshold[i] = node.threshold
+                left[i] = index_of[id(node.left)]
+                right[i] = index_of[id(node.right)]
+        return {
+            "max_depth": int(self.max_depth),
+            "min_leaf": int(self.min_leaf),
+            "max_features": None if self.max_features is None else int(self.max_features),
+            "classes": self._classes,
+            "feature": feature,
+            "threshold": threshold,
+            "left": left,
+            "right": right,
+            "distribution": distribution,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "DecisionTree":
+        """Rebuild a fitted tree with bit-identical predictions."""
+        max_features = state["max_features"]
+        tree = cls(
+            max_depth=int(state["max_depth"]),
+            min_leaf=int(state["min_leaf"]),
+            max_features=None if max_features is None else int(max_features),
+        )
+        tree._classes = np.asarray(state["classes"], dtype=np.int64)
+        feature = np.asarray(state["feature"], dtype=np.int64)
+        threshold = np.asarray(state["threshold"], dtype=np.float64)
+        left = np.asarray(state["left"], dtype=np.int64)
+        right = np.asarray(state["right"], dtype=np.int64)
+        distribution = np.asarray(state["distribution"], dtype=np.float64)
+
+        def build(index: int) -> _Node:
+            if left[index] < 0:
+                return _Node(distribution=distribution[index])
+            return _Node(
+                feature=int(feature[index]),
+                threshold=float(threshold[index]),
+                left=build(int(left[index])),
+                right=build(int(right[index])),
+            )
+
+        tree._root = build(0)
+        return tree
+
+
+class RandomForest:
+    """Bagged CART trees with per-split feature subsampling.
+
+    Every tree trains on a seeded bootstrap resample and restricts each
+    split to a random feature subset (default ``sqrt(d)``); prediction
+    averages the per-tree leaf class distributions, mapped onto the
+    forest's global class set.  The per-tree contributions are sorted
+    before summation, so the aggregate is exactly invariant under any
+    permutation of the trees — voting has no order dependence, not even in
+    the last float ulp.
+    """
+
+    def __init__(
+        self,
+        n_trees: int = 25,
+        max_depth: int = 6,
+        min_leaf: int = 2,
+        max_features: int | str | None = "sqrt",
+        seed: int = 0,
+    ):
+        if n_trees < 1:
+            raise ValueError("n_trees must be >= 1")
+        self.n_trees = int(n_trees)
+        self.max_depth = int(max_depth)
+        self.min_leaf = int(min_leaf)
+        self.max_features = max_features
+        self.seed = int(seed)
+        self._trees: list[DecisionTree] = []
+        self._classes: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._classes is not None
+
+    @property
+    def classes_(self) -> np.ndarray:
+        self._require_fitted()
+        return self._classes
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise RuntimeError("classifier is not fitted")
+
+    def _resolve_max_features(self, d: int) -> int | None:
+        if self.max_features is None:
+            return None
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(d)))
+        return max(1, min(int(self.max_features), d))
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForest":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if X.ndim != 2 or len(X) != len(y) or len(X) == 0:
+            raise ValueError("X and y must be non-empty and aligned")
+        self._classes = np.unique(y)
+        n, d = X.shape
+        max_features = self._resolve_max_features(d)
+        # One SeedSequence child per tree: tree i's bootstrap and split
+        # subsets are independent of every other tree, so the fit is
+        # reproducible tree-by-tree regardless of n_trees.
+        children = np.random.SeedSequence(self.seed).spawn(self.n_trees)
+        self._trees = []
+        for child in children:
+            rng = np.random.default_rng(child)
+            rows = rng.integers(0, n, size=n)
+            tree = DecisionTree(
+                max_depth=self.max_depth,
+                min_leaf=self.min_leaf,
+                max_features=max_features,
+                rng=rng,
+            )
+            tree.fit(X[rows], y[rows])
+            self._trees.append(tree)
+        return self
+
+    # ------------------------------------------------------------------
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Average per-tree leaf distributions over the global classes."""
+        self._require_fitted()
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        stacked = np.zeros((len(self._trees), len(X), len(self._classes)))
+        for t, tree in enumerate(self._trees):
+            cols = np.searchsorted(self._classes, tree._classes)
+            stacked[t][:, cols] = tree.predict_proba(X)
+        # Sorting each (row, class) cell's per-tree contributions before
+        # summing makes the total a function of the multiset of votes,
+        # not the tree order: permutation invariance is exact.
+        return np.sort(stacked, axis=0).sum(axis=0) / len(self._trees)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Majority-probability class per row (first class wins ties)."""
+        return self.classes_[np.argmax(self.predict_proba(X), axis=1)]
+
+    # ------------------------------------------------------------------
+    # Persistence (consumed by repro.registry model artifacts).
+    # ------------------------------------------------------------------
+
+    def get_state(self) -> dict:
+        self._require_fitted()
+        return {
+            "n_trees": self.n_trees,
+            "max_depth": self.max_depth,
+            "min_leaf": self.min_leaf,
+            "max_features": (
+                self.max_features
+                if self.max_features is None or isinstance(self.max_features, str)
+                else int(self.max_features)
+            ),
+            "seed": self.seed,
+            "classes": self._classes,
+            "trees": [tree.get_state() for tree in self._trees],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RandomForest":
+        """Rebuild a fitted forest with bit-identical predictions."""
+        forest = cls(
+            n_trees=int(state["n_trees"]),
+            max_depth=int(state["max_depth"]),
+            min_leaf=int(state["min_leaf"]),
+            max_features=state["max_features"],
+            seed=int(state["seed"]),
+        )
+        forest._classes = np.asarray(state["classes"], dtype=np.int64)
+        forest._trees = [DecisionTree.from_state(s) for s in state["trees"]]
+        return forest
 
 
 class BoostedTrees:

@@ -39,7 +39,14 @@ import numpy as np
 #: daemon over real sockets: per-request serving as the reference side,
 #: coalesced vectorized micro-batching as the optimized side, plus a hot
 #: artifact reload performed under the batched run's live traffic).
-BENCH_SCHEMA_VERSION = 4
+#: v5: added the ``families`` stage (every predictor family — NN, SVM,
+#: MLP, random forest, and the calibrated ensemble — scalar per-request
+#: prediction as the reference side vs one vectorized batch as the
+#: optimized side, with a differential ``predictions_match`` check:
+#: scalar == batched per family, the single-family-restricted ensemble
+#: agrees with each member, and a save/load registry round trip answers
+#: bit-identically) and its ``families_rows`` sizing knob in ``config``.
+BENCH_SCHEMA_VERSION = 5
 
 
 @dataclasses.dataclass(frozen=True)
@@ -60,6 +67,7 @@ class BenchConfig:
     daemon_clients: int = 8
     daemon_requests: int = 48
     daemon_replicas: int = 2
+    families_rows: int = 192
     quick: bool = False
 
     @classmethod
@@ -72,6 +80,7 @@ class BenchConfig:
             serve_retrains=2,
             daemon_clients=4,
             daemon_requests=16,
+            families_rows=64,
             quick=True,
         )
 
@@ -578,9 +587,118 @@ def _bench_daemon(dataset, artifact, config: BenchConfig) -> StageTiming:
     )
 
 
+def _bench_families(dataset, artifact, config: BenchConfig) -> StageTiming:
+    """Time every predictor family (NN, SVM, MLP, forest, and the
+    calibrated ensemble) scalar-per-request vs one vectorized batch, and
+    run the differential checks that make the stage trustworthy.
+
+    Reference: each of ``families_rows`` feature rows predicted through a
+    separate single-row call per family — the per-request path a compiler
+    without batching would take.  Optimized: the same rows as one
+    ``(B, width)`` matrix per family.  ``predictions_match`` is the AND of
+    three bit-exactness properties: scalar == batched for every family,
+    the single-family-restricted ensemble agrees with each member, and an
+    artifact save/load round trip answers identically for every family.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.heuristics import EnsembleHeuristic
+    from repro.registry import load_artifact
+
+    n_rows = config.families_rows
+    rows = dataset.X[np.arange(n_rows) % len(dataset)]
+    families = artifact.families
+
+    reference_seconds = 0.0
+    scalar_predictions: dict[str, list[int]] = {}
+    for name in families:
+        heuristic = artifact.heuristic(name)
+        start = time.perf_counter()
+        scalar_predictions[name] = [
+            int(heuristic.predict_features(rows[i][None, :])[0]) for i in range(n_rows)
+        ]
+        reference_seconds += time.perf_counter() - start
+
+    optimized_seconds = 0.0
+    batched_predictions: dict[str, np.ndarray] = {}
+    for name in families:
+        heuristic = artifact.heuristic(name)
+        start = time.perf_counter()
+        batched_predictions[name] = heuristic.predict_features(rows)
+        optimized_seconds += time.perf_counter() - start
+
+    scalar_match = all(
+        scalar_predictions[name] == [int(v) for v in batched_predictions[name]]
+        for name in families
+    )
+
+    # Differential: restricting the ensemble to one member must reproduce
+    # that member's own predictions exactly (same tie-break paths).
+    ensemble = artifact.ensemble
+    restricted_match = all(
+        np.array_equal(
+            EnsembleHeuristic(
+                ensemble.classifier.restrict((name,)),
+                feature_indices=ensemble.feature_indices,
+                machine=ensemble.machine,
+            ).predict_features(rows),
+            batched_predictions[name],
+        )
+        for name in families
+        if name != "ensemble"
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "bench-families.rma"
+        artifact.save(path)
+        reloaded = load_artifact(path)
+        roundtrip_match = all(
+            np.array_equal(
+                reloaded.heuristic(name).predict_features(rows),
+                batched_predictions[name],
+            )
+            for name in families
+        )
+
+    accuracies = {
+        name: round(
+            float(
+                np.mean(
+                    artifact.heuristic(name).predict_features(dataset.X)
+                    == dataset.labels
+                )
+            ),
+            4,
+        )
+        for name in families
+    }
+    ensemble_detail = artifact.ensemble.predict_detail(rows)
+
+    return StageTiming(
+        stage="families",
+        reference_seconds=reference_seconds,
+        optimized_seconds=optimized_seconds,
+        detail={
+            "n_rows": n_rows,
+            "families": list(families),
+            "train_accuracy": accuracies,
+            "ensemble_mean_confidence": round(
+                float(np.mean(ensemble_detail.confidence)), 4
+            ),
+            "scalar_batched_match": bool(scalar_match),
+            "restricted_ensemble_match": bool(restricted_match),
+            "roundtrip_match": bool(roundtrip_match),
+            "predictions_match": bool(
+                scalar_match and restricted_match and roundtrip_match
+            ),
+        },
+    )
+
+
 def run_bench(config: BenchConfig | None = None) -> BenchReport:
     """Run the full measure -> dedup -> label -> select -> serve ->
-    daemon bench, serially."""
+    daemon -> families bench, serially."""
     from repro.registry import train_model_artifact
     from repro.workloads import generate_suite
 
@@ -593,6 +711,7 @@ def run_bench(config: BenchConfig | None = None) -> BenchReport:
     artifact = train_model_artifact(dataset)  # offline: not part of any stage
     serve_timing = _bench_serve(dataset, artifact, config)
     daemon_timing = _bench_daemon(dataset, artifact, config)
+    families_timing = _bench_families(dataset, artifact, config)
     return BenchReport(
         config=config,
         date=datetime.date.today().isoformat(),
@@ -603,6 +722,7 @@ def run_bench(config: BenchConfig | None = None) -> BenchReport:
             select_timing,
             serve_timing,
             daemon_timing,
+            families_timing,
         ),
     )
 

@@ -3,7 +3,8 @@
 The paper's end product is a heuristic *deployed inside a compiler*:
 training happens once, offline, and the compiler only ever loads the
 result.  This package is that split's persistence layer — a
-:class:`ModelArtifact` bundles the trained NN and SVM heuristics, their
+:class:`ModelArtifact` bundles every trained predictor family (NN, SVM,
+MLP, random forest, and the calibrated ensemble head), their
 fitted normalisers, the selected-feature subset, and provenance metadata
 into one deterministic, schema-versioned, checksummed file that
 :mod:`repro.serve` (and ``repro-unroll predict --model``) can load without
@@ -11,6 +12,7 @@ touching the measurement pipeline.
 """
 
 from repro.registry.artifact import (
+    ARTIFACT_FAMILIES,
     ARTIFACT_SCHEMA_VERSION,
     ArtifactError,
     ArtifactStats,
@@ -27,6 +29,7 @@ from repro.registry.artifact import (
 )
 
 __all__ = [
+    "ARTIFACT_FAMILIES",
     "ARTIFACT_SCHEMA_VERSION",
     "ArtifactError",
     "ArtifactStats",

@@ -44,7 +44,12 @@ import numpy as np
 
 from repro.features.catalog import FEATURE_NAMES
 from repro.heuristics.learned import (
+    EnsembleHeuristic,
     LearnedHeuristic,
+    restore_ensemble_heuristic,
+    train_ensemble_heuristic,
+    train_forest_heuristic,
+    train_mlp_heuristic,
     train_nn_heuristic,
     train_svm_heuristic,
 )
@@ -58,7 +63,12 @@ logger = logging.getLogger(__name__)
 #: Version of the artifact container schema.  A mismatch on load raises
 #: :class:`StaleArtifactError` — old artifacts are re-trained, never
 #: misread.
-ARTIFACT_SCHEMA_VERSION = 1
+#:
+#: v1: NN + pairwise LS-SVM.
+#: v2: all four predictor families (nn/svm/mlp/forest) plus the calibrated
+#:     ensemble head (temperatures, weights, classes — members are stored
+#:     once under their family keys, never duplicated).
+ARTIFACT_SCHEMA_VERSION = 2
 
 #: Format tag written into (and demanded from) every manifest.
 ARTIFACT_FORMAT = "repro-model-artifact"
@@ -139,13 +149,20 @@ def _unflatten(tree, arrays: dict[str, np.ndarray]):
 # ---------------------------------------------------------------------------
 
 
+#: Every classifier name an artifact can serve, in canonical order.
+ARTIFACT_FAMILIES = ("nn", "svm", "mlp", "forest", "ensemble")
+
+
 @dataclasses.dataclass(frozen=True)
 class ModelArtifact:
-    """The deployable bundle: both trained heuristics plus metadata.
+    """The deployable bundle: every trained family plus metadata.
 
     Attributes:
-        nn / svm: the trained heuristics (each owns its fitted normaliser
-            and the feature subset it was trained on).
+        nn / svm / mlp / forest: the trained family heuristics (each owns
+            its fitted normaliser and the feature subset it was trained
+            on).
+        ensemble: the calibrated ensemble head over the same four fitted
+            members (shares their classifiers; adds temperatures/weights).
         feature_indices: catalog indices of the selected features (``None``
             means the full catalog).
         feature_names: names of the selected features, in subset order.
@@ -155,16 +172,23 @@ class ModelArtifact:
 
     nn: LearnedHeuristic
     svm: LearnedHeuristic
+    mlp: LearnedHeuristic
+    forest: LearnedHeuristic
+    ensemble: EnsembleHeuristic
     feature_indices: np.ndarray | None
     feature_names: tuple[str, ...]
     provenance: dict
 
+    @property
+    def families(self) -> tuple[str, ...]:
+        """The classifier names this artifact serves."""
+        return ARTIFACT_FAMILIES
+
     def heuristic(self, classifier: str = "svm") -> LearnedHeuristic:
-        """The trained heuristic by classifier name (``"nn"``/``"svm"``)."""
-        if classifier == "nn":
-            return self.nn
-        if classifier == "svm":
-            return self.svm
+        """The trained heuristic by classifier name (any of
+        :data:`ARTIFACT_FAMILIES`)."""
+        if classifier in ARTIFACT_FAMILIES:
+            return getattr(self, classifier)
         raise ValueError(f"unknown classifier {classifier!r}")
 
     def predict_loop(self, loop: Loop, classifier: str = "svm") -> int:
@@ -182,11 +206,17 @@ def train_model_artifact(
     feature_indices: np.ndarray | None = None,
     provenance: dict | None = None,
     machine: MachineModel = ITANIUM2,
+    seed: int = 0,
 ) -> ModelArtifact:
-    """Train both heuristics on a labelled dataset and bundle them.
+    """Train every predictor family on a labelled dataset and bundle them.
 
-    ``provenance`` entries are merged over the defaults (row count, SWP
-    regime, dataset fingerprint) so callers can add suite seed/scale.
+    Each family is fitted exactly once; the calibrated ensemble head is
+    then fit over the same members (its cross-val calibration refits
+    throwaway fold models internally).  ``provenance`` entries are merged
+    over the defaults (row count, SWP regime, dataset fingerprint) so
+    callers can add suite seed/scale.  ``seed`` drives the stochastic
+    families (MLP init/early-stop fold, forest bootstrap) and the
+    calibration folds; the default makes retraining reproducible.
     """
     indices = (
         None if feature_indices is None else np.asarray(feature_indices, dtype=np.int64)
@@ -201,9 +231,25 @@ def train_model_artifact(
         "machine": machine.name,
     }
     merged.update(provenance or {})
+    members = {
+        "nn": train_nn_heuristic(dataset, feature_indices=indices, machine=machine),
+        "svm": train_svm_heuristic(dataset, feature_indices=indices, machine=machine),
+        "mlp": train_mlp_heuristic(
+            dataset, feature_indices=indices, seed=seed, machine=machine
+        ),
+        "forest": train_forest_heuristic(
+            dataset, feature_indices=indices, seed=seed, machine=machine
+        ),
+    }
+    ensemble = train_ensemble_heuristic(
+        dataset, members, feature_indices=indices, seed=seed, machine=machine
+    )
     return ModelArtifact(
-        nn=train_nn_heuristic(dataset, feature_indices=indices, machine=machine),
-        svm=train_svm_heuristic(dataset, feature_indices=indices, machine=machine),
+        nn=members["nn"],
+        svm=members["svm"],
+        mlp=members["mlp"],
+        forest=members["forest"],
+        ensemble=ensemble,
         feature_indices=indices,
         feature_names=names,
         provenance=merged,
@@ -231,6 +277,11 @@ def save_artifact(artifact: ModelArtifact, path: str | Path) -> Path:
         {
             "nn": artifact.nn.get_state(),
             "svm": artifact.svm.get_state(),
+            "mlp": artifact.mlp.get_state(),
+            "forest": artifact.forest.get_state(),
+            # The ensemble's members ARE the four states above; only its
+            # small calibration head is stored, so arrays never duplicate.
+            "ensemble_head": artifact.ensemble.classifier.head_state(),
             "feature_indices": artifact.feature_indices,
         },
         "state",
@@ -306,12 +357,24 @@ def load_artifact(path: str | Path, machine: MachineModel = ITANIUM2) -> ModelAr
                 )
             state = _unflatten(manifest["state"], arrays)
             indices = state["feature_indices"]
+            indices = None if indices is None else np.asarray(indices, dtype=np.int64)
+            members = {
+                name: LearnedHeuristic.from_state(state[name], machine=machine)
+                for name in ("nn", "svm", "mlp", "forest")
+            }
+            ensemble = restore_ensemble_heuristic(
+                members,
+                state["ensemble_head"],
+                feature_indices=indices,
+                machine=machine,
+            )
             return ModelArtifact(
-                nn=LearnedHeuristic.from_state(state["nn"], machine=machine),
-                svm=LearnedHeuristic.from_state(state["svm"], machine=machine),
-                feature_indices=(
-                    None if indices is None else np.asarray(indices, dtype=np.int64)
-                ),
+                nn=members["nn"],
+                svm=members["svm"],
+                mlp=members["mlp"],
+                forest=members["forest"],
+                ensemble=ensemble,
+                feature_indices=indices,
                 feature_names=tuple(manifest["feature_names"]),
                 provenance=dict(manifest["provenance"]),
             )

@@ -270,6 +270,12 @@ class ServeDaemon:
                     "checksum": self.checksum,
                     "fallback": self.loaded.fallback,
                     "reloads": self.reloads,
+                    # Per-family presence: which classifier names this
+                    # artifact can serve (all five under schema v2).
+                    "families": {
+                        name: self.loaded.artifact.heuristic(name) is not None
+                        for name in self.loaded.artifact.families
+                    },
                 },
                 "gateway": dataclasses.asdict(counters),
                 "batching": {

@@ -9,10 +9,12 @@ to service shape.  Requests are plain dicts (the JSON-lines protocol of
   vector in catalog order;
 * ``{"id": ..., "source": "loop ... end"}`` — loop-language source; every
   loop in the program gets a prediction;
-* either form takes an optional ``"classifier": "nn" | "svm"``.
+* either form takes an optional
+  ``"classifier": "nn" | "svm" | "mlp" | "forest" | "ensemble"``.
 
 Responses mirror the request ``id`` and either carry a factor or a typed
-error — **every** malformed input maps onto the error taxonomy below and
+error; ensemble responses additionally carry ``confidence`` (combined
+probability of the chosen factor) and ``votes`` (per-family factors) — **every** malformed input maps onto the error taxonomy below and
 comes back as a response; the engine never raises on bad input, so one
 poisoned request cannot take down a batch.
 
@@ -55,7 +57,7 @@ ERROR_OVERLOADED = "overloaded"
 #: The request's deadline elapsed before (or while) it was served.
 ERROR_DEADLINE_EXCEEDED = "deadline-exceeded"
 
-_CLASSIFIERS = ("nn", "svm")
+_CLASSIFIERS = ("nn", "svm", "mlp", "forest", "ensemble")
 
 
 def error_response(request_id, error_type: str, message: str, latency_s: float = 0.0) -> dict:
@@ -187,7 +189,15 @@ class PredictionEngine:
             group_start = time.perf_counter()
             try:
                 matrix = np.stack([vector for _, vector in members])
-                factors = self._heuristics[classifier].predict_features(matrix)
+                if classifier == "ensemble":
+                    # Same predict_detail call as the scalar path, so the
+                    # batched factor/confidence/votes match per-request
+                    # serving exactly.
+                    detail = self._heuristics[classifier].predict_detail(matrix)
+                    factors = detail.labels
+                else:
+                    detail = None
+                    factors = self._heuristics[classifier].predict_features(matrix)
             except Exception:
                 # The taxonomy's floor, batch edition: if the vectorized
                 # call fails, each member is re-answered individually so a
@@ -198,16 +208,20 @@ class PredictionEngine:
                 continue
             latency = time.perf_counter() - group_start
             latency_ms = round(latency * 1e3, 3)
-            for (index, _), factor in zip(members, factors):
+            for row, ((index, _), factor) in enumerate(zip(members, factors)):
                 request = requests[index]
                 self._record(int(factor), 1, latency)
-                responses[index] = {
+                if detail is not None:
+                    payload = self._ensemble_payload(detail, row)
+                else:
+                    payload = {"factor": int(factor), "classifier": classifier}
+                response = {
                     "id": request.get("id"),
                     "ok": True,
                     "latency_ms": latency_ms,
-                    "factor": int(factor),
-                    "classifier": classifier,
                 }
+                response.update(payload)
+                responses[index] = response
         return responses
 
     def _vectorizable(self, request) -> tuple[str, np.ndarray] | None:
@@ -285,8 +299,7 @@ class PredictionEngine:
                 "request needs exactly one of 'features' or 'source'",
             )
         if has_features:
-            factor = self._predict_features(request["features"], classifier)
-            return {"factor": factor, "classifier": classifier}, 1
+            return self._predict_features(request["features"], classifier), 1
         loops = self._predict_source(request["source"], classifier)
         payload = {
             "factor": loops[0]["factor"],
@@ -319,10 +332,29 @@ class PredictionEngine:
             )
         return vector
 
-    def _predict_features(self, features, classifier: str) -> int:
+    def _predict_features(self, features, classifier: str) -> dict:
+        """The success payload for one feature-vector request.  The
+        ensemble goes through :meth:`predict_detail` so the scalar path
+        reports exactly what the batched path reports."""
         vector = self._coerce_features(features)
         heuristic = self._heuristics[classifier]
-        return int(heuristic.predict_features(vector[None, :])[0])
+        if classifier == "ensemble":
+            detail = heuristic.predict_detail(vector[None, :])
+            return self._ensemble_payload(detail, 0)
+        factor = int(heuristic.predict_features(vector[None, :])[0])
+        return {"factor": factor, "classifier": classifier}
+
+    @staticmethod
+    def _ensemble_payload(detail, row: int) -> dict:
+        """One row of an ensemble detail batch as response fields."""
+        return {
+            "factor": int(detail.labels[row]),
+            "classifier": "ensemble",
+            "confidence": float(detail.confidence[row]),
+            "votes": {
+                family: int(labels[row]) for family, labels in detail.votes.items()
+            },
+        }
 
     def _predict_source(self, source, classifier: str) -> list[dict]:
         from repro.frontend import LexError, ParseError, parse_program
@@ -334,6 +366,14 @@ class PredictionEngine:
         except (LexError, ParseError) as error:
             raise _MalformedRequest(ERROR_UNPARSEABLE_LOOP, str(error)) from None
         heuristic = self._heuristics[classifier]
+        if classifier == "ensemble":
+            loops = []
+            for entry in entries:
+                factor, confidence = heuristic.predict_loop_detail(entry.loop)
+                loops.append(
+                    {"loop": entry.loop.name, "factor": factor, "confidence": confidence}
+                )
+            return loops
         return [
             {"loop": entry.loop.name, "factor": int(heuristic.predict_loop(entry.loop))}
             for entry in entries

@@ -99,6 +99,41 @@ def measurement_tables(draw):
 
 
 @st.composite
+def labelled_datasets(draw):
+    """A small, well-formed :class:`LoopDataset` for classifier
+    differential tests: 2..4 factor classes with class-separable feature
+    clusters (so every family has signal to learn), either SWP regime,
+    seeded through hypothesis so shrinking stays deterministic."""
+    from repro.ml.dataset import LoopDataset
+
+    n_classes = draw(st.integers(min_value=2, max_value=4))
+    per_class = draw(st.integers(min_value=3, max_value=6))
+    seed = draw(st.integers(min_value=0, max_value=2**16 - 1))
+    separation = draw(st.floats(min_value=0.6, max_value=2.0))
+    swp = draw(st.booleans())
+
+    rng = np.random.default_rng(seed)
+    factors = np.sort(
+        rng.choice(np.arange(1, MAX_UNROLL + 1), size=n_classes, replace=False)
+    )
+    n = n_classes * per_class
+    labels = np.repeat(factors, per_class).astype(np.int64)
+    X = rng.normal(size=(n, N_FEATURES)) + labels[:, None] * separation
+    cycles = rng.uniform(1e4, 1e6, size=(n, MAX_UNROLL))
+    return LoopDataset(
+        X=X,
+        labels=labels,
+        cycles=cycles,
+        true_cycles=cycles * 1.01,
+        loop_names=np.array([f"bench{i % 3}/loop{i}" for i in range(n)]),
+        benchmarks=np.array([f"bench{i % 3}" for i in range(n)]),
+        suites=np.array(["s"] * n),
+        languages=np.array(["C"] * n),
+        swp=swp,
+    )
+
+
+@st.composite
 def random_loops(draw):
     """A random but well-formed counted loop built through the DSL."""
     trip = draw(st.integers(min_value=1, max_value=40))

@@ -18,6 +18,7 @@ from repro.registry import ArtifactStore, train_model_artifact
 from repro.serve import (
     ERROR_BAD_FEATURE_VECTOR,
     ERROR_INVALID_JSON,
+    ERROR_MALFORMED_REQUEST,
     ERROR_OVERLOADED,
     BackgroundDaemon,
     DaemonConfig,
@@ -200,6 +201,88 @@ class TestMicroBatching:
         assert daemon.gateway.counters.balanced()
 
 
+class TestClassifierFamilies:
+    """The multi-family wire contract: every classifier — the calibrated
+    ensemble included — is addressable per request over the socket."""
+
+    def test_ensemble_request_carries_confidence_and_votes(self, store, dataset):
+        with _run(store) as daemon:
+            client = _Client(daemon.address)
+            response = client.ask(
+                {"id": 1, "classifier": "ensemble", "features": _features(dataset)}
+            )
+            client.close()
+        assert response["ok"] is True
+        assert response["classifier"] == "ensemble"
+        assert 1 <= response["factor"] <= 8
+        assert 0.0 <= response["confidence"] <= 1.0
+        assert set(response["votes"]) == {"nn", "svm", "mlp", "forest"}
+        for factor in response["votes"].values():
+            assert 1 <= factor <= 8
+
+    def test_every_family_answers_over_the_wire(self, store, dataset):
+        with _run(store) as daemon:
+            client = _Client(daemon.address)
+            responses = {
+                name: client.ask(
+                    {"id": name, "classifier": name, "features": _features(dataset)}
+                )
+                for name in ("nn", "svm", "mlp", "forest", "ensemble")
+            }
+            client.close()
+        for name, response in responses.items():
+            assert response["ok"] is True, name
+            assert response["classifier"] == name
+            assert 1 <= response["factor"] <= 8
+
+    def test_mixed_classifier_micro_batch_groups_correctly(self, store, dataset):
+        """Pipelined requests alternating classifiers coalesce into
+        micro-batches, yet every response matches its request's family and
+        equals the per-request answer."""
+        names = ("nn", "svm", "mlp", "forest", "ensemble")
+        n = 30
+        with _run(store, batch_window_ms=5.0, max_batch=32) as daemon:
+            client = _Client(daemon.address)
+            scalar = {
+                name: client.ask(
+                    {"id": f"ref-{name}", "classifier": name,
+                     "features": _features(dataset, 0)}
+                )
+                for name in names
+            }
+            for i in range(n):
+                client.send(
+                    {
+                        "id": i,
+                        "classifier": names[i % len(names)],
+                        "features": _features(dataset, 0),
+                    }
+                )
+            responses = [client.recv() for _ in range(n)]
+            client.close()
+        assert all(r["ok"] for r in responses)
+        for response in responses:
+            name = names[response["id"] % len(names)]
+            assert response["classifier"] == name
+            assert response["factor"] == scalar[name]["factor"]
+            if name == "ensemble":
+                assert response["confidence"] == scalar[name]["confidence"]
+                assert response["votes"] == scalar[name]["votes"]
+        assert daemon.gateway.counters.balanced()
+
+    def test_unknown_family_is_a_typed_error_over_the_wire(self, store, dataset):
+        with _run(store) as daemon:
+            client = _Client(daemon.address)
+            response = client.ask(
+                {"id": 9, "classifier": "xgboost", "features": _features(dataset)}
+            )
+            client.close()
+        assert response["ok"] is False
+        assert response["id"] == 9
+        assert response["error"]["type"] == ERROR_MALFORMED_REQUEST
+        assert "xgboost" in response["error"]["message"]
+
+
 class TestHealthz:
     def test_healthz_reports_state(self, store, dataset):
         with _run(store, replicas=3) as daemon:
@@ -214,6 +297,9 @@ class TestHealthz:
         assert health["artifact"]["checksum"] == daemon.checksum
         assert health["artifact"]["fallback"] is False
         assert health["artifact"]["reloads"] == 0
+        assert health["artifact"]["families"] == {
+            name: True for name in ("nn", "svm", "mlp", "forest", "ensemble")
+        }
         assert health["gateway"]["admitted"] >= 1
         assert health["batching"]["window_ms"] == 2.0
         assert health["uptime_s"] >= 0.0

@@ -1,0 +1,130 @@
+"""The from-scratch MLP: seeded determinism, early stopping, calibration
+of its probability head, and bit-identical state round-trips.
+
+Property-based where the contract is a property (probabilities are a
+distribution, restore is the identity on predictions); example-based where
+the contract is a mechanism (the early-stopping bookkeeping).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.ml.mlp import MLPClassifier, softmax
+from tests.strategies import labelled_datasets
+
+_PROPERTY_SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _separable(n=40, n_classes=4, seed=0):
+    rng = np.random.default_rng(seed)
+    labels = (np.arange(n) % n_classes) + 1
+    X = rng.normal(size=(n, 6)) + labels[:, None] * 1.2
+    return X, labels.astype(np.int64)
+
+
+def _fit(seed=0, **kwargs):
+    X, y = _separable()
+    mlp = MLPClassifier(hidden=(16,), seed=seed, max_epochs=120, **kwargs)
+    mlp.fit(X, y)
+    return mlp, X, y
+
+
+class TestDeterminism:
+    def test_same_seed_same_model(self):
+        a, X, _ = _fit(seed=3)
+        b, _, _ = _fit(seed=3)
+        for wa, wb in zip(a._weights, b._weights):
+            np.testing.assert_array_equal(wa, wb)
+        np.testing.assert_array_equal(a.predict_proba(X), b.predict_proba(X))
+        assert a.best_epoch_ == b.best_epoch_
+        np.testing.assert_array_equal(a.validation_curve_, b.validation_curve_)
+
+    def test_learns_separable_data(self):
+        mlp, X, y = _fit()
+        assert float(np.mean(mlp.predict(X) == y)) >= 0.8
+
+
+class TestEarlyStopping:
+    def test_best_epoch_minimises_the_curve(self):
+        mlp, _, _ = _fit()
+        curve = np.asarray(mlp.validation_curve_)
+        assert curve[mlp.best_epoch_] == curve.min()
+
+    def test_stops_within_patience_of_the_best_epoch(self):
+        mlp, _, _ = _fit()
+        n_epochs = len(mlp.validation_curve_)
+        assert n_epochs - 1 - mlp.best_epoch_ <= mlp.patience
+
+    def test_running_best_is_monotone_non_increasing(self):
+        mlp, _, _ = _fit()
+        running = np.minimum.accumulate(np.asarray(mlp.validation_curve_))
+        assert np.all(np.diff(running) <= 0.0 + 1e-15)
+
+    def test_tiny_dataset_falls_back_to_train_validation(self):
+        # Too few rows to carve out a held-out fold: the fit must still
+        # converge (validating on train) rather than crash.
+        X, y = _separable(n=2, n_classes=2)
+        mlp = MLPClassifier(hidden=(4,), seed=0, max_epochs=60)
+        mlp.fit(X, y)
+        assert len(mlp.validation_curve_) >= 1
+        assert set(np.unique(mlp.predict(X))) <= {1, 2}
+
+
+class TestProbabilities:
+    def test_softmax_rows_are_distributions(self):
+        rng = np.random.default_rng(0)
+        probs = softmax(rng.normal(scale=10.0, size=(32, 5)))
+        assert np.all(probs >= 0.0) and np.all(probs <= 1.0)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_predict_is_argmax_of_proba(self):
+        mlp, X, _ = _fit()
+        proba = mlp.predict_proba(X)
+        np.testing.assert_array_equal(
+            mlp.predict(X), mlp.classes_[np.argmax(proba, axis=1)]
+        )
+
+    @_PROPERTY_SETTINGS
+    @given(dataset=labelled_datasets())
+    def test_proba_is_a_distribution_on_any_dataset(self, dataset):
+        mlp = MLPClassifier(hidden=(8,), seed=0, max_epochs=40)
+        mlp.fit(dataset.X, dataset.labels)
+        proba = mlp.predict_proba(dataset.X)
+        assert np.all(proba >= 0.0) and np.all(proba <= 1.0)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+        assert proba.shape == (len(dataset), len(mlp.classes_))
+
+
+class TestStateRoundTrip:
+    def test_restore_is_bit_identical(self):
+        mlp, X, _ = _fit()
+        restored = MLPClassifier.from_state(mlp.get_state())
+        np.testing.assert_array_equal(restored.predict_proba(X), mlp.predict_proba(X))
+        np.testing.assert_array_equal(restored.predict(X), mlp.predict(X))
+        np.testing.assert_array_equal(restored.classes_, mlp.classes_)
+        assert restored.best_epoch_ == mlp.best_epoch_
+
+    @_PROPERTY_SETTINGS
+    @given(dataset=labelled_datasets())
+    def test_restore_identity_on_any_dataset(self, dataset):
+        mlp = MLPClassifier(hidden=(8,), seed=1, max_epochs=40)
+        mlp.fit(dataset.X, dataset.labels)
+        restored = MLPClassifier.from_state(mlp.get_state())
+        np.testing.assert_array_equal(
+            restored.predict_proba(dataset.X), mlp.predict_proba(dataset.X)
+        )
+
+    def test_unfitted_state_is_an_error(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            MLPClassifier().get_state()
+
+    def test_bad_hyperparameters_are_rejected(self):
+        with pytest.raises(ValueError, match="one or two"):
+            MLPClassifier(hidden=(8, 8, 8))
+        with pytest.raises(ValueError, match="val_fraction"):
+            MLPClassifier(val_fraction=0.9)

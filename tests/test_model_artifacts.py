@@ -17,7 +17,12 @@ import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.heuristics import train_nn_heuristic, train_svm_heuristic
+from repro.heuristics import (
+    train_forest_heuristic,
+    train_mlp_heuristic,
+    train_nn_heuristic,
+    train_svm_heuristic,
+)
 from repro.ml.dataset import LoopDataset
 from repro.registry import (
     ARTIFACT_SCHEMA_VERSION,
@@ -77,7 +82,7 @@ class TestRoundTrip:
         """The acceptance criterion: a loaded artifact answers exactly like
         the in-process trained model, for both classifiers."""
         loaded = load_artifact(saved)
-        for classifier in ("nn", "svm"):
+        for classifier in loaded.families:
             np.testing.assert_array_equal(
                 loaded.predict_features(dataset.X, classifier),
                 artifact.predict_features(dataset.X, classifier),
@@ -89,21 +94,23 @@ class TestRoundTrip:
         *fresh* train on the same dataset (not just the instance that was
         serialised)."""
         loaded = load_artifact(saved)
-        fresh_nn = train_nn_heuristic(dataset)
-        fresh_svm = train_svm_heuristic(dataset)
-        np.testing.assert_array_equal(
-            loaded.predict_features(dataset.X, "nn"),
-            fresh_nn.predict_features(dataset.X),
-        )
-        np.testing.assert_array_equal(
-            loaded.predict_features(dataset.X, "svm"),
-            fresh_svm.predict_features(dataset.X),
-        )
+        fresh = {
+            "nn": train_nn_heuristic(dataset),
+            "svm": train_svm_heuristic(dataset),
+            "mlp": train_mlp_heuristic(dataset),
+            "forest": train_forest_heuristic(dataset),
+        }
+        for name, heuristic in fresh.items():
+            np.testing.assert_array_equal(
+                loaded.predict_features(dataset.X, name),
+                heuristic.predict_features(dataset.X),
+                err_msg=name,
+            )
 
     def test_loop_prediction_round_trip(self, artifact, saved):
         loaded = load_artifact(saved)
         loop = kernels.daxpy(trip=50, entries=1)
-        for classifier in ("nn", "svm"):
+        for classifier in loaded.families:
             assert loaded.predict_loop(loop, classifier) == artifact.predict_loop(
                 loop, classifier
             )
@@ -230,6 +237,21 @@ class TestCorruption:
         assert path.exists()  # valid file from another era: left in place
         assert not list(tmp_path.glob("*.corrupt"))
 
+    def test_v1_era_artifact_is_stale_not_corrupt(self, saved, tmp_path):
+        """The real migration case: a v1 artifact (NN + SVM only, before
+        the multi-family schema) must surface as stale — intact, version
+        named in the message, never quarantined."""
+        path = tmp_path / "v1.rma"
+
+        def downgrade(manifest):
+            manifest["schema_version"] = 1
+
+        _rewrite_with_manifest(saved, path, downgrade)
+        with pytest.raises(StaleArtifactError, match="schema v1"):
+            load_or_quarantine(path)
+        assert path.exists()  # old era, still valid: left in place
+        assert not list(tmp_path.glob("*.corrupt"))
+
     def test_wrong_format_tag_is_corrupt(self, saved, tmp_path):
         path = tmp_path / "other.rma"
 
@@ -314,6 +336,26 @@ class TestArtifactStore:
         assert store.load("old") is None
         assert store.path_for("old").exists()
         assert not store.quarantined()
+        assert store.load("live") is not None
+
+    def test_v1_stale_entry_keeps_store_counters_balanced(
+        self, artifact, saved, tmp_path
+    ):
+        """A v1-era entry is a miss but not a casualty: nothing moves to
+        quarantine, the file stays listed on disk, and live entries keep
+        loading."""
+        store = ArtifactStore(tmp_path)
+        store.store("live", artifact)
+
+        def downgrade(manifest):
+            manifest["schema_version"] = 1
+
+        _rewrite_with_manifest(saved, store.path_for("v1-era"), downgrade)
+        assert store.load("v1-era") is None
+        stats = store.stats()
+        assert stats.n_quarantined == 0
+        assert stats.n_entries == 2  # the stale file still counts on disk
+        assert store.path_for("v1-era").exists()
         assert store.load("live") is not None
 
     def test_stats_gc_clear(self, artifact, tmp_path):

@@ -88,7 +88,7 @@ class TestPrediction:
 
     def test_unknown_default_classifier_rejected(self, artifact):
         with pytest.raises(ValueError, match="unknown classifier"):
-            PredictionEngine(artifact, classifier="forest")
+            PredictionEngine(artifact, classifier="xgboost")
 
 
 class TestErrorTaxonomy:
@@ -114,10 +114,10 @@ class TestErrorTaxonomy:
 
     def test_unknown_classifier(self, engine, dataset):
         error = self._error(
-            engine, {"features": _features(dataset), "classifier": "forest"}
+            engine, {"features": _features(dataset), "classifier": "xgboost"}
         )
         assert error["type"] == ERROR_MALFORMED_REQUEST
-        assert "forest" in error["message"]
+        assert "xgboost" in error["message"]
 
     def test_feature_vector_wrong_shape(self, engine):
         error = self._error(engine, {"features": [1.0, 2.0]})
@@ -540,7 +540,7 @@ class TestEngineBatchPath:
     def test_heuristics_cached_at_init(self, engine):
         # One resolved heuristic per classifier, reused across requests —
         # the per-call rebuild this replaced was pure overhead.
-        assert set(engine._heuristics) == {"nn", "svm"}
+        assert set(engine._heuristics) == {"nn", "svm", "mlp", "forest", "ensemble"}
         assert engine._heuristics["svm"] is engine._heuristics["svm"]
 
     def test_batched_latency_clocks_own_group_only(self, engine, dataset, monkeypatch):
