@@ -4,12 +4,14 @@
 #
 #   PYTHONPATH=src bash scripts/chaos_smoke.sh
 #
-# Five scenarios, each a hard gate (set -e): a worker kill must fall back
+# Six scenarios, each a hard gate (set -e): a worker kill must fall back
 # to serial and still produce a table; a kill at a checkpoint must resume;
 # a corrupted cache entry must self-heal; a bit-flipped model artifact
 # must be quarantined and served from the registry's last good; a serve
 # daemon killed -9 under concurrent clients must leave every client with
-# typed responses only (no hangs, no untyped crashes) and come back clean.
+# typed responses only (no hangs, no untyped crashes) and come back clean;
+# a multi-process cluster must survive a worker kill -9 — survivors keep
+# answering while the supervisor respawns the dead slot.
 set -euo pipefail
 
 export REPRO_CACHE_DIR="$(mktemp -d)"
@@ -134,5 +136,70 @@ print(f"healthz: {counters['admitted']} admitted, {counters['served_ok']} ok, "
 EOF
 kill "$DAEMON_PID" && wait "$DAEMON_PID" || true
 DAEMON_PID=""
+
+echo "== 6. cluster worker kill -9 -> survivors answer, supervisor restarts =="
+# A 2-worker cluster behind one port.  Shoot one worker: the survivor
+# must keep answering through the shared port while the supervisor
+# respawns the dead slot, and the healed cluster's aggregated healthz
+# must balance.
+python -m repro serve --model "$REPRO_ARTIFACT_DIR/model_good.rma" \
+  --listen 127.0.0.1:0 --workers 2 \
+  --request-log "$WORK/cluster_requests.jsonl" \
+  >"$WORK/cluster.out" 2>"$WORK/cluster.err" &
+DAEMON_PID=$!
+# Worker spawn is import-heavy; give startup a generous window.
+for _ in $(seq 1 300); do
+  grep -q "daemon listening on" "$WORK/cluster.out" 2>/dev/null && break
+  sleep 0.2
+done
+grep -q "daemon listening on" "$WORK/cluster.out"
+PORT=$(sed -n 's/.*daemon listening on .*:\([0-9]*\) workers=.*/\1/p' "$WORK/cluster.out")
+for _ in $(seq 1 300); do
+  test "$(grep -c " ready on " "$WORK/cluster.out" 2>/dev/null)" -ge 2 && break
+  sleep 0.2
+done
+mapfile -t worker_pids < <(sed -n 's/^worker [0-9]* pid \([0-9]*\) ready on .*/\1/p' "$WORK/cluster.out")
+echo "cluster up on port $PORT (supervisor $DAEMON_PID, workers ${worker_pids[*]})"
+test "${#worker_pids[@]}" -ge 2
+
+kill -9 "${worker_pids[0]}"
+# New connections land on the survivor (the kernel stops routing to a
+# dead listener); every request must get a typed answer — no --expect-kill.
+python scripts/daemon_chaos_client.py 127.0.0.1 "$PORT" 200
+for _ in $(seq 1 300); do
+  grep -q " restarted on " "$WORK/cluster.out" 2>/dev/null && break
+  sleep 0.2
+done
+grep -q " restarted on " "$WORK/cluster.out"
+python - 127.0.0.1 "$PORT" <<'EOF'
+import json, socket, sys, time
+deadline = time.time() + 30
+while True:
+    with socket.create_connection((sys.argv[1], int(sys.argv[2])), timeout=15) as sock:
+        stream = sock.makefile("rw", encoding="utf-8", newline="\n")
+        stream.write(json.dumps({"healthz": True, "aggregate": True}) + "\n")
+        stream.flush()
+        health = json.loads(stream.readline())["healthz"]
+    if health["workers_alive"] == 2 or time.time() > deadline:
+        break
+    time.sleep(0.5)
+assert health["workers_alive"] == 2, health
+assert health["balanced"] is True, health
+assert health["gateway"]["admitted"] >= 200, health["gateway"]
+print(f"aggregate healthz: {health['workers_alive']}/{health['cluster_size']} alive, "
+      f"{health['gateway']['admitted']} admitted, balanced={health['balanced']}")
+EOF
+kill "$DAEMON_PID" && wait "$DAEMON_PID" || true
+DAEMON_PID=""
+grep -q "cluster stopped: 1 worker restart(s)" "$WORK/cluster.err"
+python - "$WORK/cluster_requests.jsonl" <<'EOF'
+import json, sys
+records = [json.loads(line) for line in open(sys.argv[1]) if line.strip()]
+assert len(records) >= 200, len(records)
+assert all(r["worker"] in (0, 1) for r in records)
+assert all(r["features_sha256"] for r in records if r["ok"])
+print(f"request log: {len(records)} records from workers "
+      f"{sorted({r['worker'] for r in records})}")
+EOF
 
 echo "chaos smoke: all scenarios recovered"

@@ -412,7 +412,11 @@ def cmd_serve(args) -> int:
             deadline_s=args.deadline_ms / 1e3 if args.deadline_ms else None,
             reload_poll_s=args.reload_poll_s,
             classifier=args.classifier,
+            request_log=args.request_log,
         )
+        workers = args.workers if args.workers is not None else 1
+        if workers > 1:
+            return _serve_cluster(args, host, port, workers, config)
         try:
             daemon = ServeDaemon(args.model, config, store=ArtifactStore())
         except FileNotFoundError:
@@ -452,7 +456,7 @@ def cmd_serve(args) -> int:
         if args.input:
             source.close()
     config = GatewayConfig(
-        max_workers=args.workers,
+        max_workers=args.workers if args.workers is not None else 4,
         queue_limit=args.queue_limit,
         deadline_s=args.deadline_ms / 1e3 if args.deadline_ms else None,
     )
@@ -468,6 +472,47 @@ def cmd_serve(args) -> int:
     errors = sum(1 for r in responses if not r["ok"])
     if errors:
         print(f"{errors}/{len(responses)} request(s) failed", file=sys.stderr)
+    return 0
+
+
+def _serve_cluster(args, host, port, workers, config) -> int:
+    """The ``--listen --workers N`` path: supervise N shared-nothing
+    daemon processes on one port (reuseport sharding, balancer fallback)."""
+    from repro.registry import ArtifactError, ArtifactStore
+    from repro.serve import (
+        ClusterConfig,
+        ServeCluster,
+        WorkerStartupError,
+        load_serving_artifact,
+    )
+
+    # Validate the artifact parent-side so a bad --model fails fast with
+    # one diagnostic instead of N synchronized worker crash loops.
+    try:
+        loaded = load_serving_artifact(args.model, store=ArtifactStore())
+    except FileNotFoundError:
+        print(f"cannot load model {args.model}: no such file")
+        return 2
+    except ArtifactError as error:
+        print(f"cannot serve: {error}")
+        return 2
+    if loaded.fallback:
+        print(
+            f"WARNING: serving last-good artifact {loaded.path.name} "
+            f"instead of {args.model} ({'; '.join(loaded.failures)})",
+            file=sys.stderr,
+        )
+    cluster = ServeCluster(
+        args.model,
+        ClusterConfig(workers=workers, host=host, port=port, daemon=config),
+    )
+    cluster.on_event = print
+    try:
+        cluster.run()
+    except WorkerStartupError as error:
+        print(f"cannot serve: {error}")
+        return 2
+    print(f"cluster stopped: {cluster.restarts} worker restart(s)", file=sys.stderr)
     return 0
 
 
@@ -621,6 +666,11 @@ def cmd_bench(args) -> int:
     if not families.get("predictions_match", True):
         print("WARNING: family predictions diverge (scalar/batched, "
               "restricted-ensemble, or save/load round trip)")
+    multiproc = report.stage("multiproc").detail
+    if not multiproc.get("predictions_match", True):
+        print("WARNING: multi-process predictions diverge across worker counts")
+    if not multiproc.get("balanced", True):
+        print("WARNING: multi-process healthz counters did not balance")
     path = write_report(report, args.out)
     print(f"wrote {path}")
     return 0
@@ -704,8 +754,19 @@ def main(argv=None) -> int:
     serve_parser.add_argument(
         "--workers",
         type=_positive_int,
-        default=4,
-        help="prediction threads for the batch (default: 4)",
+        default=None,
+        help="stdin mode: prediction threads for the batch (default: 4); "
+        "--listen mode: independent daemon processes sharing the port via "
+        "SO_REUSEPORT, or a round-robin balancer where unavailable "
+        "(default: 1)",
+    )
+    serve_parser.add_argument(
+        "--request-log",
+        default=None,
+        metavar="PATH",
+        help="daemon mode: append served-request JSON-lines records "
+        "(timestamp, features checksum, prediction, latency, worker id) "
+        "to PATH, written off the hot path (default: no log)",
     )
     serve_parser.add_argument(
         "--input",

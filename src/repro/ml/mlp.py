@@ -202,13 +202,23 @@ class MLPClassifier:
     # ------------------------------------------------------------------
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
-        """Row-wise class distribution over :attr:`classes_`."""
+        """Row-wise class distribution over :attr:`classes_`.
+
+        Inference avoids ``@``: BLAS picks different accumulation kernels
+        for different row counts (gemv vs gemm blocking), which moves the
+        last ulp of a row's probabilities with the *batch size* it arrived
+        in.  The serve tier's contract is that a batched prediction is
+        bit-identical to the same row served alone, so the forward pass
+        uses ``einsum`` (fixed-order per-element reduction, row-count
+        invariant) instead.  Training keeps BLAS — only inference needs
+        shape-stable bytes.
+        """
         self._require_fitted()
         X = np.atleast_2d(np.asarray(X, dtype=np.float64))
         h = self._normalizer.transform(X)
         for w, b in zip(self._weights[:-1], self._biases[:-1]):
-            h = np.tanh(h @ w + b)
-        return softmax(h @ self._weights[-1] + self._biases[-1])
+            h = np.tanh(np.einsum("ij,jk->ik", h, w) + b)
+        return softmax(np.einsum("ij,jk->ik", h, self._weights[-1]) + self._biases[-1])
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Most probable class per row (first class wins ties)."""

@@ -8,6 +8,7 @@ perf data point behind.
 
 from repro.perf.bench import (
     BENCH_SCHEMA_VERSION,
+    SCHEMA_VERSION,
     BenchConfig,
     BenchReport,
     StageTiming,
@@ -17,6 +18,7 @@ from repro.perf.bench import (
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
+    "SCHEMA_VERSION",
     "BenchConfig",
     "BenchReport",
     "StageTiming",

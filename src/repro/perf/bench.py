@@ -46,7 +46,19 @@ import numpy as np
 #: scalar == batched per family, the single-family-restricted ensemble
 #: agrees with each member, and a save/load registry round trip answers
 #: bit-identically) and its ``families_rows`` sizing knob in ``config``.
-BENCH_SCHEMA_VERSION = 5
+#: v6: added the ``multiproc`` stage (the multi-process serve tier driven
+#: over real sockets at each worker count in ``multiproc_workers``:
+#: per-count wall/throughput/p95/p99, throughput scaling relative to one
+#: worker, the sharding mode actually used, ``cpus`` — scaling is
+#: physically bounded by the cores available — a cross-worker-count
+#: ``predictions_match`` differential, and aggregated-healthz counter
+#: balance after each run) plus its ``multiproc_*`` sizing knobs in
+#: ``config``.
+BENCH_SCHEMA_VERSION = 6
+
+#: Importable alias: CI's bench-smoke compares emitted reports against
+#: this name (``from repro.perf.bench import SCHEMA_VERSION``).
+SCHEMA_VERSION = BENCH_SCHEMA_VERSION
 
 
 @dataclasses.dataclass(frozen=True)
@@ -68,6 +80,9 @@ class BenchConfig:
     daemon_requests: int = 48
     daemon_replicas: int = 2
     families_rows: int = 192
+    multiproc_workers: tuple[int, ...] = (1, 2, 4)
+    multiproc_clients: int = 8
+    multiproc_requests: int = 64
     quick: bool = False
 
     @classmethod
@@ -81,6 +96,9 @@ class BenchConfig:
             daemon_clients=4,
             daemon_requests=16,
             families_rows=64,
+            multiproc_workers=(1, 2),
+            multiproc_clients=4,
+            multiproc_requests=24,
             quick=True,
         )
 
@@ -450,12 +468,14 @@ def _daemon_traffic(address, config: BenchConfig, rows) -> dict:
     n_requests = config.daemon_clients * per_client
     latencies.sort()
     p95 = latencies[min(len(latencies) - 1, int(0.95 * len(latencies)))] if latencies else 0.0
+    p99 = latencies[min(len(latencies) - 1, int(0.99 * len(latencies)))] if latencies else 0.0
     return {
         "wall_s": wall,
         "n_requests": n_requests,
         "received": progress["received"],
         "throughput_rps": n_requests / wall if wall > 0 else 0.0,
         "p95_ms": p95 * 1e3,
+        "p99_ms": p99 * 1e3,
         "responses": results,
     }
 
@@ -696,9 +716,119 @@ def _bench_families(dataset, artifact, config: BenchConfig) -> StageTiming:
     )
 
 
+def _bench_multiproc(dataset, artifact, config: BenchConfig) -> StageTiming:
+    """Time the multi-process serve tier at each worker count over real
+    sockets: the same concurrent pipelining clients as the ``daemon``
+    stage, against a full :class:`~repro.serve.ServeCluster` (supervisor,
+    ``SO_REUSEPORT`` sharding or the balancer fallback, per-worker
+    adaptive batch windows).
+
+    Reference: ``workers=1`` (one process — PR 7's daemon with a
+    supervisor in front).  Optimized: the largest worker count.  The
+    detail records every count's wall/throughput/p95/p99, throughput
+    scaling relative to one worker, and ``cpus`` — on a single-core host
+    the workload is CPU-bound and no multi-process speedup is physically
+    possible, so scaling numbers must always be read against the core
+    count.  ``predictions_match`` asserts every worker count answered
+    every request with the same factor; ``balanced`` asserts each run's
+    aggregated healthz counters balanced across all workers.
+    """
+    import dataclasses as dc
+    import os
+    import tempfile
+    from pathlib import Path
+
+    from repro.registry import ArtifactStore
+    from repro.serve import ClusterConfig, DaemonConfig, ServeCluster
+
+    traffic_config = dc.replace(
+        config,
+        daemon_clients=config.multiproc_clients,
+        daemon_requests=config.multiproc_requests,
+    )
+    warmup_config = dc.replace(
+        traffic_config,
+        daemon_requests=max(1, config.multiproc_requests // 8),
+    )
+    n_requests = config.multiproc_clients * config.multiproc_requests
+    rows = dataset.X[np.arange(n_requests) % len(dataset)]
+    queue_limit = 2 * n_requests
+    cpus = (
+        len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity")
+        else (os.cpu_count() or 1)
+    )
+
+    runs: dict[int, dict] = {}
+    factors: dict[int, dict] = {}
+    mode = None
+    with tempfile.TemporaryDirectory() as tmp:
+        store_root = Path(tmp)
+        store = ArtifactStore(store_root)
+        path = store.store("bench", artifact)
+        for workers in config.multiproc_workers:
+            daemon_config = DaemonConfig(
+                replicas=config.daemon_replicas, queue_limit=queue_limit
+            )
+            cluster_config = ClusterConfig(workers=workers, daemon=daemon_config)
+            with ServeCluster(path, cluster_config, store_root=store_root) as cluster:
+                mode = cluster.mode
+                # Warm every worker (artifact deserialization, first-call
+                # numpy paths) before the timed run.
+                _daemon_traffic(cluster.address, warmup_config, rows)
+                result = _daemon_traffic(cluster.address, traffic_config, rows)
+                health = cluster.healthz()
+            factors[workers] = {
+                i: r.get("factor")
+                for i, r in result["responses"].items()
+                if r.get("ok")
+            }
+            runs[workers] = {
+                "wall_s": round(result["wall_s"], 4),
+                "throughput_rps": round(result["throughput_rps"], 1),
+                "p95_ms": round(result["p95_ms"], 3),
+                "p99_ms": round(result["p99_ms"], 3),
+                "received": result["received"],
+                "workers_alive": health["workers_alive"],
+                "balanced": bool(health["balanced"]),
+                "restarts": cluster.restarts,
+            }
+
+    counts = sorted(runs)
+    base = counts[0]
+    base_rps = runs[base]["throughput_rps"]
+    predictions_match = all(
+        len(factors[w]) == n_requests and factors[w] == factors[base] for w in counts
+    )
+    balanced = all(runs[w]["balanced"] for w in counts)
+    return StageTiming(
+        stage="multiproc",
+        reference_seconds=runs[base]["wall_s"],
+        optimized_seconds=runs[counts[-1]]["wall_s"],
+        detail={
+            "n_clients": config.multiproc_clients,
+            "requests_per_client": config.multiproc_requests,
+            "n_requests": n_requests,
+            "replicas": config.daemon_replicas,
+            "worker_counts": list(counts),
+            "cpus": cpus,
+            "mode": mode,
+            "runs": {str(w): runs[w] for w in counts},
+            "scaling": {
+                str(w): round(runs[w]["throughput_rps"] / base_rps, 3)
+                if base_rps > 0
+                else 0.0
+                for w in counts
+            },
+            "predictions_match": bool(predictions_match),
+            "balanced": bool(balanced),
+        },
+    )
+
+
 def run_bench(config: BenchConfig | None = None) -> BenchReport:
     """Run the full measure -> dedup -> label -> select -> serve ->
-    daemon -> families bench, serially."""
+    daemon -> families -> multiproc bench, serially."""
     from repro.registry import train_model_artifact
     from repro.workloads import generate_suite
 
@@ -712,6 +842,7 @@ def run_bench(config: BenchConfig | None = None) -> BenchReport:
     serve_timing = _bench_serve(dataset, artifact, config)
     daemon_timing = _bench_daemon(dataset, artifact, config)
     families_timing = _bench_families(dataset, artifact, config)
+    multiproc_timing = _bench_multiproc(dataset, artifact, config)
     return BenchReport(
         config=config,
         date=datetime.date.today().isoformat(),
@@ -723,6 +854,7 @@ def run_bench(config: BenchConfig | None = None) -> BenchReport:
             serve_timing,
             daemon_timing,
             families_timing,
+            multiproc_timing,
         ),
     )
 

@@ -15,10 +15,22 @@ corrupt artifact is quarantined and the registry's last good model is
 served in its place.  :class:`ServeDaemon` is the network tier on top:
 an asyncio TCP front-end that coalesces concurrent clients' requests
 into vectorized engine batches, hot-reloads newer registry artifacts with
-zero downtime, and answers ``healthz`` probes.
+zero downtime, and answers ``healthz`` probes.  :class:`ServeCluster`
+multiplies that daemon across N shared-nothing worker *processes* on one
+port — ``SO_REUSEPORT`` kernel sharding where available, a round-robin
+asyncio balancer elsewhere — with crash restarts, drain fan-out, and
+aggregated cluster health.  :class:`RequestLog` records every served
+prediction as append-mode JSON lines, off the hot path.
 """
 
-from repro.serve.daemon import BackgroundDaemon, DaemonConfig, ServeDaemon
+from repro.serve.daemon import (
+    BackgroundDaemon,
+    DaemonConfig,
+    ServeDaemon,
+    WindowController,
+    merge_worker_health,
+    probe_healthz,
+)
 from repro.serve.engine import (
     ERROR_BAD_FEATURE_VECTOR,
     ERROR_DEADLINE_EXCEEDED,
@@ -37,6 +49,14 @@ from repro.serve.gateway import (
     ServeGateway,
 )
 from repro.serve.loader import LoadedArtifact, load_serving_artifact
+from repro.serve.multiproc import (
+    NO_REUSEPORT_ENV,
+    ClusterConfig,
+    ServeCluster,
+    WorkerStartupError,
+    reuseport_available,
+)
+from repro.serve.requestlog import RequestLog, features_checksum, read_request_log
 
 __all__ = [
     "ERROR_BAD_FEATURE_VECTOR",
@@ -46,15 +66,26 @@ __all__ = [
     "ERROR_MALFORMED_REQUEST",
     "ERROR_OVERLOADED",
     "ERROR_UNPARSEABLE_LOOP",
+    "NO_REUSEPORT_ENV",
     "BackgroundDaemon",
     "BatchStats",
+    "ClusterConfig",
     "DaemonConfig",
     "GatewayConfig",
     "GatewayCounters",
     "LoadedArtifact",
     "PredictionEngine",
+    "RequestLog",
+    "ServeCluster",
     "ServeDaemon",
     "ServeGateway",
+    "WindowController",
+    "WorkerStartupError",
     "error_response",
+    "features_checksum",
     "load_serving_artifact",
+    "merge_worker_health",
+    "probe_healthz",
+    "read_request_log",
+    "reuseport_available",
 ]

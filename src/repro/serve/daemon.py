@@ -52,6 +52,8 @@ import contextlib
 import dataclasses
 import hashlib
 import json
+import os
+import socket
 import threading
 import time
 from pathlib import Path
@@ -68,6 +70,7 @@ from repro.serve.engine import (
 )
 from repro.serve.gateway import GatewayConfig, ServeGateway
 from repro.serve.loader import load_serving_artifact
+from repro.serve.requestlog import RequestLog, features_checksum
 
 
 @dataclasses.dataclass(frozen=True)
@@ -78,8 +81,22 @@ class DaemonConfig:
     holds the first request of a batch open for company.  Larger windows
     trade tail latency for bigger (faster-per-request) vectorized batches;
     ``0`` disables coalescing entirely (every request is its own batch).
-    ``port=0`` binds an ephemeral port (the bound address is on
-    :attr:`ServeDaemon.address` after start).
+    With ``adaptive_window`` (the default) that value is the *ceiling*:
+    a latency-aware controller shrinks the live window toward zero while
+    batches close under-full (a trickle pays per-request latency, not the
+    window) and grows it back under sustained queue depth (a flood earns
+    its coalescing).  ``port=0`` binds an ephemeral port (the bound
+    address is on :attr:`ServeDaemon.address` after start).
+
+    The multi-process tier's knobs: ``reuse_port`` binds the listen
+    socket with ``SO_REUSEPORT`` so sibling worker processes can share
+    one port (the kernel shards connections); ``bind_control`` opens a
+    second, ephemeral listener speaking the same protocol — the
+    supervisor's direct line to one worker for health probes and peer
+    updates regardless of where the kernel routes public connections;
+    ``worker_id`` tags healthz and request-log records; ``request_log``
+    appends one JSON line per served response (see
+    :mod:`repro.serve.requestlog`).
     """
 
     host: str = "127.0.0.1"
@@ -91,6 +108,11 @@ class DaemonConfig:
     deadline_s: float | None = None
     reload_poll_s: float | None = None
     classifier: str = "svm"
+    adaptive_window: bool = True
+    reuse_port: bool = False
+    bind_control: bool = False
+    worker_id: int | None = None
+    request_log: str | None = None
 
     def __post_init__(self) -> None:
         if self.batch_window_ms < 0:
@@ -99,6 +121,153 @@ class DaemonConfig:
             raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
         if self.replicas < 1:
             raise ValueError(f"replicas must be >= 1, got {self.replicas}")
+
+
+class WindowController:
+    """Latency-aware adaptation of the coalescing window, AIMD-flavoured.
+
+    The controller watches how every batch *closed*: a batch that filled
+    to ``max_batch`` — or left tokens waiting on the queue — is pressure
+    (the window is earning throughput); a batch that closed well
+    under-full with an empty queue behind it is idleness (the window is
+    pure added latency).  Two consecutive observations of either kind
+    move the window: halve toward zero on idleness (snapping to exactly
+    ``0`` once it is a negligible fraction of the base, so a trickle pays
+    true per-request latency), double toward the configured base on
+    pressure (re-entering from zero at ``base/8``).  The base is a hard
+    ceiling — the operator's ``batch_window_ms`` still bounds tail
+    latency.
+
+    The two-observation hysteresis is what makes the controller stable:
+    a single odd-sized batch (the first of a burst, the last of a drain)
+    never whipsaws the window.
+    """
+
+    #: Consecutive same-direction observations before the window moves.
+    HYSTERESIS = 2
+    #: Shrinking below ``base / SNAP_DENOMINATOR`` snaps the window to 0.
+    SNAP_DENOMINATOR = 64.0
+    #: A window growing from 0 re-enters at ``base / REENTRY_DENOMINATOR``.
+    REENTRY_DENOMINATOR = 8.0
+
+    def __init__(self, base_ms: float, max_batch: int):
+        self.base_ms = base_ms
+        self.max_batch = max_batch
+        self.window_ms = base_ms
+        self.shrinks = 0
+        self.grows = 0
+        self._pressure_streak = 0
+        self._idle_streak = 0
+        # Nothing to adapt when coalescing is off by construction.
+        self.enabled = base_ms > 0 and max_batch > 1
+
+    def observe(self, batch_size: int, queue_depth: int) -> float:
+        """Account one closed batch; returns the window for the next."""
+        if not self.enabled:
+            return self.window_ms
+        if batch_size >= self.max_batch or queue_depth > 0:
+            self._pressure_streak += 1
+            self._idle_streak = 0
+            if self._pressure_streak >= self.HYSTERESIS and self.window_ms < self.base_ms:
+                self.window_ms = min(
+                    self.base_ms,
+                    max(self.window_ms * 2.0, self.base_ms / self.REENTRY_DENOMINATOR),
+                )
+                self.grows += 1
+        elif batch_size <= max(1, self.max_batch // 4):
+            self._idle_streak += 1
+            self._pressure_streak = 0
+            if self._idle_streak >= self.HYSTERESIS and self.window_ms > 0.0:
+                shrunk = self.window_ms / 2.0
+                self.window_ms = (
+                    0.0 if shrunk < self.base_ms / self.SNAP_DENOMINATOR else shrunk
+                )
+                self.shrinks += 1
+        else:
+            # Mid-sized batches: the window is pulling its weight; hold.
+            self._pressure_streak = 0
+            self._idle_streak = 0
+        return self.window_ms
+
+    def stats(self) -> dict:
+        return {
+            "enabled": self.enabled,
+            "current_window_ms": round(self.window_ms, 4),
+            "base_window_ms": self.base_ms,
+            "shrinks": self.shrinks,
+            "grows": self.grows,
+        }
+
+
+def merge_worker_health(workers: list[dict]) -> dict:
+    """Merge per-worker ``healthz`` payloads into one cluster view.
+
+    ``workers`` entries are either a worker's ``healthz`` dict (tagged
+    with its ``worker`` identity) or an ``{"alive": False, ...}`` stub
+    for a worker that could not be probed.  The merged gateway counters
+    are plain sums; ``balanced`` holds exactly when every live worker's
+    own counters balance — which, summed, is the cluster-wide
+    admitted == ok + error + deadline identity.
+    """
+    counter_keys = (
+        "admitted", "served_ok", "served_error", "overloaded", "deadline_exceeded"
+    )
+    merged_counters = dict.fromkeys(counter_keys, 0)
+    batching = {"batches": 0, "batched_requests": 0, "max_batch": 0}
+    request_log_records = 0
+    alive = 0
+    balanced = True
+    per_worker = []
+    for health in workers:
+        if not health.get("alive", True):
+            balanced = False
+            per_worker.append(health)
+            continue
+        alive += 1
+        gateway = health.get("gateway", {})
+        for key in counter_keys:
+            merged_counters[key] += gateway.get(key, 0)
+        worker_balanced = gateway.get("admitted", 0) == (
+            gateway.get("served_ok", 0)
+            + gateway.get("served_error", 0)
+            + gateway.get("deadline_exceeded", 0)
+        )
+        balanced = balanced and worker_balanced
+        stats = health.get("batching", {})
+        batching["batches"] += stats.get("batches", 0)
+        batching["batched_requests"] += stats.get("batched_requests", 0)
+        batching["max_batch"] = max(batching["max_batch"], stats.get("max_batch", 0))
+        request_log_records += (health.get("request_log") or {}).get("records", 0)
+        per_worker.append(
+            {
+                "worker": health.get("worker"),
+                "alive": True,
+                "balanced": worker_balanced,
+                "gateway": gateway,
+                "batching": stats,
+                "uptime_s": health.get("uptime_s"),
+            }
+        )
+    return {
+        "aggregate": True,
+        "cluster_size": len(workers),
+        "workers_alive": alive,
+        "gateway": merged_counters,
+        "batching": batching,
+        "request_log_records": request_log_records,
+        "balanced": balanced,
+        "workers": per_worker,
+    }
+
+
+def probe_healthz(host: str, port: int, timeout: float = 5.0) -> dict:
+    """One blocking healthz round trip; raises ``OSError`` on transport
+    failure (callers decide whether a dead worker is an error)."""
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        stream = sock.makefile("rw", encoding="utf-8", newline="\n")
+        stream.write(json.dumps({"healthz": True}) + "\n")
+        stream.flush()
+        return json.loads(stream.readline())["healthz"]
 
 
 def _file_checksum(path: Path) -> str:
@@ -139,6 +308,7 @@ class ServeDaemon:
         self._reload_lock = threading.Lock()
         self._started = time.monotonic()
         self._server: asyncio.AbstractServer | None = None
+        self._control_server: asyncio.AbstractServer | None = None
         self._queue: asyncio.Queue | None = None
         self._batch_task: asyncio.Task | None = None
         self._watch_task: asyncio.Task | None = None
@@ -146,6 +316,23 @@ class ServeDaemon:
         self._deliveries: set = set()
         self._closing = False
         self.address: tuple[str, int] | None = None
+        self.control_address: tuple[str, int] | None = None
+        self.window = WindowController(
+            self.config.batch_window_ms if self.config.adaptive_window else 0.0,
+            self.config.max_batch,
+        )
+        if not self.config.adaptive_window:
+            # Controller disabled: run the configured window verbatim.
+            self.window.window_ms = self.config.batch_window_ms
+        self.gateway.batch_stats.window_ms = self.window.window_ms
+        self.request_log = (
+            RequestLog(self.config.request_log, worker=self.config.worker_id)
+            if self.config.request_log
+            else None
+        )
+        #: Sibling workers for aggregated healthz: (worker_id, host, port)
+        #: control addresses, installed by the supervisor's peer broadcast.
+        self._peers: tuple[tuple[int, str, int], ...] = ()
 
     def _build_replicas(self, artifact) -> tuple[PredictionEngine, ...]:
         """N engines over one immutable artifact — shared weights, shared
@@ -159,16 +346,32 @@ class ServeDaemon:
     # lifecycle
 
     async def start(self) -> None:
-        """Bind the socket and start the batch loop (and watcher, if any)."""
+        """Bind the socket(s) and start the batch loop (and watcher, if any).
+
+        With ``reuse_port`` the public listener joins an ``SO_REUSEPORT``
+        group — sibling worker processes bind the same ``host:port`` and
+        the kernel shards incoming connections across them.  With
+        ``bind_control`` a second, always-ephemeral listener serves the
+        same protocol for direct per-worker probes.
+        """
         self._queue = asyncio.Queue()
         self._batch_task = asyncio.ensure_future(self._batch_loop())
         if self.config.reload_poll_s is not None:
             self._watch_task = asyncio.ensure_future(self._watch_registry())
         self._server = await asyncio.start_server(
-            self._handle_connection, self.config.host, self.config.port
+            self._handle_connection,
+            self.config.host,
+            self.config.port,
+            reuse_port=self.config.reuse_port or None,
         )
         sockname = self._server.sockets[0].getsockname()
         self.address = (sockname[0], sockname[1])
+        if self.config.bind_control:
+            self._control_server = await asyncio.start_server(
+                self._handle_connection, self.config.host, 0
+            )
+            control_name = self._control_server.sockets[0].getsockname()
+            self.control_address = (control_name[0], control_name[1])
 
     async def stop(self) -> None:
         """Drain-shaped shutdown: no request admitted before the sockets
@@ -176,6 +379,9 @@ class ServeDaemon:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._control_server is not None:
+            self._control_server.close()
+            await self._control_server.wait_closed()
         if self._watch_task is not None:
             self._watch_task.cancel()
             with contextlib.suppress(asyncio.CancelledError):
@@ -201,6 +407,12 @@ class ServeDaemon:
             task.cancel()
         if self._connections:
             await asyncio.gather(*tuple(self._connections), return_exceptions=True)
+        if self.request_log is not None:
+            # Every response has been delivered (and therefore recorded);
+            # sealing here flushes the writer's backlog to disk.
+            await asyncio.get_event_loop().run_in_executor(
+                None, self.request_log.close
+            )
 
     # ------------------------------------------------------------------
     # hot reload
@@ -265,6 +477,8 @@ class ServeDaemon:
             "ok": True,
             "healthz": {
                 "uptime_s": round(time.monotonic() - self._started, 3),
+                "worker": self.config.worker_id,
+                "pid": os.getpid(),
                 "artifact": {
                     "path": str(self.loaded.path),
                     "checksum": self.checksum,
@@ -285,9 +499,72 @@ class ServeDaemon:
                     "mean_batch": round(stats.mean_batch(), 3),
                     "window_ms": self.config.batch_window_ms,
                     "max_batch_limit": self.config.max_batch,
+                    "adaptive": self.window.stats(),
                 },
                 "replicas": len(self.gateway.replicas),
+                "cluster_peers": len(self._peers),
+                "request_log": (
+                    self.request_log.stats() if self.request_log is not None else None
+                ),
             },
+        }
+
+    def set_peers(self, peers) -> int:
+        """Install the sibling-worker control addresses used by
+        aggregated healthz; returns how many are now known.  The
+        supervisor broadcasts this after startup and after every worker
+        restart (a restarted worker binds a fresh control port)."""
+        self._peers = tuple(
+            (int(worker_id), str(host), int(port)) for worker_id, host, port in peers
+        )
+        return len(self._peers)
+
+    def _gather_cluster_health(self) -> dict:
+        """Blocking fan-out: probe every peer's control listener, merge.
+
+        Runs on an executor thread so the event loop keeps accepting
+        while probes are in flight.  This worker answers for itself
+        locally (no self-connection); a peer that cannot be reached is
+        reported ``alive: False`` rather than hiding the hole.
+        """
+        own = self.healthz()["healthz"]
+        if not self._peers:
+            return merge_worker_health([own])
+        workers = []
+        for worker_id, host, port in self._peers:
+            if worker_id == self.config.worker_id:
+                workers.append(own)
+                continue
+            try:
+                workers.append(probe_healthz(host, port))
+            except (OSError, ValueError, KeyError):
+                workers.append({"worker": worker_id, "alive": False})
+        return merge_worker_health(workers)
+
+    async def aggregate_healthz(self) -> dict:
+        merged = await asyncio.get_event_loop().run_in_executor(
+            None, self._gather_cluster_health
+        )
+        return {"ok": True, "healthz": merged}
+
+    def _log_entry(self, token, response: dict) -> dict:
+        """One served-request log record (see :mod:`repro.serve.requestlog`
+        for the field contract)."""
+        request = token.request if isinstance(token.request, dict) else {}
+        ok = bool(response.get("ok"))
+        return {
+            "ts": round(time.time(), 6),
+            "worker": self.config.worker_id,
+            "id": token.request_id,
+            "classifier": response.get(
+                "classifier", request.get("classifier", self.config.classifier)
+            ),
+            "features_sha256": features_checksum(request),
+            "ok": ok,
+            "factor": response.get("factor"),
+            "confidence": response.get("confidence"),
+            "error_type": None if ok else response.get("error", {}).get("type"),
+            "latency_ms": round((time.monotonic() - token.enqueued) * 1e3, 3),
         }
 
     # ------------------------------------------------------------------
@@ -297,8 +574,13 @@ class ServeDaemon:
         """Pull admitted tokens off the shared queue; coalesce arrivals
         within ``batch_window_ms`` (up to ``max_batch``) into one gateway
         batch.  A ``None`` sentinel — queued behind all remaining tokens at
-        shutdown — ends the loop once everything before it has executed."""
-        window_s = self.config.batch_window_ms / 1e3
+        shutdown — ends the loop once everything before it has executed.
+
+        The coalescing window is re-read from the latency-aware
+        :class:`WindowController` for every batch: a trickle shrinks it
+        toward zero (responses leave as fast as the engine answers), a
+        flood grows it back toward the configured ceiling (batches fill
+        and the vectorized path earns its keep)."""
         loop = asyncio.get_event_loop()
         while True:
             token = await self._queue.get()
@@ -306,7 +588,7 @@ class ServeDaemon:
                 self._flush_queue([])
                 return
             batch = [token]
-            deadline = loop.time() + window_s
+            deadline = loop.time() + self.window.window_ms / 1e3
             closing = False
             while len(batch) < self.config.max_batch:
                 remaining = deadline - loop.time()
@@ -334,6 +616,11 @@ class ServeDaemon:
                 self._flush_queue(batch)
                 return
             self.gateway.execute_batch(batch)
+            self.window.observe(len(batch), self._queue.qsize())
+            stats = self.gateway.batch_stats
+            stats.window_ms = self.window.window_ms
+            stats.window_shrinks = self.window.shrinks
+            stats.window_grows = self.window.grows
 
     def _flush_queue(self, batch: list) -> None:
         """Sentinel seen: execute the final batch plus any tokens still on
@@ -368,9 +655,14 @@ class ServeDaemon:
                 writer.write((json.dumps(response) + "\n").encode("utf-8"))
                 await writer.drain()
 
-        async def deliver(future) -> None:
+        async def deliver(future, token=None) -> None:
+            response = await asyncio.wrap_future(future)
+            if self.request_log is not None and token is not None:
+                # Enqueue-only (the log's writer thread does the I/O):
+                # the response is not delayed by logging it.
+                self.request_log.record(self._log_entry(token, response))
             with contextlib.suppress(ConnectionError):
-                await write_response(await asyncio.wrap_future(future))
+                await write_response(response)
 
         try:
             while True:
@@ -385,7 +677,33 @@ class ServeDaemon:
                 except json.JSONDecodeError as error:
                     request = _InvalidLine(str(error))
                 if isinstance(request, dict) and request.get("healthz"):
-                    await write_response({**self.healthz(), "id": request.get("id")})
+                    if request.get("aggregate"):
+                        merged = await self.aggregate_healthz()
+                        await write_response({**merged, "id": request.get("id")})
+                    else:
+                        await write_response(
+                            {**self.healthz(), "id": request.get("id")}
+                        )
+                    continue
+                if isinstance(request, dict) and "cluster_peers" in request:
+                    # Supervisor control-plane: install sibling control
+                    # addresses for aggregated healthz.  Answered inline,
+                    # never queued — peer updates must land even while the
+                    # serve queue is saturated.
+                    try:
+                        count = self.set_peers(request["cluster_peers"])
+                    except (TypeError, ValueError) as error:
+                        await write_response(
+                            error_response(
+                                request.get("id"),
+                                ERROR_INVALID_JSON,
+                                f"malformed cluster_peers: {error}",
+                            )
+                        )
+                        continue
+                    await write_response(
+                        {"ok": True, "id": request.get("id"), "peers": count}
+                    )
                     continue
                 if self._closing:
                     # Shutdown has begun: the batch loop is (or is about to
@@ -404,7 +722,7 @@ class ServeDaemon:
                     await self._queue.put(token)
                 # Responses are written in completion order, matched to
                 # requests by id — a pipelining client must tag requests.
-                delivery = asyncio.ensure_future(deliver(token.future))
+                delivery = asyncio.ensure_future(deliver(token.future, token))
                 for registry in (deliveries, self._deliveries):
                     registry.add(delivery)
                     delivery.add_done_callback(registry.discard)

@@ -111,11 +111,22 @@ class GatewayCounters:
 
 @dataclasses.dataclass
 class BatchStats:
-    """Shape accounting for the batched execution path."""
+    """Shape accounting for the batched execution path.
+
+    The ``window_*`` fields mirror the daemon's latency-aware window
+    controller (see ``repro.serve.daemon.WindowController``): the window
+    it is currently running, and how many times it shrank toward zero
+    (under-full batches — latency wins) or grew back toward the
+    configured base (sustained queue depth — throughput wins).  They stay
+    zero for gateways driven without a daemon in front.
+    """
 
     batches: int = 0
     batched_requests: int = 0
     max_batch: int = 0
+    window_ms: float = 0.0
+    window_shrinks: int = 0
+    window_grows: int = 0
 
     def record(self, size: int) -> None:
         self.batches += 1

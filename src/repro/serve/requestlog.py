@@ -1,0 +1,162 @@
+"""The served-request log: every prediction, durably, off the hot path.
+
+The ROADMAP's closed-loop story starts here: retraining on real traffic
+needs a record of what was served — which features, which classifier,
+what the model answered and how sure it was.  :class:`RequestLog` appends
+one JSON object per response to a log file without ever making a client
+wait for the disk:
+
+* **Off the hot path.**  ``record()`` only enqueues (an unbounded
+  in-process queue, O(1), no I/O, no locks shared with the serve path);
+  a dedicated writer thread drains the queue and performs the actual
+  writes.
+* **Atomic line flushes.**  The file is opened ``O_APPEND`` and the
+  writer emits only complete, newline-terminated lines per ``os.write``
+  call.  POSIX append-mode writes are atomic for these sizes, so many
+  daemon *processes* (the multi-process serve tier) can share one log
+  path: lines interleave, they never tear.
+* **Buffered.**  The writer drains whatever has accumulated into a
+  single ``write`` — under load, hundreds of records cost one syscall.
+
+Records carry: ``ts`` (epoch seconds), ``worker`` (the serving worker's
+id, ``null`` for a single-process daemon), ``id`` (the client's request
+id), ``classifier``, ``features_sha256`` (checksum of the request's
+feature vector or loop source — the dedup/drift key for the closed
+loop), ``ok``, ``factor``, ``confidence`` (ensemble requests), an
+``error_type`` for non-ok responses, and ``latency_ms`` measured from
+gateway admission to response delivery.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import queue
+import threading
+from pathlib import Path
+
+_CLOSE = object()
+
+
+def features_checksum(request) -> str | None:
+    """The closed-loop dedup key: SHA-256 over the request's payload.
+
+    Feature vectors hash their canonical JSON (so a replayed request with
+    the same numbers collides regardless of client formatting); source
+    requests hash the loop text.  Requests with neither — malformed lines,
+    admin probes — have no checksum.
+    """
+    if not isinstance(request, dict):
+        return None
+    payload = request.get("features")
+    if payload is None:
+        payload = request.get("source")
+    if payload is None:
+        return None
+    try:
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError):
+        canonical = repr(payload)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class RequestLog:
+    """Append-mode JSON-lines log with a buffered background writer.
+
+    ``record(entry)`` never blocks and never raises into the serve path;
+    ``close()`` drains everything recorded so far, so a drain-shaped
+    daemon shutdown loses no lines.  ``records`` counts what has been
+    durably written (not merely enqueued) — ``healthz`` reports it.
+    """
+
+    def __init__(self, path: str | Path, worker: int | None = None):
+        self.path = Path(path)
+        self.worker = worker
+        self.records = 0
+        self.write_errors = 0
+        self._queue: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._fd = os.open(
+            self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        self._closed = False
+        self._writer = threading.Thread(
+            target=self._drain, name="request-log-writer", daemon=True
+        )
+        self._writer.start()
+
+    # ------------------------------------------------------------------
+
+    def record(self, entry: dict) -> None:
+        """Enqueue one record; the hot path pays for a queue put, nothing
+        else.  Records arriving after ``close()`` are dropped silently —
+        the log is already sealed."""
+        if self._closed:
+            return
+        self._queue.put(entry)
+
+    def close(self) -> None:
+        """Seal the log: flush every record enqueued so far, then close
+        the file.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(_CLOSE)
+        self._writer.join(timeout=30)
+        os.close(self._fd)
+
+    # ------------------------------------------------------------------
+
+    def _drain(self) -> None:
+        """Writer thread: batch whatever has accumulated into one append.
+
+        Each ``os.write`` carries only whole ``\\n``-terminated lines, so
+        concurrent writers on the same path interleave at line
+        granularity (O_APPEND atomicity) — never mid-record.
+        """
+        while True:
+            entry = self._queue.get()
+            closing = entry is _CLOSE
+            batch = [] if closing else [entry]
+            # Sweep the backlog: one syscall per burst, not per record.
+            while True:
+                try:
+                    extra = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if extra is _CLOSE:
+                    closing = True
+                    break
+                batch.append(extra)
+            if batch:
+                lines = "".join(
+                    json.dumps(entry, sort_keys=True) + "\n" for entry in batch
+                )
+                try:
+                    os.write(self._fd, lines.encode("utf-8"))
+                    self.records += len(batch)
+                except OSError:
+                    # A full disk must not take the serve path down with
+                    # it; count the loss so healthz can surface it.
+                    self.write_errors += len(batch)
+            if closing:
+                return
+
+    def stats(self) -> dict:
+        return {
+            "path": str(self.path),
+            "records": self.records,
+            "write_errors": self.write_errors,
+        }
+
+
+def read_request_log(path: str | Path) -> list[dict]:
+    """Parse a request log back into records (the retraining side's entry
+    point; also what the tests assert against)."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

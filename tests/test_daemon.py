@@ -82,9 +82,23 @@ def _run(store, config=None, **kwargs):
     return BackgroundDaemon(daemon)
 
 
-class TestProtocol:
+class DaemonHarness:
+    """The server factory behind the wire-protocol tests.
+
+    ``self._run(store, ...)`` yields a server object exposing at least
+    ``address`` (and for the classes below, ``gateway.counters``).  The
+    multi-process suite subclasses the test classes with a harness whose
+    ``_run`` points the same tests at a running worker cluster instead —
+    same wire contract, different server shape.
+    """
+
+    def _run(self, store, config=None, **kwargs):
+        return _run(store, config, **kwargs)
+
+
+class TestProtocol(DaemonHarness):
     def test_feature_request_round_trip(self, store, dataset):
-        with _run(store) as daemon:
+        with self._run(store) as daemon:
             client = _Client(daemon.address)
             response = client.ask({"id": 1, "features": _features(dataset)})
             client.close()
@@ -93,7 +107,7 @@ class TestProtocol:
         assert 1 <= response["factor"] <= 8
 
     def test_error_taxonomy_over_the_wire(self, store, dataset):
-        with _run(store) as daemon:
+        with self._run(store) as daemon:
             client = _Client(daemon.address)
             client.send_raw("{torn json")
             invalid = client.recv()
@@ -106,7 +120,7 @@ class TestProtocol:
         assert bad["id"] == 2
 
     def test_blank_lines_are_skipped(self, store, dataset):
-        with _run(store) as daemon:
+        with self._run(store) as daemon:
             client = _Client(daemon.address)
             client.send_raw("")
             response = client.ask({"id": 3, "features": _features(dataset)})
@@ -115,7 +129,7 @@ class TestProtocol:
 
     def test_pipelined_requests_all_answered(self, store, dataset):
         n = 40
-        with _run(store) as daemon:
+        with self._run(store) as daemon:
             client = _Client(daemon.address)
             for i in range(n):
                 client.send({"id": i, "features": _features(dataset, i % 40)})
@@ -201,12 +215,12 @@ class TestMicroBatching:
         assert daemon.gateway.counters.balanced()
 
 
-class TestClassifierFamilies:
+class TestClassifierFamilies(DaemonHarness):
     """The multi-family wire contract: every classifier — the calibrated
     ensemble included — is addressable per request over the socket."""
 
     def test_ensemble_request_carries_confidence_and_votes(self, store, dataset):
-        with _run(store) as daemon:
+        with self._run(store) as daemon:
             client = _Client(daemon.address)
             response = client.ask(
                 {"id": 1, "classifier": "ensemble", "features": _features(dataset)}
@@ -221,7 +235,7 @@ class TestClassifierFamilies:
             assert 1 <= factor <= 8
 
     def test_every_family_answers_over_the_wire(self, store, dataset):
-        with _run(store) as daemon:
+        with self._run(store) as daemon:
             client = _Client(daemon.address)
             responses = {
                 name: client.ask(
@@ -241,7 +255,7 @@ class TestClassifierFamilies:
         equals the per-request answer."""
         names = ("nn", "svm", "mlp", "forest", "ensemble")
         n = 30
-        with _run(store, batch_window_ms=5.0, max_batch=32) as daemon:
+        with self._run(store, batch_window_ms=5.0, max_batch=32) as daemon:
             client = _Client(daemon.address)
             scalar = {
                 name: client.ask(
@@ -271,7 +285,7 @@ class TestClassifierFamilies:
         assert daemon.gateway.counters.balanced()
 
     def test_unknown_family_is_a_typed_error_over_the_wire(self, store, dataset):
-        with _run(store) as daemon:
+        with self._run(store) as daemon:
             client = _Client(daemon.address)
             response = client.ask(
                 {"id": 9, "classifier": "xgboost", "features": _features(dataset)}

@@ -10,6 +10,7 @@ numbers, not merely approximate them.
 
 import dataclasses
 import json
+import pathlib
 
 import numpy as np
 import pytest
@@ -328,3 +329,28 @@ class TestBenchReport:
     def test_summary_mentions_every_stage(self):
         summary = self._report().summary()
         assert "measure" in summary and "speedup" in summary
+
+
+class TestCheckedInReport:
+    """The repo's newest ``BENCH_<date>.json`` must keep pace with the
+    code: a schema bump without a regenerated report means the checked-in
+    perf data no longer describes what the bench measures."""
+
+    def _latest(self):
+        root = pathlib.Path(__file__).resolve().parent.parent
+        reports = sorted(root.glob("BENCH_*.json"))
+        assert reports, "no checked-in BENCH_<date>.json report"
+        return json.loads(reports[-1].read_text())
+
+    def test_latest_report_is_at_current_schema(self):
+        assert self._latest()["bench_schema_version"] == BENCH_SCHEMA_VERSION
+
+    def test_latest_report_has_multiproc_stage(self):
+        payload = self._latest()
+        stages = {s["stage"]: s for s in payload["stages"]}
+        assert "multiproc" in stages
+        detail = stages["multiproc"]["detail"]
+        assert detail["predictions_match"] is True
+        assert detail["balanced"] is True
+        assert detail["cpus"] >= 1
+        assert set(map(int, detail["runs"])) == set(detail["worker_counts"])
