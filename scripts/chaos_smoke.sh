@@ -4,14 +4,18 @@
 #
 #   PYTHONPATH=src bash scripts/chaos_smoke.sh
 #
-# Six scenarios, each a hard gate (set -e): a worker kill must fall back
+# Seven scenarios, each a hard gate (set -e): a worker kill must fall back
 # to serial and still produce a table; a kill at a checkpoint must resume;
 # a corrupted cache entry must self-heal; a bit-flipped model artifact
 # must be quarantined and served from the registry's last good; a serve
 # daemon killed -9 under concurrent clients must leave every client with
 # typed responses only (no hangs, no untyped crashes) and come back clean;
 # a multi-process cluster must survive a worker kill -9 — survivors keep
-# answering while the supervisor respawns the dead slot.
+# answering while the supervisor respawns the dead slot; and the closed
+# lifecycle loop (drift scan over the rotated request log, retrain,
+# canary, promotion) must survive a kill at a checkpoint, resume
+# bit-identically, and end in a promotion the live cluster hot-reloads —
+# or a clean rollback to last-good — with balanced healthz either way.
 set -euo pipefail
 
 export REPRO_CACHE_DIR="$(mktemp -d)"
@@ -201,5 +205,123 @@ assert all(r["features_sha256"] for r in records if r["ok"])
 print(f"request log: {len(records)} records from workers "
       f"{sorted({r['worker'] for r in records})}")
 EOF
+
+echo "== 7. closed lifecycle loop: kill at a checkpoint, resume, promote =="
+# A 2-worker cluster writes a size-rotated request log; traffic drifts
+# (the chaos client's constant feature vectors are nothing like the
+# training distribution), the lifecycle run is shot at a checkpoint via
+# the fault plan, and the resumed run must carry the loop to a terminal
+# outcome: promotion (picked up by the live cluster's hot-reload
+# watcher) or a clean rollback to last-good.  Never a torn registry.
+python -m repro train "${SCALE[@]}" --out "$REPRO_ARTIFACT_DIR/model_base.rma" >/dev/null
+LIFECYCLE_LOG="$WORK/lifecycle_requests.jsonl"
+python -m repro serve --model "$REPRO_ARTIFACT_DIR/model_base.rma" \
+  --listen 127.0.0.1:0 --workers 2 --reload-poll-s 0.2 \
+  --request-log "$LIFECYCLE_LOG" --request-log-max-bytes 20000 \
+  >"$WORK/lifecycle.out" 2>"$WORK/lifecycle.err" &
+DAEMON_PID=$!
+for _ in $(seq 1 300); do
+  grep -q "daemon listening on" "$WORK/lifecycle.out" 2>/dev/null && break
+  sleep 0.2
+done
+grep -q "daemon listening on" "$WORK/lifecycle.out"
+PORT=$(sed -n 's/.*daemon listening on .*:\([0-9]*\) workers=.*/\1/p' "$WORK/lifecycle.out")
+for _ in $(seq 1 300); do
+  test "$(grep -c " ready on " "$WORK/lifecycle.out" 2>/dev/null)" -ge 2 && break
+  sleep 0.2
+done
+echo "lifecycle cluster up on port $PORT"
+python scripts/daemon_chaos_client.py 127.0.0.1 "$PORT" 200
+
+# The log writer batches; wait for every served request to land, walking
+# the rotated segment chain the same way the lifecycle replay will.
+python - "$LIFECYCLE_LOG" <<'EOF'
+import sys, time
+from repro.serve import iter_request_log
+deadline = time.time() + 30
+while True:
+    n = sum(1 for _ in iter_request_log(sys.argv[1]))
+    if n >= 200 or time.time() > deadline:
+        break
+    time.sleep(0.2)
+assert n >= 200, f"request log drained only {n}/200 records"
+print(f"request log drained: {n} records")
+EOF
+test -f "$LIFECYCLE_LOG.1"  # 200 records at 20 KB/segment must rotate
+
+# Kill the lifecycle run at its 4th checkpoint: replay, drift, retrain
+# and the canary verdict are committed, the promotion never starts.
+rc=0
+out=$(python -m repro lifecycle run "${SCALE[@]}" --log "$LIFECYCLE_LOG" \
+  --force --window 16 \
+  --fault-plan '{"rules": [{"op": "run.abort", "skip": 3}]}') || rc=$?
+echo "$out"
+test "$rc" -eq 3
+out=$(python -m repro lifecycle status)
+echo "$out"
+grep -q '"in_progress": true' <<<"$out"
+
+out=$(python -m repro lifecycle run "${SCALE[@]}" --log "$LIFECYCLE_LOG" \
+  --force --window 16 --resume)
+echo "$out"
+grep -q "resuming from" <<<"$out"
+outcome=$(sed -n 's/^lifecycle outcome: //p' <<<"$out")
+case "$outcome" in
+  promoted|rolled-back) echo "lifecycle terminal outcome: $outcome" ;;
+  *) echo "unexpected lifecycle outcome: '$outcome'"; exit 1 ;;
+esac
+# Terminal outcome: the journal is consumed and the registry is whole.
+test ! -f "$REPRO_ARTIFACT_DIR/lifecycle_base.journal.jsonl"
+test -f "$REPRO_ARTIFACT_DIR/model_base.rma"
+test ! -f "$REPRO_ARTIFACT_DIR/model_base.rma.staged"
+
+if [ "$outcome" = "promoted" ]; then
+  test -f "$REPRO_ARTIFACT_DIR/model_base.rma.lastgood"
+  checksum12=$(sed -n 's/^promoted \([0-9a-f]*\) over.*/\1/p' <<<"$out")
+  test -n "$checksum12"
+  # Both workers hot-reload the promoted artifact with zero downtime.
+  python - 127.0.0.1 "$PORT" "$checksum12" <<'EOF'
+import json, socket, sys, time
+deadline = time.time() + 30
+seen = set()
+while time.time() < deadline and len(seen) < 2:
+    with socket.create_connection((sys.argv[1], int(sys.argv[2])), timeout=15) as sock:
+        stream = sock.makefile("rw", encoding="utf-8", newline="\n")
+        stream.write(json.dumps({"healthz": True}) + "\n")
+        stream.flush()
+        health = json.loads(stream.readline())["healthz"]
+    if health["artifact"]["checksum"].startswith(sys.argv[3]):
+        seen.add(health["worker"])
+    else:
+        time.sleep(0.2)
+assert len(seen) == 2, f"workers serving the promotion: {sorted(seen)}"
+print(f"hot reload: workers {sorted(seen)} now serve {sys.argv[3]}")
+EOF
+fi
+
+# The cluster survived the whole loop: fresh traffic is all typed, both
+# workers are alive, and the aggregated counters balance.
+python scripts/daemon_chaos_client.py 127.0.0.1 "$PORT" 100
+python - 127.0.0.1 "$PORT" <<'EOF'
+import json, socket, sys
+with socket.create_connection((sys.argv[1], int(sys.argv[2])), timeout=15) as sock:
+    stream = sock.makefile("rw", encoding="utf-8", newline="\n")
+    stream.write(json.dumps({"healthz": True, "aggregate": True}) + "\n")
+    stream.flush()
+    health = json.loads(stream.readline())["healthz"]
+assert health["workers_alive"] == 2, health
+assert health["balanced"] is True, health
+assert health["gateway"]["admitted"] >= 300, health["gateway"]
+# The log writer is asynchronous: the first 200 records were drained
+# above, the last 100 may still be queued at probe time.
+assert health["request_log_bytes"] > 0, health
+assert health["request_log_records"] >= 200, health
+print(f"aggregate healthz: {health['workers_alive']}/{health['cluster_size']} alive, "
+      f"{health['gateway']['admitted']} admitted, balanced={health['balanced']}, "
+      f"request log {health['request_log_records']} records / "
+      f"{health['request_log_bytes']} bytes")
+EOF
+kill "$DAEMON_PID" && wait "$DAEMON_PID" || true
+DAEMON_PID=""
 
 echo "chaos smoke: all scenarios recovered"

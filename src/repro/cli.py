@@ -20,6 +20,14 @@ Subcommands map one-to-one onto the paper's artefacts:
   ``--resume`` continues a killed run bit-identically.  ``--dedup``
   measures one representative per content-addressed equivalence class and
   fans results back out, bit-identical to a full run.
+* ``lifecycle`` — the closed loop over a serving fleet: replay the
+  request log for drift (confidence, vote entropy, feature shift vs the
+  training fingerprint), measure flagged loops through the resilient
+  queue, retrain, canary-gate against the incumbent, atomically promote
+  (two-phase, journal-backed — a crash leaves old or new bytes, never
+  torn), and shadow-check with automatic rollback.  ``status`` inspects
+  the registry slots and any in-progress journal; the serve daemon's
+  ``--lifecycle-poll-s`` runs the same loop in-process.
 * ``export`` — dump the raw loop data in the release format.
 * ``cache`` — inspect or prune the measurement cache (stats/gc/clear).
 * ``bench`` — time the measure/dedup/label/select/serve stages against the
@@ -413,6 +421,7 @@ def cmd_serve(args) -> int:
             reload_poll_s=args.reload_poll_s,
             classifier=args.classifier,
             request_log=args.request_log,
+            request_log_max_bytes=args.request_log_max_bytes,
         )
         workers = args.workers if args.workers is not None else 1
         if workers > 1:
@@ -431,7 +440,17 @@ def cmd_serve(args) -> int:
                 f"instead of {args.model} ({'; '.join(daemon.loaded.failures)})",
                 file=sys.stderr,
             )
-        daemon.run()
+        poller = None
+        if args.lifecycle_poll_s:
+            poller = _make_lifecycle_poller(args, daemon.loaded.artifact)
+            if poller is None:
+                return 2
+            poller.start()
+        try:
+            daemon.run()
+        finally:
+            if poller is not None:
+                poller.stop()
         print(daemon.gateway.counters.summary(), file=sys.stderr)
         return 0
     try:
@@ -507,13 +526,66 @@ def _serve_cluster(args, host, port, workers, config) -> int:
         ClusterConfig(workers=workers, host=host, port=port, daemon=config),
     )
     cluster.on_event = print
+    poller = None
+    if args.lifecycle_poll_s:
+        poller = _make_lifecycle_poller(args, loaded.artifact)
+        if poller is None:
+            return 2
+        poller.start()
     try:
         cluster.run()
     except WorkerStartupError as error:
         print(f"cannot serve: {error}")
         return 2
+    finally:
+        if poller is not None:
+            poller.stop()
     print(f"cluster stopped: {cluster.restarts} worker restart(s)", file=sys.stderr)
     return 0
+
+
+def _make_lifecycle_poller(args, artifact):
+    """Build the daemon-adjacent lifecycle poller for ``--lifecycle-poll-s``.
+
+    Retrain knobs come from the incumbent's provenance so the loop
+    regenerates the same base dataset the served model was trained on.
+    Returns ``None`` (with a diagnostic printed) when the serve flags
+    cannot support a lifecycle."""
+    from pathlib import Path
+
+    from repro.lifecycle import LifecycleConfig, LifecyclePoller
+    from repro.registry import ArtifactStore
+
+    if not args.request_log:
+        print(
+            "--lifecycle-poll-s requires --request-log "
+            "(the drift scanner replays it)"
+        )
+        return None
+    model_path = Path(args.model)
+    name = model_path.name
+    prefix, suffix = ArtifactStore.PREFIX, ArtifactStore.SUFFIX
+    if not (name.startswith(prefix) and name.endswith(suffix)):
+        print(
+            f"--lifecycle-poll-s requires a registry artifact path "
+            f"({prefix}<name>{suffix}) so promotions land where the "
+            f"hot-reload watcher looks; got {name}"
+        )
+        return None
+    model = name[len(prefix) : -len(suffix)]
+    provenance = getattr(artifact, "provenance", None) or {}
+    seed = int(provenance.get("suite_seed", 20050320))
+    scale = float(provenance.get("loops_scale", 1.0))
+    swp = bool(provenance.get("swp", False))
+    config = LifecycleConfig(
+        log_path=args.request_log, model=model, swp=swp, seed=seed
+    )
+    return LifecyclePoller(
+        config,
+        ArtifactStore(model_path.parent),
+        _lifecycle_train_fn(seed, scale, swp, None),
+        interval_s=args.lifecycle_poll_s,
+    )
 
 
 def _install_fault_plan_arg(args) -> None:
@@ -597,6 +669,148 @@ def cmd_measure(args) -> int:
     path = store.store(key, table)
     journal.discard()  # the run is durable in the cache now
     print(f"measured {len(table)} loops; wrote table {key} to {path}")
+    return 0
+
+
+def _lifecycle_train_fn(seed, scale, swp, jobs):
+    """The default retrain stage: rebuild the (cached) pipeline dataset,
+    augment it with the lifecycle's measured loops, and train a full
+    artifact.  Deterministic for fixed inputs — resume relies on it."""
+
+    def train_fn(measured_rows):
+        from repro.lifecycle import augment_dataset
+        from repro.ml import selected_feature_union
+        from repro.pipeline import build_artifacts
+        from repro.registry import train_model_artifact
+
+        artifacts = build_artifacts(
+            suite_seed=seed, loops_scale=scale, swp=swp, jobs=jobs
+        )
+        dataset = augment_dataset(artifacts.dataset, measured_rows)
+        indices = selected_feature_union(dataset.X, dataset.labels, subsample=500)
+        return train_model_artifact(
+            dataset,
+            feature_indices=indices,
+            provenance={
+                "suite_seed": seed,
+                "loops_scale": scale,
+                "swp": swp,
+                "lifecycle": True,
+                "n_measured": len(measured_rows),
+            },
+        )
+
+    return train_fn
+
+
+def cmd_lifecycle(args) -> int:
+    """The closed loop: drift scan over the request log, resilient
+    measurement of flagged loops, retrain, canary gate, atomic promotion,
+    and the post-promotion shadow check — all checkpointed so ``--resume``
+    continues a killed run bit-identically."""
+    import json
+    from pathlib import Path
+
+    from repro.lifecycle import (
+        CanaryConfig,
+        DriftConfig,
+        LifecycleConfig,
+        default_journal_path,
+        lifecycle_status,
+        run_lifecycle,
+    )
+    from repro.registry import ArtifactError, ArtifactStore
+    from repro.resilience import (
+        AbortRun,
+        JournalError,
+        ResilienceConfig,
+        RetryPolicy,
+    )
+
+    store = ArtifactStore(args.artifact_dir)
+    if args.action == "status":
+        print(
+            json.dumps(
+                lifecycle_status(store, args.model, args.journal),
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+
+    if not args.log:
+        print("lifecycle run requires --log (the served-request log to replay)")
+        return 2
+    _install_fault_plan_arg(args)
+    config = LifecycleConfig(
+        log_path=args.log,
+        model=args.model,
+        journal_path=args.journal,
+        drift=DriftConfig(window=args.window),
+        canary=CanaryConfig(min_family_agreement=args.min_family_agreement),
+        force=args.force,
+        skip_canary=args.skip_canary,
+        jobs=args.jobs or 1,
+        swp=args.swp,
+        seed=args.seed,
+        resilience=ResilienceConfig(
+            retry=RetryPolicy(max_attempts=args.max_attempts)
+        ),
+    )
+    journal_path = Path(
+        args.journal or default_journal_path(store, args.model)
+    )
+    if args.resume and journal_path.exists():
+        print(f"resuming from {journal_path}")
+    train_fn = _lifecycle_train_fn(args.seed, args.scale, args.swp, args.jobs)
+    try:
+        result = run_lifecycle(config, store, train_fn, resume=args.resume)
+    except JournalError as error:
+        print(f"cannot resume: {error}")
+        return 2
+    except ArtifactError as error:
+        print(f"lifecycle failed: {error}")
+        return 2
+    except AbortRun as error:
+        print(
+            f"run aborted: {error}; continue with "
+            f"'repro-unroll lifecycle run --resume'"
+        )
+        return 3
+
+    drift = result.drift
+    drifted = sum(1 for window in drift.windows if window.drifted)
+    print(
+        f"drift: {drifted}/{len(drift.windows)} window(s) drifted "
+        f"({drift.n_replayable} replayable record(s), "
+        f"{len(drift.flagged)} flagged)"
+    )
+    if result.measured:
+        print(f"measured {len(result.measured)} flagged loop(s)")
+    if result.canary is not None:
+        verdict = "accepted" if result.canary.accepted else "rejected"
+        detail = (
+            f"candidate {result.canary.candidate_accuracy:.3f} vs "
+            f"incumbent {result.canary.incumbent_accuracy:.3f}"
+            if result.canary.candidate_accuracy is not None
+            else f"min family agreement {min(result.canary.family_agreement.values()):.3f}"
+            if result.canary.family_agreement
+            else "empty replay"
+        )
+        print(f"canary: {verdict} ({detail})")
+    if result.promotion is not None:
+        print(
+            f"promoted {result.promotion.candidate_checksum[:12]} "
+            f"over {str(result.promotion.previous_checksum)[:12]} "
+            f"at {result.promotion.live_path}"
+        )
+    if result.rollback is not None:
+        print(
+            f"rolled back to last-good {result.rollback['restored_checksum'][:12]} "
+            f"({result.rollback['reason']}); rejected bytes kept at "
+            f"{result.rollback['rejected']}"
+        )
+    print(f"lifecycle outcome: {result.outcome}")
     return 0
 
 
@@ -769,6 +983,25 @@ def main(argv=None) -> int:
         "to PATH, written off the hot path (default: no log)",
     )
     serve_parser.add_argument(
+        "--request-log-max-bytes",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="rotate the request log to PATH.1, PATH.2, ... once the live "
+        "file exceeds N bytes; rotation never tears a record "
+        "(default: no rotation)",
+    )
+    serve_parser.add_argument(
+        "--lifecycle-poll-s",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="daemon mode: run the closed lifecycle loop (drift scan over "
+        "--request-log, retrain, canary, atomic promote) every SECONDS; "
+        "requires --request-log and a registry-shaped --model path "
+        "(default: off)",
+    )
+    serve_parser.add_argument(
         "--input",
         default=None,
         help="read requests from a file instead of stdin",
@@ -869,6 +1102,82 @@ def main(argv=None) -> int:
         help="chaos-testing hook: inline JSON or a fault-plan file (never on by default)",
     )
     measure_parser.set_defaults(handler=cmd_measure)
+
+    lifecycle_parser = sub.add_parser(
+        "lifecycle",
+        help="closed-loop model maintenance: drift scan, retrain, canary "
+        "gate, atomic promotion, shadow check with rollback",
+    )
+    lifecycle_parser.add_argument("action", choices=("run", "status"))
+    _add_common(lifecycle_parser)
+    lifecycle_parser.add_argument(
+        "--log",
+        default=None,
+        metavar="PATH",
+        help="served-request log to replay (rotated .N segments are "
+        "walked oldest-first); required for 'run'",
+    )
+    lifecycle_parser.add_argument(
+        "--model",
+        default="base",
+        help="registry artifact name to maintain (default: base)",
+    )
+    lifecycle_parser.add_argument(
+        "--artifact-dir",
+        default=None,
+        help="registry root (default: $REPRO_ARTIFACT_DIR, else the "
+        "repo-local .artifacts/)",
+    )
+    lifecycle_parser.add_argument(
+        "--journal",
+        default=None,
+        help="lifecycle checkpoint journal path "
+        "(default: lifecycle_<model>.journal.jsonl in the registry root)",
+    )
+    lifecycle_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay the lifecycle journal and continue a killed run "
+        "bit-identically",
+    )
+    lifecycle_parser.add_argument(
+        "--force",
+        action="store_true",
+        help="run the retrain/canary/promote stages even when the drift "
+        "scan is clean",
+    )
+    lifecycle_parser.add_argument(
+        "--skip-canary",
+        action="store_true",
+        help="promote without the canary gate (shadow check still runs; "
+        "for break-glass operations only)",
+    )
+    lifecycle_parser.add_argument(
+        "--window",
+        type=_positive_int,
+        default=64,
+        help="drift-scan window size in replayed records (default: 64)",
+    )
+    lifecycle_parser.add_argument(
+        "--min-family-agreement",
+        type=float,
+        default=0.75,
+        help="canary: minimum per-family agreement with the incumbent "
+        "across the replay (default: 0.75)",
+    )
+    lifecycle_parser.add_argument(
+        "--max-attempts",
+        type=_positive_int,
+        default=3,
+        help="measurement attempts per flagged loop before quarantine "
+        "(default: 3)",
+    )
+    lifecycle_parser.add_argument(
+        "--fault-plan",
+        default=None,
+        help="chaos-testing hook: inline JSON or a fault-plan file (never on by default)",
+    )
+    lifecycle_parser.set_defaults(handler=cmd_lifecycle)
 
     bench_parser = sub.add_parser(
         "bench", help="time the pipeline stages and write BENCH_<date>.json"

@@ -1,0 +1,104 @@
+"""The closed loop: serve → drift → measure → retrain → canary → promote.
+
+The paper trains once and predicts forever; the ROADMAP's production
+serve tier cannot — traffic drifts away from the training distribution
+and the model decays.  This package turns the served-request log
+(:mod:`repro.serve.requestlog`) back into training signal as a
+supervised, failure-tolerant state machine:
+
+* :mod:`repro.lifecycle.drift` — replay the log, score each window's
+  confidence histogram, ensemble vote entropy, and feature-distribution
+  shift against the artifact's training fingerprint; flag drifted and
+  low-confidence loops.
+* :mod:`repro.lifecycle.runner` — the state machine itself: flagged
+  loops go through the resilient measurement queue (cost-model ground
+  truth, checkpoint journal, retries/quarantine), a candidate is
+  retrained, and every stage commits to the journal so ``kill -9``
+  anywhere resumes bit-identically.
+* :mod:`repro.lifecycle.canary` — the candidate must match-or-beat the
+  incumbent on a held-out replay (accuracy on measured loops, per-family
+  agreement everywhere) before touching the registry; after promotion a
+  shadow check replays recent traffic and triggers rollback on
+  regression.
+* :mod:`repro.lifecycle.promote` — the two-phase atomic registry write
+  (stage → snapshot last-good → ``os.replace`` flip) the serve daemon's
+  hot-reload watcher picks up with zero dropped requests, plus the
+  rollback inverse.
+
+Surfaced as ``repro lifecycle run|status`` and the serve daemon's
+``--lifecycle-poll-s`` mode.
+"""
+
+from repro.lifecycle.canary import (
+    UNLABELLED,
+    CanaryConfig,
+    CanaryVerdict,
+    ShadowConfig,
+    ShadowVerdict,
+    evaluate_canary,
+    evaluate_shadow,
+)
+from repro.lifecycle.drift import (
+    DriftConfig,
+    DriftReport,
+    WindowSignals,
+    replayable_records,
+    scan_drift,
+    vote_entropies,
+)
+from repro.lifecycle.promote import (
+    LASTGOOD_SUFFIX,
+    REJECTED_SUFFIX,
+    STAGED_SUFFIX,
+    PromotionResult,
+    file_checksum,
+    lastgood_path,
+    promote_artifact,
+    rejected_path,
+    rollback_artifact,
+    staged_path,
+)
+from repro.lifecycle.runner import (
+    LifecycleConfig,
+    LifecyclePoller,
+    LifecycleResult,
+    augment_dataset,
+    default_journal_path,
+    lifecycle_run_key,
+    lifecycle_status,
+    run_lifecycle,
+)
+
+__all__ = [
+    "LASTGOOD_SUFFIX",
+    "REJECTED_SUFFIX",
+    "STAGED_SUFFIX",
+    "UNLABELLED",
+    "CanaryConfig",
+    "CanaryVerdict",
+    "DriftConfig",
+    "DriftReport",
+    "LifecycleConfig",
+    "LifecyclePoller",
+    "LifecycleResult",
+    "PromotionResult",
+    "ShadowConfig",
+    "ShadowVerdict",
+    "WindowSignals",
+    "augment_dataset",
+    "default_journal_path",
+    "evaluate_canary",
+    "evaluate_shadow",
+    "file_checksum",
+    "lastgood_path",
+    "lifecycle_run_key",
+    "lifecycle_status",
+    "promote_artifact",
+    "rejected_path",
+    "replayable_records",
+    "rollback_artifact",
+    "run_lifecycle",
+    "scan_drift",
+    "staged_path",
+    "vote_entropies",
+]

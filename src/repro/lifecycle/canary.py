@@ -1,0 +1,253 @@
+"""Canary gate and post-promotion shadow check.
+
+Both stages answer the same question — *is the candidate at least as good
+as what we are serving?* — against a replay of logged traffic, but at
+different points in the lifecycle and with different failure actions:
+
+* The **canary** runs *before* promotion.  On the held-out labelled rows
+  (ground truth from the measurement queue's cost-model sweeps) the
+  candidate must match-or-beat the incumbent's accuracy; across the whole
+  replay every predictor family must agree with its incumbent counterpart
+  at least ``min_family_agreement`` of the time (a retrain that flips the
+  committee wholesale is suspicious regardless of holdout accuracy).  A
+  failed canary rejects the candidate — the registry never changes.
+* The **shadow check** runs *after* promotion, replaying the most recent
+  traffic against the promoted artifact with last-good as the reference.
+  A regression (labelled accuracy below the reference's, or ensemble
+  agreement with the reference collapsing) triggers automatic rollback.
+
+Verdicts serialise to JSON for the lifecycle journal, so a killed run
+resumes with the same decision it already made.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.registry import ARTIFACT_FAMILIES, ModelArtifact
+
+#: Label value meaning "no ground truth for this row".
+UNLABELLED = -1
+
+
+@dataclasses.dataclass(frozen=True)
+class CanaryConfig:
+    """Gate thresholds (see ``docs/operations.md`` for the runbook)."""
+
+    min_family_agreement: float = 0.75
+    min_labelled: int = 1  # fewer labelled rows than this: accuracy gate idles
+
+
+@dataclasses.dataclass(frozen=True)
+class ShadowConfig:
+    """Post-promotion regression detector thresholds."""
+
+    recent: int = 256  # newest replayable rows to shadow
+    min_agreement: float = 0.5  # promoted-vs-reference ensemble agreement
+    max_accuracy_drop: float = 0.0  # tolerated labelled-accuracy loss
+
+
+@dataclasses.dataclass(frozen=True)
+class CanaryVerdict:
+    """The gate's decision on a candidate: held-out accuracy vs the
+    incumbent, per-family agreement, and the reasons for a rejection.
+    JSON round-trips exactly so the journal can replay it on resume."""
+
+    n_rows: int
+    n_labelled: int
+    candidate_accuracy: float | None
+    incumbent_accuracy: float | None
+    family_agreement: dict
+    min_agreement: float
+    accepted: bool
+    reasons: tuple[str, ...]
+
+    def to_json(self) -> dict:
+        return {
+            "n_rows": self.n_rows,
+            "n_labelled": self.n_labelled,
+            "candidate_accuracy": self.candidate_accuracy,
+            "incumbent_accuracy": self.incumbent_accuracy,
+            "family_agreement": dict(self.family_agreement),
+            "min_agreement": self.min_agreement,
+            "accepted": self.accepted,
+            "reasons": list(self.reasons),
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "CanaryVerdict":
+        return cls(
+            n_rows=int(payload["n_rows"]),
+            n_labelled=int(payload["n_labelled"]),
+            candidate_accuracy=payload["candidate_accuracy"],
+            incumbent_accuracy=payload["incumbent_accuracy"],
+            family_agreement=dict(payload["family_agreement"]),
+            min_agreement=float(payload["min_agreement"]),
+            accepted=bool(payload["accepted"]),
+            reasons=tuple(payload["reasons"]),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ShadowVerdict:
+    """The post-promotion check's decision: did the promoted bytes
+    regress on recent traffic (agreement or labelled accuracy)?
+    JSON round-trips exactly so the journal can replay it on resume."""
+
+    n_rows: int
+    n_labelled: int
+    promoted_accuracy: float | None
+    reference_accuracy: float | None
+    agreement: float | None
+    regressed: bool
+    reasons: tuple[str, ...]
+
+    def to_json(self) -> dict:
+        return {
+            "n_rows": self.n_rows,
+            "n_labelled": self.n_labelled,
+            "promoted_accuracy": self.promoted_accuracy,
+            "reference_accuracy": self.reference_accuracy,
+            "agreement": self.agreement,
+            "regressed": self.regressed,
+            "reasons": list(self.reasons),
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "ShadowVerdict":
+        return cls(
+            n_rows=int(payload["n_rows"]),
+            n_labelled=int(payload["n_labelled"]),
+            promoted_accuracy=payload["promoted_accuracy"],
+            reference_accuracy=payload["reference_accuracy"],
+            agreement=payload["agreement"],
+            regressed=bool(payload["regressed"]),
+            reasons=tuple(payload["reasons"]),
+        )
+
+
+def _as_replay(X, labels):
+    X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+    if labels is None:
+        labels = np.full(len(X), UNLABELLED, dtype=np.int64)
+    else:
+        labels = np.asarray(labels, dtype=np.int64)
+    if len(labels) != len(X):
+        raise ValueError(
+            f"labels ({len(labels)}) must align with replay rows ({len(X)})"
+        )
+    return X, labels
+
+
+def _accuracy(predicted: np.ndarray, labels: np.ndarray) -> float:
+    return float((predicted == labels).mean())
+
+
+def evaluate_canary(
+    incumbent: ModelArtifact,
+    candidate: ModelArtifact,
+    X,
+    labels=None,
+    config: CanaryConfig = CanaryConfig(),
+) -> CanaryVerdict:
+    """Judge the candidate on a held-out replay (rows in full catalog
+    order; ``labels`` uses :data:`UNLABELLED` where ground truth is
+    unknown)."""
+    X, labels = _as_replay(X, labels)
+    if len(X) == 0:
+        # Nothing to judge against: refuse rather than promote blind.
+        return CanaryVerdict(
+            n_rows=0,
+            n_labelled=0,
+            candidate_accuracy=None,
+            incumbent_accuracy=None,
+            family_agreement={},
+            min_agreement=config.min_family_agreement,
+            accepted=False,
+            reasons=("empty-replay",),
+        )
+    agreement = {}
+    for family in ARTIFACT_FAMILIES:
+        ours = np.asarray(candidate.heuristic(family).predict_features(X))
+        theirs = np.asarray(incumbent.heuristic(family).predict_features(X))
+        agreement[family] = float((ours == theirs).mean())
+
+    labelled = labels != UNLABELLED
+    n_labelled = int(labelled.sum())
+    candidate_accuracy = incumbent_accuracy = None
+    reasons = []
+    if n_labelled >= config.min_labelled:
+        candidate_accuracy = _accuracy(
+            np.asarray(candidate.predict_features(X[labelled], "ensemble")),
+            labels[labelled],
+        )
+        incumbent_accuracy = _accuracy(
+            np.asarray(incumbent.predict_features(X[labelled], "ensemble")),
+            labels[labelled],
+        )
+        if candidate_accuracy < incumbent_accuracy:
+            reasons.append("accuracy-regression")
+    if min(agreement.values()) < config.min_family_agreement:
+        reasons.append("family-agreement")
+    return CanaryVerdict(
+        n_rows=len(X),
+        n_labelled=n_labelled,
+        candidate_accuracy=candidate_accuracy,
+        incumbent_accuracy=incumbent_accuracy,
+        family_agreement=agreement,
+        min_agreement=config.min_family_agreement,
+        accepted=not reasons,
+        reasons=tuple(reasons),
+    )
+
+
+def evaluate_shadow(
+    promoted: ModelArtifact,
+    reference: ModelArtifact,
+    X,
+    labels=None,
+    config: ShadowConfig = ShadowConfig(),
+) -> ShadowVerdict:
+    """Score the promoted artifact on recent traffic against last-good.
+
+    With no replayable rows the check abstains (``regressed=False``): a
+    promotion is not rolled back for lack of traffic.
+    """
+    X, labels = _as_replay(X, labels)
+    if len(X) == 0:
+        return ShadowVerdict(
+            n_rows=0,
+            n_labelled=0,
+            promoted_accuracy=None,
+            reference_accuracy=None,
+            agreement=None,
+            regressed=False,
+            reasons=(),
+        )
+    recent = slice(max(0, len(X) - config.recent), len(X))
+    X, labels = X[recent], labels[recent]
+    ours = np.asarray(promoted.predict_features(X, "ensemble"))
+    theirs = np.asarray(reference.predict_features(X, "ensemble"))
+    agreement = float((ours == theirs).mean())
+    labelled = labels != UNLABELLED
+    n_labelled = int(labelled.sum())
+    promoted_accuracy = reference_accuracy = None
+    reasons = []
+    if n_labelled:
+        promoted_accuracy = _accuracy(ours[labelled], labels[labelled])
+        reference_accuracy = _accuracy(theirs[labelled], labels[labelled])
+        if promoted_accuracy < reference_accuracy - config.max_accuracy_drop:
+            reasons.append("accuracy-regression")
+    if agreement < config.min_agreement:
+        reasons.append("ensemble-agreement")
+    return ShadowVerdict(
+        n_rows=len(X),
+        n_labelled=n_labelled,
+        promoted_accuracy=promoted_accuracy,
+        reference_accuracy=reference_accuracy,
+        agreement=agreement,
+        regressed=bool(reasons),
+        reasons=tuple(reasons),
+    )

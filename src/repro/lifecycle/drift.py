@@ -1,0 +1,269 @@
+"""Drift detection over the served-request log.
+
+The monitor replays logged traffic (``repro.serve.requestlog``) through
+the incumbent artifact and computes three per-window signals, exactly the
+evidence an operator would want before paying for a retrain:
+
+* **Confidence histogram** — the calibrated ensemble's confidence on each
+  replayed vector, bucketed over [0, 1].  A fat low tail means the model
+  no longer recognises its traffic.
+* **Ensemble vote entropy** — how much the families disagree.  Each
+  replayed row gets the per-family votes from
+  :meth:`~repro.heuristics.learned.EnsembleHeuristic.predict_detail`;
+  the normalised entropy of that vote distribution rises when the
+  committee splinters (the PR 8 roadmap note's drift signal).
+* **Feature-distribution shift** — the z-score of the window's
+  per-feature means against the *training fingerprint* the registry
+  stores in artifact provenance (``feature_stats``: full-catalog
+  mean/std).  Covariate shift shows up here before accuracy decays.
+
+A window that crosses any threshold is *drifted*; its rows — plus every
+low-confidence row anywhere — are flagged by checksum for the resilient
+measurement queue.  Reports serialise losslessly to JSON so the lifecycle
+journal can pin a scan's outcome across kill/resume.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.registry import ModelArtifact
+
+
+@dataclasses.dataclass(frozen=True)
+class DriftConfig:
+    """Thresholds for the drift monitor (see ``docs/operations.md``)."""
+
+    window: int = 64
+    confidence_bins: int = 10
+    low_confidence: float = 0.5
+    max_low_confidence_share: float = 0.25
+    max_vote_entropy: float = 0.6
+    max_feature_shift: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        if self.confidence_bins < 1:
+            raise ValueError(
+                f"confidence_bins must be >= 1, got {self.confidence_bins}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class WindowSignals:
+    """One replay window's drift evidence."""
+
+    index: int
+    n: int
+    confidence_histogram: tuple[int, ...]
+    mean_confidence: float
+    low_confidence_share: float
+    vote_entropy: float
+    feature_shift: float
+    reasons: tuple[str, ...]
+
+    @property
+    def drifted(self) -> bool:
+        return bool(self.reasons)
+
+    def to_json(self) -> dict:
+        return {
+            "index": self.index,
+            "n": self.n,
+            "confidence_histogram": list(self.confidence_histogram),
+            "mean_confidence": self.mean_confidence,
+            "low_confidence_share": self.low_confidence_share,
+            "vote_entropy": self.vote_entropy,
+            "feature_shift": self.feature_shift,
+            "reasons": list(self.reasons),
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "WindowSignals":
+        return cls(
+            index=int(payload["index"]),
+            n=int(payload["n"]),
+            confidence_histogram=tuple(payload["confidence_histogram"]),
+            mean_confidence=float(payload["mean_confidence"]),
+            low_confidence_share=float(payload["low_confidence_share"]),
+            vote_entropy=float(payload["vote_entropy"]),
+            feature_shift=float(payload["feature_shift"]),
+            reasons=tuple(payload["reasons"]),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class DriftReport:
+    """The scan's verdict: per-window signals plus the flagged queue."""
+
+    n_records: int
+    n_replayable: int
+    has_fingerprint: bool
+    windows: tuple[WindowSignals, ...]
+    flagged: tuple[str, ...]  # checksums routed to the measurement queue
+
+    @property
+    def drifted(self) -> bool:
+        return any(window.drifted for window in self.windows)
+
+    def to_json(self) -> dict:
+        return {
+            "n_records": self.n_records,
+            "n_replayable": self.n_replayable,
+            "has_fingerprint": self.has_fingerprint,
+            "windows": [window.to_json() for window in self.windows],
+            "flagged": list(self.flagged),
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "DriftReport":
+        return cls(
+            n_records=int(payload["n_records"]),
+            n_replayable=int(payload["n_replayable"]),
+            has_fingerprint=bool(payload["has_fingerprint"]),
+            windows=tuple(
+                WindowSignals.from_json(entry) for entry in payload["windows"]
+            ),
+            flagged=tuple(payload["flagged"]),
+        )
+
+
+def replayable_records(records) -> list[dict]:
+    """The records a scan can re-predict: served OK with a raw feature
+    vector (source-only records enter the loop through the measurement
+    queue instead — features are re-extracted from the parsed loop)."""
+    return [
+        record
+        for record in records
+        if isinstance(record, dict)
+        and record.get("ok")
+        and isinstance(record.get("features"), list)
+        and record.get("features")
+    ]
+
+
+def vote_entropies(votes: dict) -> np.ndarray:
+    """Per-row normalised entropy of the family vote distribution.
+
+    ``votes`` maps family name -> (n,) label array (the ensemble detail
+    channel).  Entropy is over each row's vote *counts*, normalised by
+    ``log(n_families)`` so 0 is unanimity and 1 is a full split.
+    """
+    families = sorted(votes)
+    if len(families) < 2:
+        return np.zeros(len(next(iter(votes.values()), ())), dtype=np.float64)
+    stacked = np.stack([np.asarray(votes[f], dtype=np.int64) for f in families])
+    n_families, n = stacked.shape
+    out = np.empty(n, dtype=np.float64)
+    norm = np.log(n_families)
+    for row in range(n):
+        _, counts = np.unique(stacked[:, row], return_counts=True)
+        p = counts / n_families
+        out[row] = float(-(p * np.log(p)).sum() / norm)
+    return out
+
+
+def scan_drift(
+    records,
+    artifact: ModelArtifact,
+    config: DriftConfig = DriftConfig(),
+) -> DriftReport:
+    """Replay logged records through the incumbent and score each window.
+
+    The whole replay is re-predicted in one vectorized
+    ``predict_detail`` call; windows then slice the shared arrays.  An
+    artifact without a ``feature_stats`` training fingerprint (trained
+    before the lifecycle existed) degrades gracefully: the shift signal
+    reads 0 and the report says so via ``has_fingerprint``.
+    """
+    records = list(records)
+    rows = replayable_records(records)
+    stats = (artifact.provenance or {}).get("feature_stats") or {}
+    mean = np.asarray(stats.get("mean", ()), dtype=np.float64)
+    std = np.asarray(stats.get("std", ()), dtype=np.float64)
+    has_fingerprint = mean.size > 0 and std.size == mean.size
+
+    windows: list[WindowSignals] = []
+    flagged: list[str] = []
+    seen: set[str] = set()
+
+    def flag(record: dict) -> None:
+        checksum = record.get("features_sha256")
+        if checksum and checksum not in seen:
+            seen.add(checksum)
+            flagged.append(checksum)
+
+    if rows:
+        X = np.asarray([record["features"] for record in rows], dtype=np.float64)
+        detail = artifact.ensemble.predict_detail(X)
+        confidence = np.asarray(detail.confidence, dtype=np.float64)
+        entropy = vote_entropies(detail.votes)
+        fingerprint_ok = has_fingerprint and mean.size == X.shape[1]
+        for start in range(0, len(rows), config.window):
+            stop = min(start + config.window, len(rows))
+            conf_w = confidence[start:stop]
+            histogram, _ = np.histogram(
+                conf_w, bins=config.confidence_bins, range=(0.0, 1.0)
+            )
+            low_share = float((conf_w < config.low_confidence).mean())
+            entropy_w = float(entropy[start:stop].mean())
+            if fingerprint_ok:
+                diff = np.abs(X[start:stop].mean(axis=0) - mean)
+                # A feature constant in training (std 0) only shifts if
+                # served traffic actually moves it; the floor keeps the
+                # z-score finite while still flagging any real motion.
+                z = diff / np.maximum(std, 1e-9)
+                z[diff == 0.0] = 0.0
+                shift = float(z.max()) if z.size else 0.0
+            else:
+                shift = 0.0
+            reasons = []
+            if low_share > config.max_low_confidence_share:
+                reasons.append("low-confidence")
+            if entropy_w > config.max_vote_entropy:
+                reasons.append("vote-entropy")
+            if shift > config.max_feature_shift:
+                reasons.append("feature-shift")
+            window = WindowSignals(
+                index=len(windows),
+                n=stop - start,
+                confidence_histogram=tuple(int(c) for c in histogram),
+                mean_confidence=float(conf_w.mean()),
+                low_confidence_share=low_share,
+                vote_entropy=entropy_w,
+                feature_shift=shift,
+                reasons=tuple(reasons),
+            )
+            windows.append(window)
+            if window.drifted:
+                for record in rows[start:stop]:
+                    flag(record)
+            else:
+                for offset, record in enumerate(rows[start:stop]):
+                    if confidence[start + offset] < config.low_confidence:
+                        flag(record)
+
+    # Source-only records never reach the vectorized replay but are
+    # directly measurable: route the ones served with low confidence (or
+    # all of them once any window drifted) into the queue too.
+    any_drift = any(window.drifted for window in windows)
+    for record in records:
+        if not isinstance(record, dict) or not record.get("ok"):
+            continue
+        if not isinstance(record.get("source"), str):
+            continue
+        confidence = record.get("confidence")
+        low = confidence is not None and confidence < config.low_confidence
+        if any_drift or low:
+            flag(record)
+
+    return DriftReport(
+        n_records=len(records),
+        n_replayable=len(rows),
+        has_fingerprint=bool(has_fingerprint),
+        windows=tuple(windows),
+        flagged=tuple(flagged),
+    )

@@ -1,0 +1,210 @@
+"""Journal-backed atomic promotion into the model registry.
+
+Promotion is a two-phase write built entirely from primitives that
+cannot tear:
+
+1. **Stage** — the candidate is saved to ``model_<name>.rma.staged``.
+   The suffix keeps it invisible to :meth:`ArtifactStore.entries` (and
+   therefore to every serve daemon's hot-reload watcher) until the flip.
+   Registry saves are byte-deterministic, so re-staging on resume
+   reproduces the identical file.
+2. **Snapshot** — the incumbent's bytes are copied to
+   ``model_<name>.rma.lastgood`` (fsync + ``os.replace``), the rollback
+   target the runbook's *manual rollback* also uses.
+3. **Flip** — a single ``os.replace(staged, live)``.  POSIX rename
+   atomicity means any reader — a daemon loading mid-promotion, a crash
+   at any instruction — sees either the old bytes or the new bytes,
+   never a torn file.
+
+Each phase commits to the lifecycle's
+:class:`~repro.resilience.journal.CheckpointJournal` *after* its file
+operation and is idempotent on replay, so ``kill -9`` anywhere leaves a
+resumable state whose completion is bit-identical to an uninterrupted
+run.  After every commit the fault injector's ``run.abort`` site fires —
+the same kill-point contract as the measurement executor, so one fault
+plan can kill a lifecycle run at any checkpoint boundary.
+
+:func:`rollback_artifact` is the inverse flip: the rejected bytes are
+preserved at ``model_<name>.rma.rejected`` and last-good is copied back
+over the live path, again through fsync + ``os.replace``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+from pathlib import Path
+
+from repro.registry import (
+    ArtifactError,
+    ArtifactStore,
+    ModelArtifact,
+    save_artifact,
+)
+from repro.resilience import CheckpointJournal, get_injector
+
+#: Kill-site op fired after every lifecycle journal commit (shared with
+#: the measurement executor so one ``skip=N`` rule addresses the N-th
+#: checkpoint of the whole run, whatever stage it lands in).
+ABORT_OP = "run.abort"
+
+STAGED_SUFFIX = ".staged"
+LASTGOOD_SUFFIX = ".lastgood"
+REJECTED_SUFFIX = ".rejected"
+
+
+def staged_path(store: ArtifactStore, name: str) -> Path:
+    """Where a candidate's bytes wait before the flip (never served)."""
+    return Path(str(store.path_for(name)) + STAGED_SUFFIX)
+
+
+def lastgood_path(store: ArtifactStore, name: str) -> Path:
+    """Where the incumbent's bytes survive a promotion (the rollback
+    source)."""
+    return Path(str(store.path_for(name)) + LASTGOOD_SUFFIX)
+
+
+def rejected_path(store: ArtifactStore, name: str) -> Path:
+    """Where a rejected or rolled-back candidate's bytes are kept for
+    post-mortems."""
+    return Path(str(store.path_for(name)) + REJECTED_SUFFIX)
+
+
+def file_checksum(path: str | Path) -> str:
+    """SHA-256 of a file's bytes — the registry-slot identity used by
+    promotion, status, and the tests' never-torn assertions."""
+    return hashlib.sha256(Path(path).read_bytes()).hexdigest()
+
+
+def checkpoint(journal: CheckpointJournal, key: str, payload: dict) -> None:
+    """Durably commit one lifecycle step, then fire the kill site —
+    exactly the executor's commit-then-abort contract."""
+    journal.commit(key, payload)
+    get_injector().abort(ABORT_OP, key)
+
+
+def _atomic_copy(src: Path, dst: Path) -> str:
+    """Copy ``src``'s bytes to ``dst`` through a same-directory temp file
+    and ``os.replace`` — readers of ``dst`` never see a partial file.
+    Returns the checksum of the copied bytes."""
+    data = src.read_bytes()
+    tmp = dst.parent / f".{dst.name}.tmp"
+    fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+    try:
+        os.write(fd, data)
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    os.replace(tmp, dst)
+    return hashlib.sha256(data).hexdigest()
+
+
+@dataclasses.dataclass(frozen=True)
+class PromotionResult:
+    """What a completed promotion did: the candidate now live, the
+    incumbent it replaced, and where the last-good snapshot landed."""
+
+    promoted: bool
+    candidate_checksum: str
+    previous_checksum: str | None
+    live_path: str
+    lastgood: str | None
+
+    def to_json(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+def promote_artifact(
+    store: ArtifactStore,
+    name: str,
+    candidate: ModelArtifact,
+    journal: CheckpointJournal,
+) -> PromotionResult:
+    """Two-phase atomic promotion of ``candidate`` to ``name``'s live slot.
+
+    Safe to call again on a resumed run: completed phases are replayed
+    from the journal, interrupted ones redo their (idempotent) file
+    operation.
+    """
+    live = store.path_for(name)
+    staged = staged_path(store, name)
+    lastgood = lastgood_path(store, name)
+
+    done = journal.completed.get("promote:staged")
+    if done is None:
+        save_artifact(candidate, staged)
+        done = {"checksum": file_checksum(staged)}
+        checkpoint(journal, "promote:staged", done)
+    candidate_checksum = done["checksum"]
+
+    done = journal.completed.get("promote:lastgood")
+    if done is None:
+        if live.exists():
+            done = {"checksum": _atomic_copy(live, lastgood)}
+        else:
+            done = {"checksum": None}  # first promotion: nothing to keep
+        checkpoint(journal, "promote:lastgood", done)
+    previous_checksum = done["checksum"]
+
+    done = journal.completed.get("promote:live")
+    if done is None:
+        if not staged.exists():
+            # Crash landed between the flip and its commit: the live file
+            # already carries the candidate bytes.  Anything else means
+            # the staged file was tampered with — refuse to guess.
+            if not live.exists() or file_checksum(live) != candidate_checksum:
+                raise ArtifactError(
+                    f"{staged}: staged candidate vanished mid-promotion "
+                    f"and {live} does not carry its bytes"
+                )
+        else:
+            os.replace(staged, live)
+        checkpoint(journal, "promote:live", {"checksum": candidate_checksum})
+
+    return PromotionResult(
+        promoted=True,
+        candidate_checksum=candidate_checksum,
+        previous_checksum=previous_checksum,
+        live_path=str(live),
+        lastgood=str(lastgood) if previous_checksum is not None else None,
+    )
+
+
+def rollback_artifact(
+    store: ArtifactStore,
+    name: str,
+    journal: CheckpointJournal,
+    reason: str = "shadow-regression",
+) -> dict:
+    """Restore last-good over the live slot, preserving the bad bytes.
+
+    The live file is never absent mid-rollback: the rejected copy and the
+    restore are both whole-file ``os.replace`` writes.
+    """
+    live = store.path_for(name)
+    lastgood = lastgood_path(store, name)
+    rejected = rejected_path(store, name)
+    if not lastgood.exists():
+        raise ArtifactError(
+            f"{lastgood}: no last-good artifact to roll back to"
+        )
+
+    done = journal.completed.get("rollback:rejected")
+    if done is None:
+        checksum = _atomic_copy(live, rejected) if live.exists() else None
+        done = {"checksum": checksum, "reason": reason}
+        checkpoint(journal, "rollback:rejected", done)
+
+    restored = journal.completed.get("rollback:restored")
+    if restored is None:
+        restored = {"checksum": _atomic_copy(lastgood, live)}
+        checkpoint(journal, "rollback:restored", restored)
+
+    return {
+        "rolled_back": True,
+        "reason": done.get("reason", reason),
+        "restored_checksum": restored["checksum"],
+        "rejected": str(rejected),
+        "rejected_checksum": done["checksum"],
+    }

@@ -1,0 +1,536 @@
+"""The lifecycle state machine: replay → drift → measure → retrain →
+canary → promote → shadow.
+
+:func:`run_lifecycle` drives one closed-loop cycle as a sequence of
+journalled stages.  Every stage commits its outcome to one
+:class:`~repro.resilience.journal.CheckpointJournal` *before* the next
+stage starts, and the fault injector's ``run.abort`` site fires after
+each commit — so ``kill -9`` at any checkpoint boundary leaves a journal
+from which ``--resume`` replays the completed stages verbatim and
+re-executes only the rest, bit-identically:
+
+* ``replay`` pins the snapshot length: the request log may keep growing
+  under a live daemon, but a resumed run replays exactly the records the
+  killed run saw.
+* ``drift`` pins the scan verdict (:class:`~repro.lifecycle.drift
+  .DriftReport` round-trips through JSON).
+* ``measure:<sha256>`` — one commit per flagged loop, executed by the
+  resilient executor (retries, quarantine, pool fallback all apply).
+  Ground truth is the cost model's sweep over the logged loop source.
+* ``retrain`` pins the candidate's byte checksum; registry saves are
+  deterministic, so a resumed retrain reproduces the identical file.
+* ``canary`` pins the gate verdict; ``promote:*`` and ``rollback:*``
+  are the two-phase registry writes (:mod:`repro.lifecycle.promote`);
+  ``shadow`` pins the post-promotion check.
+
+The journal is discarded once a cycle reaches a terminal outcome
+(``no-drift``, ``rejected``, ``promoted``, ``rolled-back``) — a journal
+on disk always means an interrupted run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import threading
+from pathlib import Path
+
+import numpy as np
+
+from repro.features import extract_features
+from repro.lifecycle.canary import (
+    UNLABELLED,
+    CanaryConfig,
+    CanaryVerdict,
+    ShadowConfig,
+    ShadowVerdict,
+    evaluate_canary,
+    evaluate_shadow,
+)
+from repro.lifecycle.drift import DriftConfig, DriftReport, replayable_records, scan_drift
+from repro.lifecycle.promote import (
+    checkpoint,
+    file_checksum,
+    lastgood_path,
+    promote_artifact,
+    rejected_path,
+    rollback_artifact,
+    staged_path,
+)
+from repro.machine.itanium2 import ITANIUM2
+from repro.registry import (
+    ArtifactError,
+    ArtifactStore,
+    load_artifact,
+    save_artifact,
+)
+from repro.resilience import (
+    DEFAULT_RESILIENCE,
+    CheckpointJournal,
+    ResilienceConfig,
+    UnitTask,
+    run_units,
+)
+from repro.serve.requestlog import iter_request_log
+
+
+@dataclasses.dataclass(frozen=True)
+class LifecycleConfig:
+    """One cycle's inputs; everything that determines its outcome."""
+
+    log_path: str | Path
+    model: str = "base"
+    journal_path: str | Path | None = None
+    drift: DriftConfig = DriftConfig()
+    canary: CanaryConfig = CanaryConfig()
+    shadow: ShadowConfig = ShadowConfig()
+    force: bool = False  # retrain even when no window drifted
+    skip_canary: bool = False  # operator override; the shadow check still guards
+    jobs: int = 1
+    swp: bool = False
+    seed: int = 0
+    resilience: ResilienceConfig = DEFAULT_RESILIENCE
+
+
+@dataclasses.dataclass
+class LifecycleResult:
+    """What one cycle did, stage by stage."""
+
+    outcome: str  # no-drift | rejected | promoted | rolled-back
+    drift: DriftReport
+    measured: dict
+    canary: CanaryVerdict | None
+    promotion: object | None
+    shadow: ShadowVerdict | None
+    rollback: dict | None
+    events: list
+
+    def to_json(self) -> dict:
+        return {
+            "outcome": self.outcome,
+            "drift": self.drift.to_json(),
+            "measured": {
+                checksum: payload["factor"]
+                for checksum, payload in sorted(self.measured.items())
+            },
+            "canary": self.canary.to_json() if self.canary else None,
+            "promotion": self.promotion.to_json() if self.promotion else None,
+            "shadow": self.shadow.to_json() if self.shadow else None,
+            "rollback": self.rollback,
+            "events": [
+                {"kind": event.kind, "key": event.key} for event in self.events
+            ],
+        }
+
+
+def lifecycle_run_key(config: LifecycleConfig) -> str:
+    """The journal binding: every input that determines the cycle's
+    results (the replay snapshot itself is pinned by the ``replay``
+    commit)."""
+    return (
+        f"lifecycle:{config.model}:swp={int(config.swp)}:seed={config.seed}"
+        f":force={int(config.force)}:skip_canary={int(config.skip_canary)}"
+    )
+
+
+def default_journal_path(store: ArtifactStore, model: str) -> Path:
+    """Where a model's lifecycle journal lives: next to the registry
+    slots it guards, so `status` and `--resume` find it with no flags."""
+    return store.root / f"lifecycle_{model}.journal.jsonl"
+
+
+def _measure_unit(source: str, swp: bool) -> dict:
+    """Ground truth for one logged loop: parse the recorded source, sweep
+    the cost model, return the optimal factor plus the loop's extracted
+    features (full catalog) for the labelled replay."""
+    from repro.frontend import parse_program
+    from repro.simulate.executor import CostModel
+
+    entries = parse_program(source)
+    if not entries:
+        raise ValueError("no loops in logged source")
+    loop = entries[0].loop
+    sweep = CostModel(swp=swp).sweep(loop)
+    best = min(sweep, key=lambda factor: sweep[factor].total_cycles)
+    features = extract_features(loop, ITANIUM2)
+    return {
+        "loop": loop.name,
+        "factor": int(best),
+        "features": [float(value) for value in features],
+        "cycles": [
+            float(sweep[factor].total_cycles) for factor in sorted(sweep)
+        ],
+    }
+
+
+def augment_dataset(dataset, measured_rows):
+    """Extend a pipeline dataset with measured lifecycle loops — the
+    retrain-on-traffic half of the closed loop.
+
+    Each row comes from the measurement queue
+    (``{"checksum", "loop", "factor", "features", "cycles"}``); the cost
+    model is deterministic, so measured cycles double as the noise-free
+    truth.  Returns the dataset unchanged when there is nothing to add.
+    """
+    rows = [row for row in measured_rows if row.get("cycles")]
+    if not rows:
+        return dataset
+    X = np.asarray([row["features"] for row in rows], dtype=np.float64)
+    labels = np.asarray([row["factor"] for row in rows], dtype=np.int64)
+    cycles = np.asarray([row["cycles"] for row in rows], dtype=np.float64)
+    names = np.asarray(
+        [f"{row['loop']}@{row['checksum'][:12]}" for row in rows]
+    )
+    tag = np.asarray(["lifecycle"] * len(rows))
+    return dataclasses.replace(
+        dataset,
+        X=np.vstack([dataset.X, X]),
+        labels=np.concatenate([dataset.labels, labels]),
+        cycles=np.vstack([dataset.cycles, cycles]),
+        true_cycles=np.vstack([dataset.true_cycles, cycles]),
+        loop_names=np.concatenate([dataset.loop_names, names]),
+        benchmarks=np.concatenate([dataset.benchmarks, tag]),
+        suites=np.concatenate([dataset.suites, tag]),
+        languages=np.concatenate([dataset.languages, tag]),
+    )
+
+
+def _build_replay(records, measured, holdout):
+    """The canary/shadow replay: every replayable feature row
+    (unlabelled — agreement evidence) plus the held-out measured loops
+    (labelled — accuracy evidence), newest evidence last."""
+    X_parts: list[np.ndarray] = []
+    labels: list[int] = []
+    rows = replayable_records(records)
+    if rows:
+        X_parts.append(
+            np.asarray([record["features"] for record in rows], dtype=np.float64)
+        )
+        labels.extend([UNLABELLED] * len(rows))
+    for checksum in sorted(measured):
+        if checksum not in holdout:
+            continue
+        payload = measured[checksum]
+        X_parts.append(np.asarray([payload["features"]], dtype=np.float64))
+        labels.append(int(payload["factor"]))
+    if not X_parts:
+        return np.empty((0, 0)), np.empty((0,), dtype=np.int64)
+    return np.vstack(X_parts), np.asarray(labels, dtype=np.int64)
+
+
+def run_lifecycle(
+    config: LifecycleConfig,
+    store: ArtifactStore | None = None,
+    train_fn=None,
+    resume: bool = False,
+    machine=ITANIUM2,
+) -> LifecycleResult:
+    """Run one supervised serve→train→promote cycle (see module docs).
+
+    ``train_fn(measured_rows)`` fits the candidate artifact from the
+    training half of the measured loops (each row:
+    ``{"checksum", "loop", "factor", "features"}``); it must be
+    deterministic — resume relies on retraining reproducing the same
+    bytes.  Raises :class:`~repro.resilience.faults.AbortRun` at an
+    injected kill point (the CLI maps it to the resumable exit code).
+    """
+    if train_fn is None:
+        raise ValueError("run_lifecycle needs a train_fn")
+    store = store or ArtifactStore()
+    live = store.path_for(config.model)
+    if not live.exists():
+        raise ArtifactError(
+            f"{live}: no incumbent artifact to run a lifecycle against"
+        )
+    incumbent = load_artifact(live, machine)
+    journal_path = (
+        Path(config.journal_path)
+        if config.journal_path is not None
+        else default_journal_path(store, config.model)
+    )
+    journal = CheckpointJournal(journal_path, lifecycle_run_key(config))
+    if resume:
+        journal.load()
+    else:
+        journal.discard()
+    events: list = []
+
+    with journal:
+        # -- replay: pin the snapshot length -------------------------------
+        records = list(iter_request_log(config.log_path))
+        done = journal.completed.get("replay")
+        if done is None:
+            done = {"n_records": len(records)}
+            checkpoint(journal, "replay", done)
+        records = records[: done["n_records"]]
+
+        # -- drift scan ----------------------------------------------------
+        done = journal.completed.get("drift")
+        if done is None:
+            drift = scan_drift(records, incumbent, config.drift)
+            checkpoint(journal, "drift", drift.to_json())
+        else:
+            drift = DriftReport.from_json(done)
+
+        if not (drift.drifted or config.force):
+            journal.discard()
+            return LifecycleResult(
+                outcome="no-drift",
+                drift=drift,
+                measured={},
+                canary=None,
+                promotion=None,
+                shadow=None,
+                rollback=None,
+                events=events,
+            )
+
+        # -- resilient measurement queue ----------------------------------
+        by_checksum: dict[str, dict] = {}
+        for record in records:
+            if not isinstance(record, dict):
+                continue
+            checksum = record.get("features_sha256")
+            if checksum and checksum not in by_checksum:
+                by_checksum[checksum] = record
+        tasks = []
+        for checksum in drift.flagged:
+            record = by_checksum.get(checksum)
+            if record is None or not isinstance(record.get("source"), str):
+                continue  # feature-only rows carry no measurable loop
+            tasks.append(
+                UnitTask(
+                    key=checksum,
+                    label=f"measure:{checksum}",
+                    fn=_measure_unit,
+                    args=(record["source"], config.swp),
+                    seed=np.random.SeedSequence(config.seed),
+                )
+            )
+        report = run_units(
+            tasks,
+            jobs=config.jobs,
+            config=config.resilience,
+            journal=journal,
+            encode=lambda result: result,
+            decode=lambda payload: payload,
+        )
+        events.extend(report.events)
+        measured = dict(report.results)
+
+        # Deterministic holdout split: even ranks (by checksum order) are
+        # held out for the canary's accuracy gate, odd ranks may feed the
+        # retrain.
+        ordered = sorted(measured)
+        holdout = {cs for rank, cs in enumerate(ordered) if rank % 2 == 0}
+
+        # -- retrain -------------------------------------------------------
+        staged = staged_path(store, config.model)
+        done = journal.completed.get("retrain")
+        candidate = None
+        if done is not None:
+            if staged.exists() and file_checksum(staged) == done["checksum"]:
+                candidate = load_artifact(staged, machine)
+            elif live.exists() and file_checksum(live) == done["checksum"]:
+                candidate = load_artifact(live, machine)
+        if candidate is None:
+            train_rows = [
+                {"checksum": checksum, **measured[checksum]}
+                for checksum in ordered
+                if checksum not in holdout
+            ]
+            candidate = train_fn(train_rows)
+            save_artifact(candidate, staged)
+            checksum = file_checksum(staged)
+            if done is not None and done["checksum"] != checksum:
+                raise ArtifactError(
+                    "retrain is not deterministic: the resumed candidate "
+                    f"({checksum[:12]}…) differs from the journalled one "
+                    f"({done['checksum'][:12]}…)"
+                )
+            if done is None:
+                checkpoint(journal, "retrain", {"checksum": checksum})
+
+        # -- canary gate ---------------------------------------------------
+        X, labels = _build_replay(records, measured, holdout)
+        canary = None
+        if not config.skip_canary:
+            done = journal.completed.get("canary")
+            if done is None:
+                canary = evaluate_canary(
+                    incumbent, candidate, X, labels, config.canary
+                )
+                checkpoint(journal, "canary", canary.to_json())
+            else:
+                canary = CanaryVerdict.from_json(done)
+            if not canary.accepted:
+                staged.unlink(missing_ok=True)
+                journal.discard()
+                return LifecycleResult(
+                    outcome="rejected",
+                    drift=drift,
+                    measured=measured,
+                    canary=canary,
+                    promotion=None,
+                    shadow=None,
+                    rollback=None,
+                    events=events,
+                )
+
+        # -- atomic promotion ---------------------------------------------
+        promotion = promote_artifact(store, config.model, candidate, journal)
+
+        # -- post-promotion shadow check ----------------------------------
+        shadow = None
+        rollback = None
+        reference = lastgood_path(store, config.model)
+        if promotion.previous_checksum is not None and reference.exists():
+            done = journal.completed.get("shadow")
+            if done is None:
+                shadow = evaluate_shadow(
+                    load_artifact(live, machine),
+                    load_artifact(reference, machine),
+                    X,
+                    labels,
+                    config.shadow,
+                )
+                checkpoint(journal, "shadow", shadow.to_json())
+            else:
+                shadow = ShadowVerdict.from_json(done)
+            if shadow.regressed:
+                rollback = rollback_artifact(store, config.model, journal)
+        journal.discard()
+        return LifecycleResult(
+            outcome="rolled-back" if rollback else "promoted",
+            drift=drift,
+            measured=measured,
+            canary=canary,
+            promotion=promotion,
+            shadow=shadow,
+            rollback=rollback,
+            events=events,
+        )
+
+
+def lifecycle_status(
+    store: ArtifactStore,
+    model: str = "base",
+    journal_path: str | Path | None = None,
+) -> dict:
+    """Observability for ``repro lifecycle status``: registry slots plus
+    any interrupted run's journal (read leniently — a foreign or torn
+    journal is reported, not raised)."""
+
+    def slot(path: Path) -> dict:
+        exists = path.exists()
+        return {
+            "path": str(path),
+            "exists": exists,
+            "checksum": file_checksum(path) if exists else None,
+        }
+
+    journal_path = (
+        Path(journal_path)
+        if journal_path is not None
+        else default_journal_path(store, model)
+    )
+    journal: dict | None = None
+    if journal_path.exists():
+        committed: list[str] = []
+        run_key = None
+        try:
+            lines = journal_path.read_text(encoding="utf-8").splitlines()
+            header = json.loads(lines[0]) if lines else {}
+            run_key = header.get("run_key") if isinstance(header, dict) else None
+            for line in lines[1:]:
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    break  # torn tail
+                if isinstance(entry, dict) and "key" in entry:
+                    committed.append(entry["key"])
+        except OSError:
+            pass
+        journal = {
+            "path": str(journal_path),
+            "run_key": run_key,
+            "committed": len(committed),
+            "stages": [key for key in committed if not key.startswith("measure:")],
+            "measured": sum(1 for key in committed if key.startswith("measure:")),
+        }
+    return {
+        "model": model,
+        "live": slot(store.path_for(model)),
+        "lastgood": slot(lastgood_path(store, model)),
+        "staged": slot(staged_path(store, model)),
+        "rejected": slot(rejected_path(store, model)),
+        "in_progress": journal is not None,
+        "journal": journal,
+    }
+
+
+class LifecyclePoller:
+    """The daemon-adjacent mode: run one lifecycle cycle every
+    ``interval_s`` seconds on a background thread.  Promotions land in
+    the registry, where the serve daemon's hot-reload watcher picks them
+    up; a crashed cycle's journal is resumed on the next tick.  Errors
+    never propagate — they are recorded for ``healthz``-style probing and
+    the loop keeps ticking."""
+
+    def __init__(
+        self,
+        config: LifecycleConfig,
+        store: ArtifactStore,
+        train_fn,
+        interval_s: float,
+        machine=ITANIUM2,
+    ):
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s}")
+        self.config = config
+        self.store = store
+        self.train_fn = train_fn
+        self.interval_s = interval_s
+        self.machine = machine
+        self.runs = 0
+        self.outcomes: list[str] = []
+        self.errors: list[str] = []
+        self.last_result: LifecycleResult | None = None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "LifecyclePoller":
+        self._thread = threading.Thread(
+            target=self._loop, name="lifecycle-poller", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                result = run_lifecycle(
+                    self.config,
+                    self.store,
+                    self.train_fn,
+                    resume=True,  # pick up a crashed cycle's journal
+                    machine=self.machine,
+                )
+            except Exception as error:  # the poller must outlive one bad cycle
+                self.errors.append(f"{type(error).__name__}: {error}")
+            else:
+                self.runs += 1
+                self.outcomes.append(result.outcome)
+                self.last_result = result
+
+    def __enter__(self) -> "LifecyclePoller":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()

@@ -54,7 +54,16 @@ import numpy as np
 #: ``predictions_match`` differential, and aggregated-healthz counter
 #: balance after each run) plus its ``multiproc_*`` sizing knobs in
 #: ``config``.
-BENCH_SCHEMA_VERSION = 6
+#: v7: added the ``lifecycle`` stage (the closed serve→train→promote
+#: loop's hot paths: drift-scanning a synthetic request log row-at-a-time
+#: as the reference side vs one vectorized ``scan_drift`` replay as the
+#: optimized side, the canary gate's replay cost, a
+#: ``promotion_atomic`` differential — the two-phase registry promotion
+#: killed at every checkpoint and resumed, asserting the live artifact is
+#: always whole old bytes or whole new bytes — and ``rollback_ok``: the
+#: last-good restore returns the registry to the incumbent's exact
+#: checksum) plus its ``lifecycle_rows`` sizing knob in ``config``.
+BENCH_SCHEMA_VERSION = 7
 
 #: Importable alias: CI's bench-smoke compares emitted reports against
 #: this name (``from repro.perf.bench import SCHEMA_VERSION``).
@@ -83,6 +92,7 @@ class BenchConfig:
     multiproc_workers: tuple[int, ...] = (1, 2, 4)
     multiproc_clients: int = 8
     multiproc_requests: int = 64
+    lifecycle_rows: int = 256
     quick: bool = False
 
     @classmethod
@@ -99,6 +109,7 @@ class BenchConfig:
             multiproc_workers=(1, 2),
             multiproc_clients=4,
             multiproc_requests=24,
+            lifecycle_rows=96,
             quick=True,
         )
 
@@ -826,9 +837,147 @@ def _bench_multiproc(dataset, artifact, config: BenchConfig) -> StageTiming:
     )
 
 
+def _bench_lifecycle(dataset, artifact, config: BenchConfig) -> StageTiming:
+    """Time the closed-loop lifecycle's hot paths against a synthetic
+    request log built from dataset rows (back half shifted off the
+    training distribution so the scan has real drift to find).
+
+    Reference: the drift monitor replaying the log one record at a time
+    (one ``predict_detail`` call per row — what a naive tail-follower
+    would do).  Optimized: one vectorized :func:`scan_drift` over the
+    whole snapshot.  The detail also records the canary gate's replay
+    cost and two correctness differentials no timing can substitute for:
+    ``promotion_atomic`` — the two-phase registry promotion is killed at
+    every checkpoint and resumed, and the live artifact must be whole old
+    bytes or whole new bytes at every step — and ``rollback_ok`` — the
+    last-good restore returns the registry to the incumbent's exact
+    checksum.
+    """
+    import dataclasses as dc
+    import hashlib
+    import tempfile
+    from pathlib import Path
+
+    from repro.lifecycle import (
+        DriftConfig,
+        evaluate_canary,
+        file_checksum,
+        promote_artifact,
+        rollback_artifact,
+        scan_drift,
+    )
+    from repro.registry import ArtifactStore, save_artifact
+    from repro.resilience import (
+        AbortRun,
+        CheckpointJournal,
+        FaultPlan,
+        FaultRule,
+        fault_plan,
+    )
+
+    n_rows = config.lifecycle_rows
+    rows = np.asarray(
+        dataset.X[np.arange(n_rows) % len(dataset)], dtype=np.float64
+    ).copy()
+    rows[n_rows // 2 :] += 25.0  # covariate shift the scan must catch
+    records = [
+        {
+            "id": i,
+            "ok": True,
+            "features_sha256": hashlib.sha256(row.tobytes()).hexdigest(),
+            "features": [float(value) for value in row],
+            "confidence": 0.9,
+        }
+        for i, row in enumerate(rows)
+    ]
+    drift_config = DriftConfig(window=32)
+
+    start = time.perf_counter()
+    for record in records:
+        scan_drift([record], artifact, DriftConfig(window=1))
+    reference_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    report = scan_drift(records, artifact, drift_config)
+    optimized_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    canary = evaluate_canary(artifact, artifact, rows)
+    canary_seconds = time.perf_counter() - start
+
+    # A candidate with different bytes but identical behaviour: the
+    # promotion machinery only cares about the files.
+    candidate = dc.replace(
+        artifact, provenance={**artifact.provenance, "bench": "lifecycle"}
+    )
+    promotion_atomic = True
+    rollback_ok = False
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ArtifactStore(Path(tmp))
+        live = store.path_for("bench")
+        save_artifact(artifact, live)
+        incumbent_checksum = file_checksum(live)
+        journal_path = Path(tmp) / "promote.journal.jsonl"
+        candidate_checksum = None
+        for kill_at in range(4):  # 3 checkpoints + one uninterrupted pass
+            save_artifact(artifact, live)
+            CheckpointJournal(journal_path, run_key="bench-promote").discard()
+            plan = FaultPlan(
+                rules=(FaultRule(op="run.abort", match="*", skip=kill_at),)
+            )
+            try:
+                with fault_plan(plan):
+                    with CheckpointJournal(
+                        journal_path, run_key="bench-promote"
+                    ) as journal:
+                        result = promote_artifact(store, "bench", candidate, journal)
+            except AbortRun:
+                promotion_atomic &= file_checksum(live) == incumbent_checksum or (
+                    candidate_checksum is not None
+                    and file_checksum(live) == candidate_checksum
+                )
+                with CheckpointJournal(
+                    journal_path, run_key="bench-promote"
+                ) as journal:
+                    journal.load()
+                    result = promote_artifact(store, "bench", candidate, journal)
+            candidate_checksum = result.candidate_checksum
+            promotion_atomic &= file_checksum(live) == candidate_checksum
+        with CheckpointJournal(journal_path, run_key="bench-rollback") as journal:
+            rollback = rollback_artifact(store, "bench", journal)
+        rollback_ok = (
+            rollback["restored_checksum"] == incumbent_checksum
+            and file_checksum(live) == incumbent_checksum
+        )
+
+    drifted = sum(1 for window in report.windows if window.drifted)
+    return StageTiming(
+        stage="lifecycle",
+        reference_seconds=reference_seconds,
+        optimized_seconds=optimized_seconds,
+        detail={
+            "n_records": n_rows,
+            "drift_lines_per_s": round(n_rows / optimized_seconds, 1)
+            if optimized_seconds > 0
+            else float("inf"),
+            "reference_lines_per_s": round(n_rows / reference_seconds, 1)
+            if reference_seconds > 0
+            else float("inf"),
+            "n_windows": len(report.windows),
+            "drifted_windows": drifted,
+            "flagged": len(report.flagged),
+            "has_fingerprint": bool(report.has_fingerprint),
+            "canary_replay_s": round(canary_seconds, 4),
+            "canary_accepted": bool(canary.accepted),
+            "promotion_atomic": bool(promotion_atomic),
+            "rollback_ok": bool(rollback_ok),
+        },
+    )
+
+
 def run_bench(config: BenchConfig | None = None) -> BenchReport:
     """Run the full measure -> dedup -> label -> select -> serve ->
-    daemon -> families -> multiproc bench, serially."""
+    daemon -> families -> multiproc -> lifecycle bench, serially."""
     from repro.registry import train_model_artifact
     from repro.workloads import generate_suite
 
@@ -843,6 +992,7 @@ def run_bench(config: BenchConfig | None = None) -> BenchReport:
     daemon_timing = _bench_daemon(dataset, artifact, config)
     families_timing = _bench_families(dataset, artifact, config)
     multiproc_timing = _bench_multiproc(dataset, artifact, config)
+    lifecycle_timing = _bench_lifecycle(dataset, artifact, config)
     return BenchReport(
         config=config,
         date=datetime.date.today().isoformat(),
@@ -855,6 +1005,7 @@ def run_bench(config: BenchConfig | None = None) -> BenchReport:
             daemon_timing,
             families_timing,
             multiproc_timing,
+            lifecycle_timing,
         ),
     )
 

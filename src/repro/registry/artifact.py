@@ -37,6 +37,7 @@ import io
 import json
 import logging
 import os
+import struct
 import zipfile
 from pathlib import Path
 
@@ -224,11 +225,20 @@ def train_model_artifact(
     names = (
         FEATURE_NAMES if indices is None else tuple(FEATURE_NAMES[i] for i in indices)
     )
+    X = np.asarray(dataset.X, dtype=np.float64)
     merged = {
         "n_rows": int(len(dataset)),
         "swp": bool(dataset.swp),
         "dataset_fingerprint": dataset_fingerprint(dataset),
         "machine": machine.name,
+        # The training fingerprint the lifecycle's drift monitor compares
+        # served traffic against: per-feature mean/std over the full
+        # catalog (before subsetting), so any request vector can be
+        # z-scored without retraining context.
+        "feature_stats": {
+            "mean": [float(v) for v in X.mean(axis=0)],
+            "std": [float(v) for v in X.std(axis=0)],
+        },
     }
     merged.update(provenance or {})
     members = {
@@ -316,6 +326,50 @@ def save_artifact(artifact: ModelArtifact, path: str | Path) -> Path:
     return path
 
 
+_LOCAL_HEADER = struct.Struct("<IHHHHHIIIHH")  # PK\x03\x04 fixed part
+
+
+def _verify_local_headers(path: Path, archive: zipfile.ZipFile) -> None:
+    """Cross-check every entry's local file header against the central
+    directory.
+
+    Zip readers trust the central directory and skip over the redundant
+    copies of CRC/size/method in each local header, so a bit flip there
+    is *silently* ignored — the one region of the file the manifest and
+    per-entry checksums cannot see. The entry checksums still catch any
+    flip that changes bytes actually read; this closes the blind spot so
+    a corrupted artifact never loads clean no matter where the flip
+    lands."""
+    raw = archive.fp
+    for info in archive.infolist():
+        raw.seek(info.header_offset)
+        header = raw.read(_LOCAL_HEADER.size)
+        if len(header) != _LOCAL_HEADER.size:
+            raise CorruptArtifactError(f"{path}: truncated local header")
+        (
+            sig, version, flags, method, dostime, dosdate,
+            crc, csize, usize, namelen, extralen,
+        ) = _LOCAL_HEADER.unpack(header)
+        year, month, day, hour, minute, second = info.date_time
+        if (
+            sig != 0x04034B50
+            or version != info.extract_version
+            or flags != info.flag_bits
+            or method != info.compress_type
+            or dostime != ((hour << 11) | (minute << 5) | (second // 2))
+            or dosdate != (((year - 1980) << 9) | (month << 5) | day)
+            or crc != info.CRC
+            or csize != info.compress_size
+            or usize != info.file_size
+            or namelen != len(info.filename.encode("utf-8"))
+            or extralen != len(info.extra)
+        ):
+            raise CorruptArtifactError(
+                f"{path}: local header of {info.filename!r} disagrees with "
+                f"the central directory"
+            )
+
+
 def load_artifact(path: str | Path, machine: MachineModel = ITANIUM2) -> ModelArtifact:
     """Load and verify an artifact.
 
@@ -330,6 +384,7 @@ def load_artifact(path: str | Path, machine: MachineModel = ITANIUM2) -> ModelAr
         raise FileNotFoundError(path)
     try:
         with zipfile.ZipFile(path) as archive:
+            _verify_local_headers(path, archive)
             manifest_bytes = archive.read("manifest.json")
             recorded = archive.read("manifest.sha256").decode("ascii").strip()
             if hashlib.sha256(manifest_bytes).hexdigest() != recorded:

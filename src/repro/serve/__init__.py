@@ -56,7 +56,13 @@ from repro.serve.multiproc import (
     WorkerStartupError,
     reuseport_available,
 )
-from repro.serve.requestlog import RequestLog, features_checksum, read_request_log
+from repro.serve.requestlog import (
+    RequestLog,
+    features_checksum,
+    iter_request_log,
+    read_request_log,
+    request_log_segments,
+)
 
 __all__ = [
     "ERROR_BAD_FEATURE_VECTOR",
@@ -83,9 +89,11 @@ __all__ = [
     "WorkerStartupError",
     "error_response",
     "features_checksum",
+    "iter_request_log",
     "load_serving_artifact",
     "merge_worker_health",
     "probe_healthz",
     "read_request_log",
+    "request_log_segments",
     "reuseport_available",
 ]

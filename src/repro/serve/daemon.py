@@ -113,6 +113,7 @@ class DaemonConfig:
     bind_control: bool = False
     worker_id: int | None = None
     request_log: str | None = None
+    request_log_max_bytes: int | None = None
 
     def __post_init__(self) -> None:
         if self.batch_window_ms < 0:
@@ -215,6 +216,7 @@ def merge_worker_health(workers: list[dict]) -> dict:
     merged_counters = dict.fromkeys(counter_keys, 0)
     batching = {"batches": 0, "batched_requests": 0, "max_batch": 0}
     request_log_records = 0
+    request_log_bytes = 0
     alive = 0
     balanced = True
     per_worker = []
@@ -237,7 +239,9 @@ def merge_worker_health(workers: list[dict]) -> dict:
         batching["batches"] += stats.get("batches", 0)
         batching["batched_requests"] += stats.get("batched_requests", 0)
         batching["max_batch"] = max(batching["max_batch"], stats.get("max_batch", 0))
-        request_log_records += (health.get("request_log") or {}).get("records", 0)
+        log_stats = health.get("request_log") or {}
+        request_log_records += log_stats.get("records", 0)
+        request_log_bytes += log_stats.get("bytes_written", 0)
         per_worker.append(
             {
                 "worker": health.get("worker"),
@@ -255,6 +259,7 @@ def merge_worker_health(workers: list[dict]) -> dict:
         "gateway": merged_counters,
         "batching": batching,
         "request_log_records": request_log_records,
+        "request_log_bytes": request_log_bytes,
         "balanced": balanced,
         "workers": per_worker,
     }
@@ -326,7 +331,11 @@ class ServeDaemon:
             self.window.window_ms = self.config.batch_window_ms
         self.gateway.batch_stats.window_ms = self.window.window_ms
         self.request_log = (
-            RequestLog(self.config.request_log, worker=self.config.worker_id)
+            RequestLog(
+                self.config.request_log,
+                worker=self.config.worker_id,
+                max_bytes=self.config.request_log_max_bytes,
+            )
             if self.config.request_log
             else None
         )
@@ -560,6 +569,11 @@ class ServeDaemon:
                 "classifier", request.get("classifier", self.config.classifier)
             ),
             "features_sha256": features_checksum(request),
+            # The raw payload makes the log replayable: the lifecycle's
+            # drift scan and canary gate re-predict exactly what clients
+            # sent, not a hash of it.
+            "features": request.get("features"),
+            "source": request.get("source"),
             "ok": ok,
             "factor": response.get("factor"),
             "confidence": response.get("confidence"),

@@ -1,0 +1,902 @@
+"""The closed serve→train→promote loop: request-log rotation, drift
+detection, the canary gate, journal-backed atomic promotion with
+rollback, kill/resume at every checkpoint, and the end-to-end cycle
+against a live daemon.
+
+The acceptance property throughout: ``kill -9`` (simulated by the fault
+injector's ``run.abort`` site, which fires after every journal commit)
+at ANY checkpoint leaves a registry that is whole-old-or-whole-new and a
+journal from which ``resume`` completes bit-identically to an
+uninterrupted run.
+"""
+
+import dataclasses
+import hashlib
+import json
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.features import extract_features
+from repro.frontend import parse_program
+from repro.lifecycle import (
+    CanaryConfig,
+    DriftConfig,
+    DriftReport,
+    LifecycleConfig,
+    LifecyclePoller,
+    ShadowConfig,
+    augment_dataset,
+    default_journal_path,
+    evaluate_canary,
+    evaluate_shadow,
+    file_checksum,
+    lastgood_path,
+    lifecycle_status,
+    promote_artifact,
+    rejected_path,
+    rollback_artifact,
+    run_lifecycle,
+    scan_drift,
+    staged_path,
+    vote_entropies,
+)
+from repro.machine.itanium2 import ITANIUM2
+from repro.registry import (
+    ArtifactError,
+    ArtifactStore,
+    save_artifact,
+    train_model_artifact,
+)
+from repro.resilience import (
+    AbortRun,
+    CheckpointJournal,
+    FaultPlan,
+    FaultRule,
+    fault_plan,
+)
+from repro.serve import (
+    BackgroundDaemon,
+    DaemonConfig,
+    RequestLog,
+    ServeDaemon,
+    iter_request_log,
+    read_request_log,
+    request_log_segments,
+)
+
+from tests.test_daemon import _Client
+from tests.test_model_artifacts import synthetic_dataset
+
+LOOP_TEMPLATE = """loop "lifecycle/saxpy{i}" trip={trip} entries=24 lang=c
+  %x = load x[i]
+  %y = load y[i]
+  %r = fma %x, {c}.0, %y
+  store %r -> y[i]
+end
+"""
+
+#: Lenient confidence/entropy thresholds: the synthetic ensemble's
+#: absolute confidence is not what these tests exercise, so only the
+#: feature-shift signal (which we control exactly) can trip the scan.
+SHIFT_ONLY = dict(max_low_confidence_share=1.1, max_vote_entropy=1.1)
+
+
+def _loop_source(i: int) -> str:
+    return LOOP_TEMPLATE.format(i=i, trip=64 * (i + 1), c=i + 1)
+
+
+def _feature_record(i, features, confidence=0.9, ok=True):
+    features = [float(value) for value in features]
+    return {
+        "id": i,
+        "ok": ok,
+        "features_sha256": hashlib.sha256(
+            json.dumps(features).encode()
+        ).hexdigest(),
+        "features": features,
+        "confidence": confidence,
+        "factor": 1,
+    }
+
+
+def _source_record(i, confidence=0.9):
+    source = _loop_source(i)
+    return {
+        "id": i,
+        "ok": True,
+        "features_sha256": hashlib.sha256(source.encode()).hexdigest(),
+        "source": source,
+        "confidence": confidence,
+        "factor": 1,
+    }
+
+
+def _measurable_record(i, shift=0.0, confidence=0.9):
+    """A record carrying BOTH the served feature vector (for the drift
+    replay) and its loop source (for the measurement queue) — what the
+    daemon logs for a source request replayed from upstream tooling."""
+    source = _loop_source(i)
+    loop = parse_program(source)[0].loop
+    features = [
+        float(value) + shift for value in extract_features(loop, ITANIUM2)
+    ]
+    record = _feature_record(i, features, confidence=confidence)
+    record["features_sha256"] = hashlib.sha256(source.encode()).hexdigest()
+    record["source"] = source
+    return record
+
+
+def _write_log(path, records) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return synthetic_dataset()
+
+
+@pytest.fixture(scope="module")
+def incumbent(dataset):
+    return train_model_artifact(dataset)
+
+
+@pytest.fixture
+def store(tmp_path, incumbent):
+    store = ArtifactStore(tmp_path / "registry")
+    store.root.mkdir(parents=True)
+    save_artifact(incumbent, store.path_for("base"))
+    return store
+
+
+def _train_fn(dataset):
+    def train(measured_rows):
+        return train_model_artifact(augment_dataset(dataset, measured_rows))
+
+    return train
+
+
+def _degraded_train_fn(dataset):
+    """A retrain that learns shuffled labels — behaviourally unrelated to
+    the incumbent, deterministic for resume."""
+
+    def train(measured_rows):
+        rng = np.random.default_rng(99)
+        bad = dataclasses.replace(
+            dataset, labels=rng.permutation(dataset.labels)
+        )
+        return train_model_artifact(augment_dataset(bad, measured_rows))
+
+    return train
+
+
+def _config(log_path, **kwargs):
+    kwargs.setdefault("drift", DriftConfig(window=4, **SHIFT_ONLY))
+    kwargs.setdefault("canary", CanaryConfig(min_family_agreement=0.5))
+    return LifecycleConfig(log_path=log_path, model="base", **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# satellite: size-based request-log rotation
+
+
+class TestRequestLogRotation:
+    def _fill(self, path, n=200, max_bytes=512, chunk=20):
+        # Rotation happens between batched writes; pacing the producer in
+        # chunks (waiting for the writer to durably catch up) guarantees
+        # multiple batches and therefore multiple rotation opportunities.
+        log = RequestLog(path, max_bytes=max_bytes)
+        for start in range(0, n, chunk):
+            for i in range(start, min(start + chunk, n)):
+                log.record({"id": i, "ok": True, "pad": "x" * 40})
+            deadline = time.time() + 10.0
+            while log.records < min(start + chunk, n) and time.time() < deadline:
+                time.sleep(0.002)
+        log.close()
+        return log
+
+    def test_rotation_chains_segments(self, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        log = self._fill(path)
+        assert log.rotations >= 2
+        segments = request_log_segments(path)
+        assert segments[-1] == path
+        assert len(segments) == log.rotations + 1
+        # oldest first: .N, ..., .1, live
+        indexes = [int(s.name.rsplit(".", 1)[1]) for s in segments[:-1]]
+        assert indexes == sorted(indexes, reverse=True)
+
+    def test_rotation_never_tears_a_record(self, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        self._fill(path, n=300, max_bytes=256)
+        ids = []
+        for segment in request_log_segments(path):
+            for line in segment.read_text().splitlines():
+                ids.append(json.loads(line)["id"])  # every line parses whole
+        assert sorted(ids) == list(range(300))
+
+    def test_replay_reader_walks_segments_in_write_order(self, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        self._fill(path, n=120, max_bytes=512)
+        replayed = [record["id"] for record in iter_request_log(path)]
+        assert replayed == list(range(120))
+
+    def test_sharing_writers_never_lose_or_tear(self, tmp_path):
+        # Two RequestLog instances on one path (the multi-worker layout)
+        # with rotation racing between them.
+        path = tmp_path / "shared.jsonl"
+        logs = [RequestLog(path, worker=w, max_bytes=1024) for w in range(2)]
+
+        def pump(log, offset):
+            for i in range(150):
+                log.record({"id": offset + i, "pad": "y" * 30})
+
+        threads = [
+            threading.Thread(target=pump, args=(log, 1000 * w))
+            for w, log in enumerate(logs)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for log in logs:
+            log.close()
+        ids = [record["id"] for record in iter_request_log(path)]
+        assert sorted(ids) == sorted(
+            list(range(0, 150)) + list(range(1000, 1150))
+        )
+
+    def test_stats_expose_bytes_and_rotations(self, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        log = self._fill(path, n=50, max_bytes=100_000)
+        stats = log.stats()
+        assert stats["records"] == 50
+        assert stats["bytes_written"] > 0
+        assert stats["file_bytes"] == stats["bytes_written"]
+        assert stats["rotations"] == 0
+
+    def test_unrotated_log_reads_as_before(self, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        log = RequestLog(path)
+        log.record({"id": 7})
+        log.close()
+        assert read_request_log(path) == [{"id": 7}]
+        assert request_log_segments(path) == [path]
+
+    def test_max_bytes_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            RequestLog(tmp_path / "bad.jsonl", max_bytes=0)
+
+
+# ---------------------------------------------------------------------------
+# drift detection
+
+
+class TestDriftScan:
+    def test_training_fingerprint_is_stored(self, incumbent, dataset):
+        stats = incumbent.provenance["feature_stats"]
+        np.testing.assert_allclose(stats["mean"], dataset.X.mean(axis=0))
+        np.testing.assert_allclose(stats["std"], dataset.X.std(axis=0))
+
+    def test_in_distribution_traffic_is_clean(self, incumbent, dataset):
+        records = [
+            _feature_record(i, dataset.X[i % len(dataset.X)])
+            for i in range(16)
+        ]
+        report = scan_drift(
+            records, incumbent, DriftConfig(window=8, **SHIFT_ONLY)
+        )
+        assert report.n_replayable == 16
+        assert report.has_fingerprint is True
+        assert report.drifted is False
+        assert report.flagged == ()
+
+    def test_shifted_traffic_flags_feature_shift(self, incumbent, dataset):
+        records = [
+            _feature_record(i, dataset.X[i % len(dataset.X)] + 40.0)
+            for i in range(8)
+        ]
+        report = scan_drift(
+            records, incumbent, DriftConfig(window=4, **SHIFT_ONLY)
+        )
+        assert report.drifted is True
+        assert all("feature-shift" in w.reasons for w in report.windows)
+        # every row of a drifted window is routed to the queue
+        assert len(report.flagged) == 8
+
+    def test_low_confidence_share_flags_without_shift(self, incumbent, dataset):
+        records = [
+            _feature_record(i, dataset.X[i % len(dataset.X)])
+            for i in range(8)
+        ]
+        config = DriftConfig(
+            window=8,
+            low_confidence=1.1,  # every served confidence counts as low
+            max_low_confidence_share=0.5,
+            max_vote_entropy=1.1,
+        )
+        report = scan_drift(records, incumbent, config)
+        assert report.drifted is True
+        assert report.windows[0].reasons == ("low-confidence",)
+
+    def test_artifact_without_fingerprint_degrades_gracefully(
+        self, incumbent, dataset
+    ):
+        provenance = {
+            key: value
+            for key, value in incumbent.provenance.items()
+            if key != "feature_stats"
+        }
+        legacy = dataclasses.replace(incumbent, provenance=provenance)
+        records = [_feature_record(i, dataset.X[0] + 40.0) for i in range(4)]
+        report = scan_drift(
+            records, legacy, DriftConfig(window=4, **SHIFT_ONLY)
+        )
+        assert report.has_fingerprint is False
+        assert report.drifted is False  # shift signal reads 0 without stats
+
+    def test_source_only_records_ride_along_when_windows_drift(
+        self, incumbent, dataset
+    ):
+        records = [
+            _feature_record(i, dataset.X[i % len(dataset.X)] + 40.0)
+            for i in range(4)
+        ]
+        records.append(_source_record(99))
+        report = scan_drift(
+            records, incumbent, DriftConfig(window=4, **SHIFT_ONLY)
+        )
+        assert records[-1]["features_sha256"] in report.flagged
+
+    def test_low_confidence_source_record_flagged_in_clean_log(
+        self, incumbent
+    ):
+        records = [_source_record(0, confidence=0.1)]
+        report = scan_drift(
+            records, incumbent, DriftConfig(window=4, **SHIFT_ONLY)
+        )
+        assert report.n_replayable == 0
+        assert report.flagged == (records[0]["features_sha256"],)
+
+    def test_vote_entropy_bounds(self):
+        unanimous = {"a": [1, 1], "b": [1, 1], "c": [1, 1]}
+        split = {"a": [1, 1], "b": [2, 2], "c": [3, 3]}
+        np.testing.assert_allclose(vote_entropies(unanimous), [0.0, 0.0])
+        np.testing.assert_allclose(vote_entropies(split), [1.0, 1.0])
+
+    def test_report_round_trips_through_json(self, incumbent, dataset):
+        records = [
+            _feature_record(i, dataset.X[i % len(dataset.X)] + 40.0)
+            for i in range(6)
+        ]
+        report = scan_drift(
+            records, incumbent, DriftConfig(window=4, **SHIFT_ONLY)
+        )
+        clone = DriftReport.from_json(json.loads(json.dumps(report.to_json())))
+        assert clone == report
+
+
+# ---------------------------------------------------------------------------
+# canary gate and shadow check
+
+
+class TestCanaryGate:
+    def test_identical_candidate_accepted(self, incumbent, dataset):
+        verdict = evaluate_canary(
+            incumbent, incumbent, dataset.X, dataset.labels
+        )
+        assert verdict.accepted is True
+        assert verdict.candidate_accuracy == verdict.incumbent_accuracy
+        assert min(verdict.family_agreement.values()) == 1.0
+
+    def test_degraded_candidate_rejected(self, incumbent, dataset):
+        degraded = _degraded_train_fn(dataset)([])
+        verdict = evaluate_canary(
+            incumbent, degraded, dataset.X, dataset.labels
+        )
+        assert verdict.accepted is False
+        assert "accuracy-regression" in verdict.reasons
+
+    def test_empty_replay_refuses_to_promote_blind(self, incumbent):
+        verdict = evaluate_canary(
+            incumbent, incumbent, np.empty((0, 38)), None
+        )
+        assert verdict.accepted is False
+        assert verdict.reasons == ("empty-replay",)
+
+    def test_unlabelled_replay_still_gates_on_agreement(
+        self, incumbent, dataset
+    ):
+        degraded = _degraded_train_fn(dataset)([])
+        verdict = evaluate_canary(incumbent, degraded, dataset.X, None)
+        assert verdict.n_labelled == 0
+        assert verdict.candidate_accuracy is None
+        assert verdict.accepted is False
+        assert verdict.reasons == ("family-agreement",)
+
+    def test_shadow_abstains_without_traffic(self, incumbent):
+        verdict = evaluate_shadow(
+            incumbent, incumbent, np.empty((0, 38)), None
+        )
+        assert verdict.regressed is False
+
+    def test_shadow_flags_degraded_promotion(self, incumbent, dataset):
+        degraded = _degraded_train_fn(dataset)([])
+        verdict = evaluate_shadow(
+            degraded, incumbent, dataset.X, dataset.labels
+        )
+        assert verdict.regressed is True
+        assert "accuracy-regression" in verdict.reasons
+
+    def test_shadow_scores_only_recent_rows(self, incumbent, dataset):
+        verdict = evaluate_shadow(
+            incumbent,
+            incumbent,
+            dataset.X,
+            dataset.labels,
+            ShadowConfig(recent=5),
+        )
+        assert verdict.n_rows == 5
+        assert verdict.regressed is False
+
+
+# ---------------------------------------------------------------------------
+# atomic promotion and rollback
+
+
+class TestAtomicPromotion:
+    def _candidate(self, incumbent):
+        return dataclasses.replace(
+            incumbent, provenance={**incumbent.provenance, "tag": "candidate"}
+        )
+
+    def _promote(self, store, candidate, resume=False):
+        journal = CheckpointJournal(
+            store.root / "promote.jsonl", run_key="test-promote"
+        )
+        with journal:
+            if resume:
+                journal.load()
+            return promote_artifact(store, "base", candidate, journal)
+
+    def test_promote_flips_live_and_snapshots_lastgood(
+        self, store, incumbent
+    ):
+        live = store.path_for("base")
+        before = file_checksum(live)
+        result = self._promote(store, self._candidate(incumbent))
+        assert file_checksum(live) == result.candidate_checksum != before
+        assert result.previous_checksum == before
+        assert file_checksum(lastgood_path(store, "base")) == before
+        assert not staged_path(store, "base").exists()  # consumed by the flip
+
+    def test_suffixed_slots_are_invisible_to_the_watcher(
+        self, store, incumbent
+    ):
+        self._promote(store, self._candidate(incumbent))
+        save_artifact(incumbent, rejected_path(store, "base"))
+        assert store.entries() == [store.path_for("base")]
+
+    def test_first_promotion_has_no_lastgood(self, tmp_path, incumbent):
+        store = ArtifactStore(tmp_path)
+        result = self._promote(store, self._candidate(incumbent))
+        assert result.previous_checksum is None
+        assert result.lastgood is None
+        assert not lastgood_path(store, "base").exists()
+
+    def test_rollback_restores_incumbent_and_preserves_evidence(
+        self, store, incumbent
+    ):
+        live = store.path_for("base")
+        before = file_checksum(live)
+        result = self._promote(store, self._candidate(incumbent))
+        journal = CheckpointJournal(
+            store.root / "rollback.jsonl", run_key="test-rollback"
+        )
+        with journal:
+            rollback = rollback_artifact(store, "base", journal)
+        assert rollback["restored_checksum"] == before
+        assert file_checksum(live) == before
+        assert (
+            file_checksum(rejected_path(store, "base"))
+            == result.candidate_checksum
+        )
+
+    def test_rollback_without_lastgood_raises(self, store):
+        journal = CheckpointJournal(
+            store.root / "rollback.jsonl", run_key="test-rollback"
+        )
+        with journal:
+            with pytest.raises(ArtifactError, match="last-good"):
+                rollback_artifact(store, "base", journal)
+
+    @settings(max_examples=8, deadline=None)
+    @given(kill_at=st.integers(min_value=0, max_value=2))
+    def test_kill_mid_promotion_never_tears_and_resumes_identically(
+        self, kill_at, tmp_path_factory, incumbent
+    ):
+        tmp = tmp_path_factory.mktemp("promotion-kill")
+        store = ArtifactStore(tmp)
+        live = store.path_for("base")
+        save_artifact(incumbent, live)
+        old = file_checksum(live)
+        candidate = self._candidate(incumbent)
+
+        plan = FaultPlan(
+            rules=(FaultRule(op="run.abort", match="*", skip=kill_at),)
+        )
+        with fault_plan(plan):
+            with pytest.raises(AbortRun):
+                self._promote(store, candidate)
+        # never torn: whole old bytes or whole new bytes, always loadable
+        assert file_checksum(live) in (old, file_checksum_of(candidate, tmp))
+        result = self._promote(store, candidate, resume=True)
+        assert file_checksum(live) == result.candidate_checksum
+        assert file_checksum(lastgood_path(store, "base")) == old
+
+
+def file_checksum_of(artifact, tmp) -> str:
+    """Registry saves are byte-deterministic: the checksum a candidate
+    WILL have once staged, computed without touching the registry."""
+    scratch = Path(tmp) / "scratch.rma"
+    save_artifact(artifact, scratch)
+    checksum = file_checksum(scratch)
+    scratch.unlink()
+    return checksum
+
+
+# ---------------------------------------------------------------------------
+# the state machine
+
+
+class TestRunLifecycle:
+    def test_requires_train_fn(self, store):
+        with pytest.raises(ValueError, match="train_fn"):
+            run_lifecycle(_config("nowhere.jsonl"), store)
+
+    def test_requires_incumbent(self, tmp_path, dataset):
+        empty = ArtifactStore(tmp_path / "empty")
+        empty.root.mkdir()
+        with pytest.raises(ArtifactError, match="no incumbent"):
+            run_lifecycle(
+                _config("nowhere.jsonl"), empty, _train_fn(dataset)
+            )
+
+    def test_no_drift_short_circuits(self, store, dataset, tmp_path):
+        log = tmp_path / "requests.jsonl"
+        _write_log(
+            log,
+            [
+                _feature_record(i, dataset.X[i % len(dataset.X)])
+                for i in range(8)
+            ],
+        )
+        before = file_checksum(store.path_for("base"))
+        result = run_lifecycle(_config(log), store, _train_fn(dataset))
+        assert result.outcome == "no-drift"
+        assert result.measured == {}
+        assert file_checksum(store.path_for("base")) == before
+        assert not default_journal_path(store, "base").exists()
+
+    def test_drifted_traffic_promotes(self, store, dataset, tmp_path):
+        log = tmp_path / "requests.jsonl"
+        _write_log(log, [_measurable_record(i, shift=50.0) for i in range(4)])
+        before = file_checksum(store.path_for("base"))
+        result = run_lifecycle(_config(log), store, _train_fn(dataset))
+        assert result.outcome == "promoted"
+        assert len(result.measured) == 4
+        assert result.canary is not None and result.canary.accepted
+        # the held-out half of the measured loops graded the candidate
+        assert result.canary.n_labelled == 2
+        assert result.promotion.previous_checksum == before
+        assert file_checksum(store.path_for("base")) != before
+        assert file_checksum(lastgood_path(store, "base")) == before
+        assert not default_journal_path(store, "base").exists()
+
+    def test_degraded_candidate_rejected_at_canary(
+        self, store, dataset, tmp_path
+    ):
+        log = tmp_path / "requests.jsonl"
+        _write_log(log, [_measurable_record(i, shift=50.0) for i in range(4)])
+        before = file_checksum(store.path_for("base"))
+        result = run_lifecycle(
+            _config(log, canary=CanaryConfig(min_family_agreement=0.75)),
+            store,
+            _degraded_train_fn(dataset),
+        )
+        assert result.outcome == "rejected"
+        assert result.canary.accepted is False
+        assert result.promotion is None
+        # the registry never changed and no staged debris remains
+        assert file_checksum(store.path_for("base")) == before
+        assert not staged_path(store, "base").exists()
+        assert not default_journal_path(store, "base").exists()
+
+    def test_shadow_regression_rolls_back(self, store, dataset, tmp_path):
+        # Force a degraded candidate past the gate (break-glass mode);
+        # the post-promotion shadow check must undo the damage.
+        log = tmp_path / "requests.jsonl"
+        _write_log(log, [_measurable_record(i, shift=50.0) for i in range(4)])
+        before = file_checksum(store.path_for("base"))
+        result = run_lifecycle(
+            _config(log, skip_canary=True, shadow=ShadowConfig(min_agreement=0.9)),
+            store,
+            _degraded_train_fn(dataset),
+        )
+        assert result.outcome == "rolled-back"
+        assert result.shadow is not None and result.shadow.regressed
+        assert result.rollback["restored_checksum"] == before
+        assert file_checksum(store.path_for("base")) == before
+        assert rejected_path(store, "base").exists()
+
+    def test_force_runs_the_loop_without_drift(self, store, dataset, tmp_path):
+        log = tmp_path / "requests.jsonl"
+        _write_log(
+            log,
+            [
+                _feature_record(i, dataset.X[i % len(dataset.X)])
+                for i in range(4)
+            ],
+        )
+        result = run_lifecycle(
+            _config(log, force=True), store, _train_fn(dataset)
+        )
+        assert result.drift.drifted is False
+        assert result.measured == {}  # nothing flagged, nothing to measure
+        assert result.outcome == "promoted"
+
+    def test_kill_resume_at_every_checkpoint_is_bit_identical(
+        self, incumbent, dataset, tmp_path
+    ):
+        """The tentpole property, exhaustively: kill the run at checkpoint
+        k for every k (replay, drift, each measure, retrain, canary, the
+        three promotion phases, shadow) and resume; the final registry
+        bytes must equal the uninterrupted run's."""
+        log = tmp_path / "requests.jsonl"
+        _write_log(log, [_measurable_record(i, shift=50.0) for i in range(3)])
+
+        def fresh_store(tag):
+            store = ArtifactStore(tmp_path / tag)
+            store.root.mkdir()
+            save_artifact(incumbent, store.path_for("base"))
+            return store
+
+        reference_store = fresh_store("reference")
+        reference = run_lifecycle(
+            _config(log), reference_store, _train_fn(dataset)
+        )
+        assert reference.outcome == "promoted"
+        reference_live = file_checksum(reference_store.path_for("base"))
+
+        kill_at = 0
+        while True:
+            store = fresh_store(f"kill{kill_at}")
+            live = store.path_for("base")
+            old = file_checksum(live)
+            plan = FaultPlan(
+                rules=(FaultRule(op="run.abort", match="*", skip=kill_at),)
+            )
+            try:
+                with fault_plan(plan):
+                    run_lifecycle(_config(log), store, _train_fn(dataset))
+            except AbortRun:
+                # never torn mid-run
+                assert file_checksum(live) in (old, reference_live)
+                result = run_lifecycle(
+                    _config(log), store, _train_fn(dataset), resume=True
+                )
+                assert result.outcome == reference.outcome
+                assert file_checksum(live) == reference_live
+            else:
+                break  # ran past the last checkpoint: plan never fired
+            kill_at += 1
+        assert kill_at >= 9  # replay, drift, 3x measure, retrain, canary, 3x promote
+
+    @settings(max_examples=6, deadline=None)
+    @given(kill_at=st.integers(min_value=2, max_value=4))
+    def test_kill_mid_measure_resumes_identically(
+        self, kill_at, incumbent, dataset, tmp_path_factory
+    ):
+        """Hypothesis over the measurement region (checkpoints 2..4 land
+        inside the three measure units): resume must re-execute only the
+        missing units yet produce identical registry bytes."""
+        tmp = tmp_path_factory.mktemp("measure-kill")
+        log = tmp / "requests.jsonl"
+        _write_log(log, [_measurable_record(i, shift=50.0) for i in range(3)])
+        store = ArtifactStore(tmp / "registry")
+        store.root.mkdir()
+        save_artifact(incumbent, store.path_for("base"))
+        plan = FaultPlan(
+            rules=(FaultRule(op="run.abort", match="*", skip=kill_at),)
+        )
+        with fault_plan(plan):
+            with pytest.raises(AbortRun, match="measure:"):
+                run_lifecycle(_config(log), store, _train_fn(dataset))
+        result = run_lifecycle(
+            _config(log), store, _train_fn(dataset), resume=True
+        )
+        assert result.outcome == "promoted"
+        assert len(result.measured) == 3
+        resumed = [event for event in result.events if event.kind == "resume"]
+        assert len(resumed) == kill_at - 1  # committed units replayed, not re-run
+
+    def test_replay_snapshot_is_pinned_across_resume(
+        self, store, dataset, tmp_path
+    ):
+        # Records appended between kill and resume (a live daemon keeps
+        # writing) must not change what the resumed run sees.
+        log = tmp_path / "requests.jsonl"
+        _write_log(log, [_measurable_record(i, shift=50.0) for i in range(3)])
+        plan = FaultPlan(rules=(FaultRule(op="run.abort", match="*", skip=2),))
+        with fault_plan(plan):
+            with pytest.raises(AbortRun):
+                run_lifecycle(_config(log), store, _train_fn(dataset))
+        with open(log, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(_measurable_record(9, shift=50.0)) + "\n")
+        result = run_lifecycle(
+            _config(log), store, _train_fn(dataset), resume=True
+        )
+        assert result.drift.n_records == 3
+        assert len(result.measured) == 3
+
+
+# ---------------------------------------------------------------------------
+# status and the poller
+
+
+class TestLifecycleStatus:
+    def test_slots_and_quiescence(self, store):
+        status = lifecycle_status(store, "base")
+        assert status["live"]["exists"] is True
+        assert status["lastgood"]["exists"] is False
+        assert status["in_progress"] is False
+        assert status["journal"] is None
+
+    def test_interrupted_run_is_reported(self, store, dataset, tmp_path):
+        log = tmp_path / "requests.jsonl"
+        _write_log(log, [_measurable_record(i, shift=50.0) for i in range(2)])
+        plan = FaultPlan(rules=(FaultRule(op="run.abort", match="*", skip=2),))
+        with fault_plan(plan):
+            with pytest.raises(AbortRun):
+                run_lifecycle(_config(log), store, _train_fn(dataset))
+        status = lifecycle_status(store, "base")
+        assert status["in_progress"] is True
+        assert status["journal"]["stages"] == ["replay", "drift"]
+        assert status["journal"]["measured"] == 1
+
+
+class TestLifecyclePoller:
+    def test_interval_must_be_positive(self, store, dataset):
+        with pytest.raises(ValueError, match="interval_s"):
+            LifecyclePoller(
+                _config("nowhere.jsonl"), store, _train_fn(dataset), 0.0
+            )
+
+    def test_poller_ticks_and_records_outcomes(self, store, dataset, tmp_path):
+        log = tmp_path / "requests.jsonl"
+        _write_log(
+            log,
+            [
+                _feature_record(i, dataset.X[i % len(dataset.X)])
+                for i in range(4)
+            ],
+        )
+        with LifecyclePoller(
+            _config(log), store, _train_fn(dataset), interval_s=0.05
+        ) as poller:
+            deadline = time.time() + 10.0
+            while poller.runs == 0 and time.time() < deadline:
+                time.sleep(0.02)
+        assert poller.runs >= 1
+        assert set(poller.outcomes) == {"no-drift"}
+        assert poller.errors == []
+
+    def test_poller_survives_a_broken_cycle(self, tmp_path, dataset):
+        empty = ArtifactStore(tmp_path / "empty")
+        empty.root.mkdir()
+        with LifecyclePoller(
+            _config(tmp_path / "none.jsonl"),
+            empty,
+            _train_fn(dataset),
+            interval_s=0.05,
+        ) as poller:
+            deadline = time.time() + 10.0
+            while len(poller.errors) < 2 and time.time() < deadline:
+                time.sleep(0.02)
+        assert len(poller.errors) >= 2  # it kept ticking after the first
+
+
+# ---------------------------------------------------------------------------
+# the acceptance test: closed loop against a live daemon
+
+
+class TestClosedLoopEndToEnd:
+    def test_traffic_to_promotion_with_live_hot_reload(
+        self, store, dataset, tmp_path
+    ):
+        """Shifted traffic through a real daemon writes the request log;
+        the lifecycle detects drift, measures, retrains, canaries, and
+        promotes; the SAME daemon hot-reloads the promoted artifact under
+        continued traffic with zero dropped requests."""
+        log_path = tmp_path / "requests.jsonl"
+        daemon = ServeDaemon(
+            store.path_for("base"),
+            DaemonConfig(
+                batch_window_ms=1.0,
+                reload_poll_s=0.05,
+                request_log=str(log_path),
+            ),
+            store=store,
+        )
+        responses = []
+        with BackgroundDaemon(daemon) as background:
+            client = _Client(background.address)
+            # Drifted feature traffic (replayable) ...
+            for i in range(8):
+                record = _measurable_record(i % 4, shift=50.0)
+                responses.append(
+                    client.ask({"id": i, "features": record["features"]})
+                )
+            # ... and the same loops as source requests (measurable).
+            for i in range(4):
+                responses.append(
+                    client.ask({"id": 100 + i, "source": _loop_source(i)})
+                )
+            # the log is written off the hot path; wait for the flush
+            deadline = time.time() + 10.0
+            while daemon.request_log.records < 12 and time.time() < deadline:
+                time.sleep(0.02)
+            assert daemon.request_log.records == 12
+
+            before = file_checksum(store.path_for("base"))
+            result = run_lifecycle(
+                _config(log_path), store, _train_fn(dataset)
+            )
+            assert result.outcome == "promoted"
+
+            # the watcher must pick the promotion up under live traffic
+            deadline = time.time() + 10.0
+            while daemon.reloads == 0 and time.time() < deadline:
+                responses.append(
+                    client.ask(
+                        {"id": 200, "features": _feature_record(0, dataset.X[0])["features"]}
+                    )
+                )
+                time.sleep(0.02)
+            client.close()
+        assert daemon.reloads >= 1
+        assert daemon.checksum == result.promotion.candidate_checksum != before
+        assert all(response["ok"] for response in responses)
+        assert daemon.gateway.counters.balanced()  # zero dropped requests
+
+    def test_daemon_healthz_reports_log_bytes(self, store, dataset, tmp_path):
+        log_path = tmp_path / "requests.jsonl"
+        daemon = ServeDaemon(
+            store.path_for("base"),
+            DaemonConfig(request_log=str(log_path), request_log_max_bytes=400),
+            store=store,
+        )
+        with BackgroundDaemon(daemon) as background:
+            client = _Client(background.address)
+            for i in range(20):
+                client.ask(
+                    {"id": i, "features": [float(v) for v in dataset.X[i % 40]]}
+                )
+            deadline = time.time() + 10.0
+            while daemon.request_log.records < 20 and time.time() < deadline:
+                time.sleep(0.02)
+            health = client.ask({"healthz": True})["healthz"]
+            client.close()
+        stats = health["request_log"]
+        assert stats["records"] == 20
+        assert stats["bytes_written"] > 0
+        assert stats["rotations"] >= 1  # 20 feature rows blow a 400-byte cap
+        # rotation must not lose replayable records
+        assert len(list(iter_request_log(log_path))) == 20

@@ -534,11 +534,15 @@ class TestRequestLog:
         records = read_request_log(path)
         assert [r["id"] for r in records] == list(range(5))
         assert log.records == 5
-        assert log.stats() == {
-            "path": str(path),
-            "records": 5,
-            "write_errors": 0,
-        }
+        stats = log.stats()
+        assert stats["path"] == str(path)
+        assert stats["records"] == 5
+        assert stats["write_errors"] == 0
+        assert stats["rotations"] == 0
+        # Operators alarm on log stall via bytes written vs file size:
+        # with a single writer they agree exactly.
+        assert stats["bytes_written"] > 0
+        assert stats["file_bytes"] == stats["bytes_written"]
 
     def test_records_after_close_are_dropped(self, tmp_path):
         log = RequestLog(tmp_path / "requests.jsonl")

@@ -354,3 +354,14 @@ class TestCheckedInReport:
         assert detail["balanced"] is True
         assert detail["cpus"] >= 1
         assert set(map(int, detail["runs"])) == set(detail["worker_counts"])
+
+    def test_latest_report_has_lifecycle_stage(self):
+        payload = self._latest()
+        stages = {s["stage"]: s for s in payload["stages"]}
+        assert "lifecycle" in stages
+        detail = stages["lifecycle"]["detail"]
+        assert detail["promotion_atomic"] is True
+        assert detail["rollback_ok"] is True
+        assert detail["canary_accepted"] is True
+        assert detail["has_fingerprint"] is True
+        assert detail["drift_lines_per_s"] > 0
